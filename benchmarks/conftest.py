@@ -1,0 +1,103 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Each benchmark module covers one figure of the paper's Section 5.  Cells
+run through :func:`repro.bench.run_once` under ``pytest-benchmark``
+(single round — the interesting comparisons are across algorithms and
+parameters, not micro-variance), accumulate into a per-module sink, and
+the sink prints the paper-style series block when the module finishes —
+the text these benches contribute to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import RunRecord, run_once
+from repro.bench.report import ascii_loglog, format_records, format_series
+from repro.datasets import load_dataset
+
+#: Panel sample size for the Figure-4 sweeps.  The paper samples 16,384
+#: points on a V100; the simulated device is host-speed-bound, so panels
+#: use 8,192 (documented substitution — regime calibration in
+#: tests/test_datasets.py is checked at the paper's 16,384).
+PANEL_N = 8192
+
+#: The four algorithms of the paper's 2-D comparison (Section 5.1).
+COMPARISON_ALGOS = ("fdbscan", "fdbscan-densebox", "gdbscan", "cuda-dclust")
+
+_DATA_CACHE: dict = {}
+
+
+def dataset(name: str, n: int, seed: int = 1) -> np.ndarray:
+    """Cached dataset sample (benchmarks re-request the same arrays)."""
+    key = (name, n, seed)
+    if key not in _DATA_CACHE:
+        _DATA_CACHE[key] = load_dataset(name, n, seed)
+    return _DATA_CACHE[key]
+
+
+class RecordSink:
+    """Collects RunRecords for one figure and prints the series at the end."""
+
+    def __init__(self, title: str, x_key: str, loglog: bool = False):
+        self.title = title
+        self.x_key = x_key
+        self.loglog = loglog
+        self.records: list[RunRecord] = []
+
+    def add(self, record: RunRecord) -> None:
+        self.records.append(record)
+
+    def render(self) -> str:
+        if not self.records:
+            return f"{self.title}: (no records)"
+        out = ["", "=" * 72, self.title]
+        datasets: list[str] = []
+        for r in self.records:
+            if r.dataset not in datasets:
+                datasets.append(r.dataset)
+        for name in datasets:
+            panel = [r for r in self.records if r.dataset == name]
+            out.append("")
+            out.append(format_series(panel, x_key=self.x_key, title=f"[{name}]"))
+            if self.loglog:
+                out.append("")
+                out.append(ascii_loglog(panel, x_key=self.x_key, title=f"[{name}] (log-log)"))
+        out += ["-" * 72, format_records(self.records), "=" * 72]
+        return "\n".join(out)
+
+
+@pytest.fixture(scope="module")
+def sink(request):
+    """Module-scoped record sink; prints the figure block at teardown."""
+    title = getattr(request.module, "FIGURE_TITLE", request.module.__name__)
+    x_key = getattr(request.module, "X_KEY", "min_samples")
+    s = RecordSink(title, x_key, loglog=getattr(request.module, "LOGLOG", False))
+    yield s
+    print(s.render())
+
+
+def bench_cell(
+    benchmark,
+    sink: RecordSink,
+    algorithm: str,
+    X: np.ndarray,
+    eps: float,
+    min_samples: int,
+    dataset_name: str,
+    **kwargs,
+) -> RunRecord:
+    """Run one figure cell under pytest-benchmark and record it."""
+    holder: dict = {}
+
+    def run():
+        holder["record"] = run_once(
+            algorithm, X, eps, min_samples, dataset=dataset_name, **kwargs
+        )
+        return holder["record"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    record = holder["record"]
+    sink.add(record)
+    return record

@@ -1,0 +1,68 @@
+"""Dense-cell occupancy facts quoted in Section 5's text.
+
+Not a timing figure, but numbers the paper states and the other figures'
+interpretations rest on:
+
+- 2-D datasets: "over 95 % of points are contained in the dense cells for
+  every dataset even for the largest values of minpts" (Section 5.1);
+- cosmology: ~13 % at minpts = 5, <2 % at minpts = 50, none above 100
+  (Figure 6 discussion), and ~91 % at eps = 1.0 (Figure 7 discussion);
+- the cosmology grid is huge and overwhelmingly empty (3.5 B cells, 28 M
+  non-empty on the paper's 36 M points).
+"""
+
+import pytest
+
+from benchmarks.conftest import PANEL_N, dataset
+from repro.bench.harness import RunRecord
+from repro.core.api import dense_fraction_estimate
+from repro.datasets import paper_params
+
+FIGURE_TITLE = "Dense-cell occupancy (Section 5 text)"
+X_KEY = "min_samples"
+
+
+def _record(sink, name, n, eps, minpts):
+    X = dataset(name, n)
+    frac = dense_fraction_estimate(X, eps, minpts)
+    rec = RunRecord(
+        algorithm="densebox-grid",
+        dataset=name,
+        n=n,
+        eps=eps,
+        min_samples=minpts,
+        seconds=0.0,
+        dense_fraction=frac,
+    )
+    sink.add(rec)
+    return frac
+
+
+@pytest.mark.parametrize("name", ["ngsim", "portotaxi", "road3d"])
+def test_2d_datasets_dense_at_study_settings(benchmark, sink, name):
+    spec = paper_params(name)
+    fractions = [
+        _record(sink, name, PANEL_N, spec.minpts_sweep_eps, minpts)
+        for minpts in spec.minpts_sweep_values
+    ]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # dense at the small/mid minpts; monotone non-increasing in minpts
+    assert fractions[0] > 0.9
+    assert all(a >= b for a, b in zip(fractions, fractions[1:]))
+
+
+def test_cosmology_occupancy_ladder(benchmark, sink):
+    n = 100_000
+    f5 = _record(sink, "hacc", n, 0.042, 5)
+    f50 = _record(sink, "hacc", n, 0.042, 50)
+    f300 = _record(sink, "hacc", n, 0.042, 300)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert 0.08 < f5 < 0.25
+    assert f50 < 0.02
+    assert f300 == 0.0
+
+
+def test_cosmology_eps_one(benchmark, sink):
+    frac = _record(sink, "hacc", 100_000, 1.0, 5)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert frac > 0.85

@@ -1,0 +1,45 @@
+"""Figure 4(d)(e)(f): runtime vs ``eps`` on the three 2-D datasets.
+
+Paper setting: n = 16,384; minpts fixed at 500 / 50 / 100 for NGSIM /
+PortoTaxi / 3D Road.  Shape claims:
+
+- FDBSCAN and FDBSCAN-DenseBox show little variation with eps;
+- G-DBSCAN degrades as eps grows (PortoTaxi, and especially 3D Road):
+  the adjacency graph's edge mass explodes;
+- nothing is sensitive to eps on NGSIM (already connected at tiny radii).
+"""
+
+import pytest
+
+from benchmarks.conftest import COMPARISON_ALGOS, PANEL_N, bench_cell, dataset
+from repro.datasets import paper_params
+
+FIGURE_TITLE = "Figure 4(d-f): seconds vs eps (n=%d)" % PANEL_N
+X_KEY = "eps"
+
+PANELS = ["ngsim", "portotaxi", "road3d"]
+
+
+def _cases():
+    for name in PANELS:
+        spec = paper_params(name)
+        for eps in spec.eps_sweep_values:
+            for algorithm in COMPARISON_ALGOS:
+                yield name, eps, spec.eps_sweep_minpts, algorithm
+
+
+@pytest.mark.parametrize(
+    "name,eps,minpts,algorithm",
+    list(_cases()),
+    ids=lambda v: str(v),
+)
+def test_fig4_eps(benchmark, sink, name, eps, minpts, algorithm):
+    X = dataset(name, PANEL_N)
+    record = bench_cell(benchmark, sink, algorithm, X, eps, minpts, dataset_name=name)
+    assert record.status == "ok"
+    peers = [
+        r
+        for r in sink.records
+        if (r.dataset, r.min_samples, r.eps) == (name, minpts, eps) and r.status == "ok"
+    ]
+    assert len({(r.n_clusters, r.n_noise) for r in peers}) == 1

@@ -1,0 +1,41 @@
+"""Figure 6: 3-D cosmology — runtime vs ``minpts`` at eps = 0.042.
+
+Paper setting: the HACC snapshot, FDBSCAN vs FDBSCAN-DenseBox.  Shape
+claims (Section 5.2):
+
+- the two algorithms are comparable at small ``minpts`` (where ~13 % of
+  particles sit in dense cells);
+- FDBSCAN wins at large ``minpts``: dense-cell occupancy drops to ~2 %
+  (minpts = 50) and to zero (minpts > 100), leaving DenseBox paying the
+  grid/decomposition overhead for nothing.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_cell, dataset
+from repro.datasets import paper_params
+
+FIGURE_TITLE = "Figure 6: 3-D cosmology, seconds vs minpts (eps=0.042)"
+X_KEY = "min_samples"
+
+N = 60_000
+ALGOS = ("fdbscan", "fdbscan-densebox")
+
+
+def _cases():
+    spec = paper_params("hacc")
+    for minpts in spec.minpts_sweep_values:
+        for algorithm in ALGOS:
+            yield minpts, algorithm
+
+
+@pytest.mark.parametrize("minpts,algorithm", list(_cases()), ids=lambda v: str(v))
+def test_fig6_minpts_3d(benchmark, sink, minpts, algorithm):
+    X = dataset("hacc", N)
+    eps = paper_params("hacc").minpts_sweep_eps
+    record = bench_cell(benchmark, sink, algorithm, X, eps, minpts, dataset_name="hacc")
+    assert record.status == "ok"
+    peers = [
+        r for r in sink.records if r.min_samples == minpts and r.status == "ok"
+    ]
+    assert len({(r.n_clusters, r.n_noise) for r in peers}) == 1

@@ -1,0 +1,46 @@
+"""Figure 7: 3-D cosmology — runtime vs ``eps`` at minpts = 2.
+
+Paper setting: the HACC snapshot, Friends-of-Friends regime.  Shape
+claim (Section 5.2): "with increasing eps, the advantages of the dense
+cells become clear" — at eps = 1.0 roughly 91 % of particles are in dense
+cells and DenseBox leads by a wide margin (16x on the V100).
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_cell, dataset
+from repro.datasets import paper_params
+
+FIGURE_TITLE = "Figure 7: 3-D cosmology, seconds vs eps (minpts=2)"
+X_KEY = "eps"
+
+N = 60_000
+ALGOS = ("fdbscan", "fdbscan-densebox")
+
+
+def _cases():
+    spec = paper_params("hacc")
+    for eps in spec.eps_sweep_values:
+        for algorithm in ALGOS:
+            yield eps, algorithm
+
+
+@pytest.mark.parametrize("eps,algorithm", list(_cases()), ids=lambda v: str(v))
+def test_fig7_eps_3d(benchmark, sink, eps, algorithm):
+    X = dataset("hacc", N)
+    record = bench_cell(benchmark, sink, algorithm, X, eps, 2, dataset_name="hacc")
+    assert record.status == "ok"
+    peers = [r for r in sink.records if r.eps == eps and r.status == "ok"]
+    assert len({(r.n_clusters, r.n_noise) for r in peers}) == 1
+
+
+def test_fig7_shape_densebox_wins_at_large_eps(benchmark, sink):
+    """After the sweep: DenseBox must lead at the dense end of the sweep."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_algo_eps = {(r.algorithm, r.eps): r.seconds for r in sink.records if r.status == "ok"}
+    largest = max(eps for (_, eps) in by_algo_eps)
+    f = by_algo_eps.get(("fdbscan", largest))
+    d = by_algo_eps.get(("fdbscan-densebox", largest))
+    if f is None or d is None:
+        pytest.skip("sweep incomplete")
+    assert d < f, f"DenseBox ({d:.2f}s) should beat FDBSCAN ({f:.2f}s) at eps={largest}"

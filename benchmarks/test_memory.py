@@ -1,0 +1,85 @@
+"""Memory experiment (Section 3.2 / Section 5.1 discussion).
+
+The paper's framework exists to keep device memory linear in ``n``; the
+survey it cites [32] measured G-DBSCAN at 166x CUDA-DClust's footprint
+because of the materialised adjacency graph, and Figure 4(h)'s missing
+points are G-DBSCAN OOMs.  This bench measures peak device bytes for the
+fused algorithms vs G-DBSCAN across growing ``eps`` (edge mass), and
+checks the two structural claims:
+
+- fused-algorithm *persistent* memory is O(n): it does not grow with the
+  edge count (the transient wavefront frontier, an emulation artifact, is
+  reported separately);
+- G-DBSCAN's memory tracks the edge count and dwarfs the fused footprint
+  in dense regimes.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_cell, dataset
+
+FIGURE_TITLE = "Memory: peak device MB vs eps (PortoTaxi stand-in, n=8192)"
+X_KEY = "eps"
+
+N = 8192
+MINPTS = 20
+EPS_SWEEP = (0.0025, 0.005, 0.01, 0.02, 0.04)
+ALGOS = ("fdbscan", "fdbscan-densebox", "gdbscan", "cuda-dclust")
+
+
+def _cases():
+    for eps in EPS_SWEEP:
+        for algorithm in ALGOS:
+            yield eps, algorithm
+
+
+@pytest.mark.parametrize("eps,algorithm", list(_cases()), ids=lambda v: str(v))
+def test_memory_vs_eps(benchmark, sink, eps, algorithm):
+    X = dataset("portotaxi", N)
+    record = bench_cell(
+        benchmark,
+        sink,
+        algorithm,
+        X,
+        eps,
+        MINPTS,
+        dataset_name="portotaxi",
+        tree_kwargs={"chunk_size": 2048},
+    )
+    assert record.status == "ok"
+
+
+def test_memory_shape_claims(benchmark, sink):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ok = [r for r in sink.records if r.status == "ok"]
+    if not ok:
+        pytest.skip("sweep incomplete")
+    by = {(r.algorithm, r.eps): r for r in ok}
+    # 1. G-DBSCAN's footprint grows with eps...
+    g_small = by[("gdbscan", EPS_SWEEP[0])].peak_bytes
+    g_large = by[("gdbscan", EPS_SWEEP[-1])].peak_bytes
+    assert g_large > 2 * g_small
+    # 2. ...and dwarfs the fused algorithms' at the dense end.
+    f_large = by[("fdbscan", EPS_SWEEP[-1])].peak_bytes
+    d_large = by[("fdbscan-densebox", EPS_SWEEP[-1])].peak_bytes
+    assert g_large > 5 * f_large
+    assert g_large > 20 * d_large
+
+
+def test_memory_oom_reproduction(benchmark, sink):
+    """Figure 4(h)'s missing points: G-DBSCAN on a capped device OOMs
+    where the fused algorithms complete."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.bench.harness import run_once
+
+    X = dataset("portotaxi", N)
+    cap = 64 * 1024 * 1024
+    g = run_once("gdbscan", X, 0.04, MINPTS, dataset="portotaxi", capacity_bytes=cap)
+    f = run_once(
+        "fdbscan", X, 0.04, MINPTS, dataset="portotaxi", capacity_bytes=cap,
+        tree_kwargs={"chunk_size": 2048},
+    )
+    sink.add(g)
+    sink.add(f)
+    assert g.status == "oom"
+    assert f.status == "ok"

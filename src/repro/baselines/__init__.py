@@ -1,0 +1,45 @@
+"""Comparison algorithms from the paper's evaluation (Section 5) and oracles.
+
+``sequential_dbscan``
+    Textbook DBSCAN (Algorithm 1 of the paper): breadth-first cluster
+    growth over a k-d tree index.  The semantic oracle every parallel
+    algorithm is differentially tested against.
+
+``dsdbscan``
+    The disjoint-set DBSCAN of Patwary et al. (Algorithm 2) — the
+    sequential reformulation the paper's framework parallelises.
+
+``gdbscan``
+    G-DBSCAN (Andrade et al. 2013): materialise the full adjacency graph,
+    then run level-synchronous parallel BFS.  Memory-instrumented so the
+    harness can reproduce its out-of-memory failures on large/dense data.
+
+``cuda_dclust``
+    CUDA-DClust (Böhm et al. 2009): parallel chain growth with a collision
+    matrix resolved in a final host-side pass.
+
+``grid_dbscan``
+    The grid/binary-search design the paper explicitly *rejects* in favour
+    of the mixed-primitive BVH (Section 4.2) — implemented for the
+    index-structure ablation, following Sewell et al. [36] / Gowanlock [14].
+
+``brute``
+    O(n²) dense-matrix reference for tiny inputs; an implementation
+    deliberately unlike the others, used as a second opinion in tests.
+"""
+
+from repro.baselines.brute import brute_dbscan
+from repro.baselines.cuda_dclust import cuda_dclust
+from repro.baselines.dsdbscan import dsdbscan
+from repro.baselines.gdbscan import gdbscan
+from repro.baselines.grid_dbscan import grid_dbscan
+from repro.baselines.sequential_dbscan import sequential_dbscan
+
+__all__ = [
+    "brute_dbscan",
+    "cuda_dclust",
+    "dsdbscan",
+    "gdbscan",
+    "grid_dbscan",
+    "sequential_dbscan",
+]

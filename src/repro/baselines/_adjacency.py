@@ -1,0 +1,42 @@
+"""Shared CSR eps-graph construction for the baseline algorithms.
+
+G-DBSCAN materialises this graph *on the device* (and is memory-charged
+for it); CUDA-DClust recomputes neighbourhoods on the fly and only uses
+the CSR here as the host-side emulation shortcut for neighbour queries
+(its device footprint is charged separately).  The edge relation is
+``dist(x, y) <= eps``, self-loops excluded, both directions stored.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.device.primitives import exclusive_scan
+
+
+def csr_eps_graph(X: np.ndarray, eps: float):
+    """Full eps-adjacency graph in CSR form.
+
+    Returns ``(offsets, edges, degree)``: ``edges[offsets[i]:offsets[i+1]]``
+    are the neighbours of ``i`` (unordered), ``degree[i]`` their count
+    (self excluded).
+    """
+    n = X.shape[0]
+    tree = cKDTree(X)
+    pairs = tree.query_pairs(eps, output_type="ndarray")
+    src = np.concatenate([pairs[:, 0], pairs[:, 1]])
+    dst = np.concatenate([pairs[:, 1], pairs[:, 0]])
+    degree = np.bincount(src, minlength=n).astype(np.int64)
+    offsets = np.append(exclusive_scan(degree), degree.sum()).astype(np.int64)
+    order = np.argsort(src, kind="stable")
+    edges = dst[order].astype(np.int64)
+    return offsets, edges, degree
+
+
+def count_eps_pairs(X: np.ndarray, eps: float) -> int:
+    """Number of directed eps-graph edges (self excluded) without
+    materialising them — used to charge device memory ahead of an
+    allocation that might OOM."""
+    tree = cKDTree(X)
+    return int(tree.count_neighbors(tree, eps)) - X.shape[0]

@@ -1,0 +1,73 @@
+"""O(n²) dense-matrix DBSCAN reference.
+
+An implementation deliberately *unlike* every other one in the repository
+(no tree, no union-find, no BFS queue): the full boolean adjacency matrix
+is materialised, core points are row sums, core clusters are connected
+components of the core-core submatrix by repeated label propagation, and
+borders attach to the lowest-indexed adjacent core's cluster.  Used as a
+structurally independent second opinion in differential tests on small
+inputs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.labels import DBSCANResult, relabel_consecutive
+from repro.core.validation import validate_params, validate_points
+from repro.device.device import Device, default_device
+
+
+def brute_dbscan(
+    X: np.ndarray,
+    eps: float,
+    min_samples: int,
+    device: Device | None = None,
+) -> DBSCANResult:
+    """Cluster via the full distance matrix (small inputs only: O(n²))."""
+    X = validate_points(X, max_dim=None)
+    eps, minpts = validate_params(eps, min_samples)
+    dev = default_device(device)
+    n = X.shape[0]
+    t0 = time.perf_counter()
+
+    diff = X[:, None, :] - X[None, :, :]
+    adj = np.einsum("ijk,ijk->ij", diff, diff) <= eps * eps
+    dev.counters.add("distance_evals", n * n)
+    dev.memory.allocate(adj.nbytes, tag="adjacency")
+
+    is_core = adj.sum(axis=1) >= minpts
+
+    # Connected components of the core-core subgraph by min-label
+    # propagation to a fixed point.
+    comp = np.arange(n, dtype=np.int64)
+    comp[~is_core] = -1
+    core_adj = adj & is_core[None, :] & is_core[:, None]
+    while True:
+        # Each core point adopts the smallest component id in its closed
+        # core neighbourhood.
+        padded = np.where(core_adj, comp[None, :], np.iinfo(np.int64).max)
+        new = np.minimum(comp, padded.min(axis=1))
+        new[~is_core] = -1
+        if np.array_equal(new, comp):
+            break
+        comp = new
+
+    # Borders: lowest-indexed adjacent core's component.
+    border_adj = adj & is_core[None, :] & ~is_core[:, None]
+    has_core_nbr = border_adj.any(axis=1)
+    first_core = np.argmax(border_adj, axis=1)
+    comp[has_core_nbr] = comp[first_core[has_core_nbr]]
+
+    clustered = comp >= 0
+    labels, n_clusters = relabel_consecutive(comp, clustered)
+    info = {
+        "algorithm": "brute",
+        "n": n,
+        "eps": eps,
+        "min_samples": minpts,
+        "t_total": time.perf_counter() - t0,
+    }
+    return DBSCANResult(labels=labels, is_core=is_core, n_clusters=n_clusters, info=info)

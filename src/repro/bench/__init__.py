@@ -1,0 +1,33 @@
+"""Benchmark harness: run, record, and report figure-regeneration sweeps.
+
+``harness``
+    :func:`~repro.bench.harness.run_once` executes one (algorithm,
+    dataset, parameters) cell on a fresh device and returns a
+    :class:`~repro.bench.harness.RunRecord` (wall seconds, work counters,
+    peak memory, clustering facts, or an OOM marker).
+    :func:`~repro.bench.harness.run_sweep` maps a parameter series over a
+    set of algorithms with a per-cell time budget (slower algorithms drop
+    out of a growing sweep instead of stalling it — how the paper's
+    missing data points are reported).
+
+``report``
+    Plain-text tables and paper-style series blocks, printed by the
+    benchmark modules and pasted into EXPERIMENTS.md.
+"""
+
+from repro.bench.harness import RunRecord, run_once, run_sweep
+from repro.bench.history import compare_records, load_records, save_records
+from repro.bench.report import ascii_density, ascii_loglog, format_records, format_series
+
+__all__ = [
+    "RunRecord",
+    "ascii_density",
+    "ascii_loglog",
+    "compare_records",
+    "format_records",
+    "format_series",
+    "load_records",
+    "run_once",
+    "run_sweep",
+    "save_records",
+]

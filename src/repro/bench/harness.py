@@ -1,0 +1,182 @@
+"""Sweep runner for the figure-regeneration benchmarks.
+
+Each cell of a paper figure is one :func:`run_once` call: a fresh
+:class:`~repro.device.Device` (optionally memory-capped), one clustering
+run, and a :class:`RunRecord` with everything the figures plot — wall
+seconds — plus what the paper discusses around them: work counters,
+dense-cell fraction, peak device bytes, OOM status.
+
+:func:`run_sweep` drives a whole panel (one x-axis series per algorithm),
+with two benchmark-hygiene features:
+
+- a per-cell ``time_budget``: when an algorithm exceeds it, its larger
+  cells are skipped and reported as ``"skipped"`` — the honest equivalent
+  of the paper's missing points for codes that stop scaling;
+- OOM capture: a :class:`~repro.device.DeviceMemoryError` marks the cell
+  ``"oom"`` (the paper's G-DBSCAN failures on PortoTaxi, Figure 4(h)).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.api import dbscan
+from repro.device.device import Device
+from repro.device.memory import DeviceMemoryError
+
+
+@dataclass
+class RunRecord:
+    """One benchmark cell."""
+
+    algorithm: str
+    dataset: str
+    n: int
+    eps: float
+    min_samples: int
+    seconds: float = float("nan")
+    status: str = "ok"  # "ok" | "oom" | "skipped" | "error"
+    n_clusters: int = -1
+    n_noise: int = -1
+    dense_fraction: float = float("nan")
+    peak_bytes: int = 0
+    counters: dict = field(default_factory=dict)
+    detail: str = ""
+
+    def as_row(self) -> dict:
+        """Flat dict for table formatting."""
+        return {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "n": self.n,
+            "eps": self.eps,
+            "minpts": self.min_samples,
+            "seconds": self.seconds,
+            "status": self.status,
+            "clusters": self.n_clusters,
+            "noise": self.n_noise,
+            "dense%": 100.0 * self.dense_fraction,
+            "peak_MB": self.peak_bytes / 1e6,
+        }
+
+
+#: Algorithms that accept the tree-specific options (use_mask,
+#: early_exit, chunk_size) routed via ``tree_kwargs``.
+TREE_ALGORITHMS = {"auto", "fdbscan", "fdbscan-densebox", "densebox"}
+
+
+def run_once(
+    algorithm: str,
+    X: np.ndarray,
+    eps: float,
+    min_samples: int,
+    dataset: str = "?",
+    capacity_bytes: int | None = None,
+    tree_kwargs: dict | None = None,
+    **kwargs,
+) -> RunRecord:
+    """Execute one benchmark cell on a fresh device.
+
+    ``tree_kwargs`` (e.g. ``{"chunk_size": 4096, "use_mask": False}``) are
+    forwarded only to the tree-based algorithms; ``kwargs`` go to every
+    algorithm.
+    """
+    rec = RunRecord(
+        algorithm=algorithm,
+        dataset=dataset,
+        n=int(np.asarray(X).shape[0]),
+        eps=float(eps),
+        min_samples=int(min_samples),
+    )
+    dev = Device(name=f"bench-{algorithm}", capacity_bytes=capacity_bytes)
+    if tree_kwargs and algorithm.lower() in TREE_ALGORITHMS:
+        kwargs = {**kwargs, **tree_kwargs}
+    start = time.perf_counter()
+    try:
+        result = dbscan(X, eps, min_samples, algorithm=algorithm, device=dev, **kwargs)
+    except DeviceMemoryError as exc:
+        rec.seconds = time.perf_counter() - start
+        rec.status = "oom"
+        rec.detail = str(exc)
+        rec.peak_bytes = dev.memory.peak_bytes
+        return rec
+    except Exception as exc:  # noqa: BLE001 - a failing cell must not kill a sweep
+        rec.seconds = time.perf_counter() - start
+        rec.status = "error"
+        rec.detail = f"{type(exc).__name__}: {exc}"
+        rec.peak_bytes = dev.memory.peak_bytes
+        return rec
+    rec.seconds = time.perf_counter() - start
+    rec.n_clusters = result.n_clusters
+    rec.n_noise = result.n_noise
+    rec.dense_fraction = result.info.get("dense_fraction", float("nan"))
+    rec.peak_bytes = dev.memory.peak_bytes
+    rec.counters = dev.counters.snapshot()
+    return rec
+
+
+def run_sweep(
+    algorithms: Sequence[str],
+    cells: Sequence[dict],
+    data_for: Callable[[dict], np.ndarray],
+    dataset: str = "?",
+    time_budget: float | None = None,
+    capacity_bytes: int | None = None,
+    tree_kwargs: dict | None = None,
+    **kwargs,
+) -> list[RunRecord]:
+    """Run a figure panel: every algorithm over every cell.
+
+    Parameters
+    ----------
+    algorithms:
+        Registry names (see :func:`repro.core.api.dbscan`).
+    cells:
+        Parameter dicts, each with keys ``eps``, ``min_samples`` and
+        anything ``data_for`` needs (e.g. ``n``).  Cells are run in order —
+        put growing sizes last so budget-exceeded algorithms drop out of
+        the expensive cells.
+    data_for:
+        Maps a cell to its point set (cache inside for shared data).
+    time_budget:
+        Per-cell wall-second budget; once an algorithm's cell exceeds it,
+        its remaining cells are reported as ``"skipped"``.
+    capacity_bytes:
+        Device memory cap applied to every cell.
+    """
+    records: list[RunRecord] = []
+    over_budget: set[str] = set()
+    for cell in cells:
+        X = data_for(cell)
+        for algorithm in algorithms:
+            if algorithm in over_budget:
+                records.append(
+                    RunRecord(
+                        algorithm=algorithm,
+                        dataset=dataset,
+                        n=int(X.shape[0]),
+                        eps=float(cell["eps"]),
+                        min_samples=int(cell["min_samples"]),
+                        status="skipped",
+                        detail="previous cell exceeded time budget",
+                    )
+                )
+                continue
+            rec = run_once(
+                algorithm,
+                X,
+                cell["eps"],
+                cell["min_samples"],
+                dataset=dataset,
+                capacity_bytes=capacity_bytes,
+                tree_kwargs=tree_kwargs,
+                **kwargs,
+            )
+            records.append(rec)
+            if time_budget is not None and rec.seconds > time_budget:
+                over_budget.add(algorithm)
+    return records

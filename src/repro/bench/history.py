@@ -1,0 +1,139 @@
+"""Benchmark record persistence and regression comparison.
+
+The figure benchmarks print their series, but performance work needs
+*history*: save a run's records to JSON, reload them later, and diff two
+runs to catch regressions (the optimisation-workflow advice: track
+performance across commits, never trust memory of what a number was).
+
+Records round-trip losslessly through :func:`save_records` /
+:func:`load_records`; :func:`compare_records` matches cells by their
+identity (algorithm, dataset, n, eps, minpts) and reports per-cell
+speedups with a regression threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.bench.harness import RunRecord
+
+#: Fields that identify a cell across runs.
+_KEY_FIELDS = ("algorithm", "dataset", "n", "eps", "min_samples")
+
+
+def _key(record: RunRecord) -> tuple:
+    return tuple(getattr(record, f) for f in _KEY_FIELDS)
+
+
+def save_records(path: str, records: list[RunRecord], meta: dict | None = None) -> None:
+    """Write records (plus optional run metadata) as JSON."""
+    payload = {
+        "meta": meta or {},
+        "records": [
+            {
+                "algorithm": r.algorithm,
+                "dataset": r.dataset,
+                "n": r.n,
+                "eps": r.eps,
+                "min_samples": r.min_samples,
+                "seconds": None if math.isnan(r.seconds) else r.seconds,
+                "status": r.status,
+                "n_clusters": r.n_clusters,
+                "n_noise": r.n_noise,
+                "dense_fraction": None
+                if math.isnan(r.dense_fraction)
+                else r.dense_fraction,
+                "peak_bytes": r.peak_bytes,
+                "counters": {k: int(v) for k, v in r.counters.items()},
+                "detail": r.detail,
+            }
+            for r in records
+        ],
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+
+
+def load_records(path: str) -> tuple[list[RunRecord], dict]:
+    """Read records saved by :func:`save_records`; returns
+    ``(records, meta)``."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    records = []
+    for row in payload["records"]:
+        records.append(
+            RunRecord(
+                algorithm=row["algorithm"],
+                dataset=row["dataset"],
+                n=int(row["n"]),
+                eps=float(row["eps"]),
+                min_samples=int(row["min_samples"]),
+                seconds=float("nan") if row["seconds"] is None else row["seconds"],
+                status=row["status"],
+                n_clusters=int(row["n_clusters"]),
+                n_noise=int(row["n_noise"]),
+                dense_fraction=float("nan")
+                if row["dense_fraction"] is None
+                else row["dense_fraction"],
+                peak_bytes=int(row["peak_bytes"]),
+                counters=dict(row["counters"]),
+                detail=row.get("detail", ""),
+            )
+        )
+    return records, payload.get("meta", {})
+
+
+def compare_records(
+    baseline: list[RunRecord],
+    current: list[RunRecord],
+    regression_threshold: float = 1.25,
+) -> dict:
+    """Diff two runs cell by cell.
+
+    Returns a dict with:
+
+    - ``regressions``: cells slower than ``regression_threshold`` x the
+      baseline;
+    - ``improvements``: cells faster than ``1 / threshold`` x baseline;
+    - ``status_changes``: cells whose status flipped (e.g. ok -> oom);
+    - ``result_changes``: cells whose clustering output changed — these
+      are *correctness* alarms, not performance ones;
+    - ``unmatched``: cells present in only one run.
+    """
+    base = {_key(r): r for r in baseline}
+    cur = {_key(r): r for r in current}
+    report = {
+        "regressions": [],
+        "improvements": [],
+        "status_changes": [],
+        "result_changes": [],
+        "unmatched": sorted(
+            str(k) for k in (set(base) ^ set(cur))
+        ),
+    }
+    for key in sorted(set(base) & set(cur), key=str):
+        old, new = base[key], cur[key]
+        if old.status != new.status:
+            report["status_changes"].append(
+                {"cell": str(key), "before": old.status, "after": new.status}
+            )
+            continue
+        if old.status != "ok":
+            continue
+        if (old.n_clusters, old.n_noise) != (new.n_clusters, new.n_noise):
+            report["result_changes"].append(
+                {
+                    "cell": str(key),
+                    "before": (old.n_clusters, old.n_noise),
+                    "after": (new.n_clusters, new.n_noise),
+                }
+            )
+        if old.seconds > 0:
+            ratio = new.seconds / old.seconds
+            entry = {"cell": str(key), "ratio": ratio, "before": old.seconds, "after": new.seconds}
+            if ratio > regression_threshold:
+                report["regressions"].append(entry)
+            elif ratio < 1.0 / regression_threshold:
+                report["improvements"].append(entry)
+    return report

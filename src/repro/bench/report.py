@@ -1,0 +1,181 @@
+"""Plain-text reporting for the figure benchmarks.
+
+The paper's figures are line plots (runtime vs a swept parameter, one
+line per algorithm).  :func:`format_series` prints the same content as an
+aligned text block — x values as columns, one row per algorithm — which
+is what each benchmark module emits and what EXPERIMENTS.md records.
+:func:`format_records` is the flat per-cell table for appendix-style
+detail.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.harness import RunRecord
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_records(records: Sequence[RunRecord], columns: Sequence[str] | None = None) -> str:
+    """Aligned table of per-cell records."""
+    if not records:
+        return "(no records)"
+    rows = [r.as_row() for r in records]
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(str(c)), *(len(cell[i]) for cell in cells)) for i, c in enumerate(columns)
+    ]
+    header = "  ".join(str(c).rjust(w) for c, w in zip(columns, widths))
+    lines = [header, "  ".join("-" * w for w in widths)]
+    lines += ["  ".join(cell[i].rjust(widths[i]) for i in range(len(columns))) for cell in cells]
+    return "\n".join(lines)
+
+
+#: Density ramp for :func:`ascii_density` (space = empty, @ = densest).
+_DENSITY_RAMP = " .:-=+*#%@"
+
+
+def ascii_density(
+    points,
+    width: int = 64,
+    height: int = 24,
+    title: str = "",
+    axes: tuple[int, int] = (0, 1),
+) -> str:
+    """Character density map of a 2-D/3-D point set.
+
+    The text analogue of the paper's dataset visualisations (Figures 3
+    and 5): points are binned onto a character grid and shaded by log
+    count.  For 3-D data, ``axes`` picks the projection plane.
+    """
+    import numpy as np
+
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[0] == 0:
+        return f"{title}: (no points)"
+    x = points[:, axes[0]]
+    y = points[:, axes[1] if points.shape[1] > 1 else 0]
+    x_lo, x_hi = float(x.min()), float(x.max())
+    y_lo, y_hi = float(y.min()), float(y.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    cols = np.minimum(((x - x_lo) / x_span * width).astype(int), width - 1)
+    rows = np.minimum(((y - y_lo) / y_span * height).astype(int), height - 1)
+    counts = np.zeros((height, width), dtype=np.int64)
+    np.add.at(counts, (rows, cols), 1)
+    log_counts = np.log1p(counts)
+    top = log_counts.max() or 1.0
+    levels = (log_counts / top * (len(_DENSITY_RAMP) - 1)).astype(int)
+    lines = []
+    if title:
+        lines.append(title)
+    # rows render top-down (max y first)
+    for r in range(height - 1, -1, -1):
+        lines.append("".join(_DENSITY_RAMP[v] for v in levels[r]))
+    lines.append(
+        f"x: [{x_lo:.4g}, {x_hi:.4g}]  y: [{y_lo:.4g}, {y_hi:.4g}]  "
+        f"n={points.shape[0]:,}"
+    )
+    return "\n".join(lines)
+
+
+def ascii_loglog(
+    records: Sequence[RunRecord],
+    x_key: str = "n",
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Text log-log plot of seconds vs ``x_key`` — the shape view of the
+    paper's Figure 4(g-i) scaling panels, one glyph per algorithm.
+
+    Failed cells are simply absent (exactly how the paper's missing
+    G-DBSCAN points appear).
+    """
+    ok = [r for r in records if r.status == "ok" and getattr(r, x_key) > 0 and r.seconds > 0]
+    if not ok:
+        return f"{title}: (no plottable records)"
+    algorithms: list[str] = []
+    for rec in ok:
+        if rec.algorithm not in algorithms:
+            algorithms.append(rec.algorithm)
+    glyphs = "ox+*#@%&"
+    import math
+
+    xs = [math.log10(getattr(r, x_key)) for r in ok]
+    ys = [math.log10(r.seconds) for r in ok]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for rec, x, y in zip(ok, xs, ys):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        canvas[row][col] = glyphs[algorithms.index(rec.algorithm) % len(glyphs)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"seconds (log) {10 ** y_hi:.3g} ┐")
+    lines += ["".join(row) for row in canvas]
+    lines.append(f"{10 ** y_lo:.3g} ┘  {x_key} (log): {10 ** x_lo:.3g} .. {10 ** x_hi:.3g}")
+    lines.append(
+        "legend: " + "  ".join(f"{glyphs[i % len(glyphs)]}={a}" for i, a in enumerate(algorithms))
+    )
+    return "\n".join(lines)
+
+
+def format_series(
+    records: Sequence[RunRecord],
+    x_key: str,
+    title: str = "",
+    value: str = "seconds",
+) -> str:
+    """Paper-figure-style block: one row per algorithm, x values as columns.
+
+    ``x_key`` is a :class:`RunRecord` attribute name (``"min_samples"``,
+    ``"eps"``, ``"n"``).  Failed cells render as their status (``oom`` /
+    ``skipped``) — the analogue of the paper's missing points.
+    """
+    xs: list = []
+    for rec in records:
+        x = getattr(rec, x_key)
+        if x not in xs:
+            xs.append(x)
+    algorithms: list[str] = []
+    for rec in records:
+        if rec.algorithm not in algorithms:
+            algorithms.append(rec.algorithm)
+    table: dict[tuple[str, object], str] = {}
+    for rec in records:
+        key = (rec.algorithm, getattr(rec, x_key))
+        table[key] = _fmt(getattr(rec, value)) if rec.status == "ok" else rec.status
+
+    name_w = max(len(a) for a in algorithms)
+    col_w = [max(len(_fmt(x)), *(len(table.get((a, x), "-")) for a in algorithms)) for x in xs]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " " * name_w + "  " + "  ".join(_fmt(x).rjust(w) for x, w in zip(xs, col_w))
+    )
+    for a in algorithms:
+        lines.append(
+            a.rjust(name_w)
+            + "  "
+            + "  ".join(table.get((a, x), "-").rjust(w) for x, w in zip(xs, col_w))
+        )
+    return "\n".join(lines)

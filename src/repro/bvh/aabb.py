@@ -1,0 +1,69 @@
+"""Vectorised axis-aligned bounding box (AABB) operations.
+
+An AABB set is represented as a pair of ``(n, d)`` float64 arrays
+``(lo, hi)`` with ``lo <= hi`` per component.  Points are degenerate boxes
+(``lo == hi``); this degeneracy is load-bearing: the sphere/box
+minimum-distance predicate applied to a degenerate box *is* the exact
+point-distance predicate, which is why one traversal routine serves both
+FDBSCAN (point leaves) and FDBSCAN-DenseBox (mixed point/box leaves).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def boxes_from_points(points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Degenerate AABBs for a point set: ``lo = hi = points``."""
+    points = np.asarray(points, dtype=np.float64)
+    return points.copy(), points.copy()
+
+
+def scene_bounds(lo: np.ndarray, hi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The AABB enclosing an entire box set (one ``(d,)`` pair)."""
+    if lo.shape[0] == 0:
+        raise ValueError("scene_bounds of an empty box set")
+    return lo.min(axis=0), hi.max(axis=0)
+
+
+def merge_aabbs(
+    lo_a: np.ndarray, hi_a: np.ndarray, lo_b: np.ndarray, hi_b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Elementwise union of two box sets."""
+    return np.minimum(lo_a, lo_b), np.maximum(hi_a, hi_b)
+
+
+def mindist_point_box_sq(
+    points: np.ndarray, lo: np.ndarray, hi: np.ndarray
+) -> np.ndarray:
+    """Squared minimum distance from each point to its paired box.
+
+    ``points``, ``lo``, ``hi`` are ``(m, d)`` arrays (row ``i`` pairs point
+    ``i`` with box ``i``; broadcastable shapes are accepted).  The distance
+    is 0 for points inside the box.  For a degenerate box this is exactly
+    the squared point-to-point distance.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    clamped = np.clip(points, lo, hi)
+    diff = points - clamped
+    return np.einsum("...d,...d->...", diff, diff)
+
+
+def box_contains_box(
+    lo_outer: np.ndarray, hi_outer: np.ndarray, lo_inner: np.ndarray, hi_inner: np.ndarray
+) -> np.ndarray:
+    """``True`` per row where the outer box contains the inner box."""
+    return np.all((lo_outer <= lo_inner) & (hi_outer >= hi_inner), axis=-1)
+
+
+def validate_boxes(lo: np.ndarray, hi: np.ndarray) -> None:
+    """Raise ``ValueError`` for malformed box sets (shape mismatch,
+    non-finite coordinates, or inverted extents)."""
+    lo = np.asarray(lo)
+    hi = np.asarray(hi)
+    if lo.shape != hi.shape or lo.ndim != 2:
+        raise ValueError(f"box arrays must be matching (n, d); got {lo.shape} and {hi.shape}")
+    if not (np.isfinite(lo).all() and np.isfinite(hi).all()):
+        raise ValueError("box coordinates must be finite")
+    if np.any(lo > hi):
+        raise ValueError("box has lo > hi")

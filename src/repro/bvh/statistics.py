@@ -1,0 +1,127 @@
+"""BVH quality metrics and alternative orderings for the tree ablation.
+
+The paper picks the linear BVH "for its good data and thread divergence
+characteristics" (Section 1).  The metrics here quantify what "good"
+means for a built tree, and :func:`scanline_codes` /
+:func:`shuffled_codes` provide degraded orderings so the ablation
+benchmark can show how much of the algorithm's speed comes from the
+Z-curve layout rather than from the tree machinery itself:
+
+- **SAH cost** — the classic surface-area-heuristic expected traversal
+  cost: ``sum(area(node)) / area(root)`` over internal nodes; lower is
+  better (fewer expected box tests per random query);
+- **sibling overlap** — total overlap volume of sibling boxes relative to
+  the root volume; overlapping siblings force traversals to descend both
+  subtrees, the direct cause of extra node visits;
+- **leaf depth distribution** — deeper or more skewed trees mean longer
+  wavefront tails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bvh.morton import bits_per_axis, normalize_to_grid
+from repro.bvh.tree import BVH
+
+
+@dataclass
+class TreeStats:
+    """Quality summary of one built BVH."""
+
+    n_primitives: int
+    max_depth: int
+    mean_leaf_depth: float
+    sah_cost: float
+    sibling_overlap: float
+
+    def as_dict(self) -> dict:
+        return {
+            "n_primitives": self.n_primitives,
+            "max_depth": self.max_depth,
+            "mean_leaf_depth": self.mean_leaf_depth,
+            "sah_cost": self.sah_cost,
+            "sibling_overlap": self.sibling_overlap,
+        }
+
+
+def _half_area(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Surface-area proxy per box (sum of pairwise extent products; in 1-D
+    the extent itself)."""
+    ext = hi - lo
+    d = ext.shape[1]
+    if d == 1:
+        return ext[:, 0]
+    total = np.zeros(ext.shape[0])
+    for i in range(d):
+        for j in range(i + 1, d):
+            total += ext[:, i] * ext[:, j]
+    return total
+
+
+def leaf_depths(tree: BVH) -> np.ndarray:
+    """Depth of every leaf (root = depth 0)."""
+    n = tree.n_primitives
+    depth = np.zeros(2 * n - 1, dtype=np.int64)
+    if n == 1:
+        return depth[:1]
+    for level_no, level in enumerate(tree.levels):
+        depth[tree.left[level]] = level_no + 1
+        depth[tree.right[level]] = level_no + 1
+    return depth[n - 1 :]
+
+
+def tree_statistics(tree: BVH) -> TreeStats:
+    """Compute the quality metrics for a built tree."""
+    n = tree.n_primitives
+    depths = leaf_depths(tree)
+    if n == 1:
+        return TreeStats(
+            n_primitives=1,
+            max_depth=0,
+            mean_leaf_depth=0.0,
+            sah_cost=1.0,
+            sibling_overlap=0.0,
+        )
+    areas = _half_area(tree.node_lo, tree.node_hi)
+    root_area = max(areas[tree.root], np.finfo(np.float64).tiny)
+    sah = float(areas[: n - 1].sum() / root_area)
+
+    # Sibling overlap volume relative to the root volume.
+    left, right = tree.left, tree.right
+    ov_lo = np.maximum(tree.node_lo[left], tree.node_lo[right])
+    ov_hi = np.minimum(tree.node_hi[left], tree.node_hi[right])
+    ov = np.clip(ov_hi - ov_lo, 0, None).prod(axis=1)
+    root_vol = np.prod(tree.node_hi[tree.root] - tree.node_lo[tree.root])
+    overlap = float(ov.sum() / root_vol) if root_vol > 0 else float(ov.sum())
+
+    return TreeStats(
+        n_primitives=n,
+        max_depth=int(depths.max()),
+        mean_leaf_depth=float(depths.mean()),
+        sah_cost=sah,
+        sibling_overlap=overlap,
+    )
+
+
+def scanline_codes(points: np.ndarray) -> np.ndarray:
+    """A deliberately weaker spatial order: sort by the first axis only.
+
+    A scanline groups points that are close in x but arbitrarily far in
+    the remaining axes, producing long thin (high-overlap) internal boxes
+    — the degradation the Morton curve avoids.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    bits = bits_per_axis(1)
+    grid = normalize_to_grid(
+        points[:, :1], points[:, :1].min(axis=0), points[:, :1].max(axis=0), bits
+    )
+    return grid[:, 0].astype(np.int64)
+
+
+def shuffled_codes(points: np.ndarray, seed: int = 0) -> np.ndarray:
+    """The worst order: random — adjacent leaves share no locality at all."""
+    rng = np.random.default_rng(seed)
+    return rng.permutation(points.shape[0]).astype(np.int64)

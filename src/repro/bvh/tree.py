@@ -1,0 +1,125 @@
+"""The linear BVH container.
+
+Node identifier convention (the classic Karras layout):
+
+- internal nodes are ``0 .. n-2``; node ``0`` is the root;
+- leaf ``p`` (the primitive at *sorted position* ``p``) is node
+  ``(n - 1) + p``;
+- with a single primitive there are no internal nodes and node ``0`` is
+  the lone leaf — the same arithmetic still holds.
+
+The tree stores, besides children/parents and the fitted boxes, each
+node's *leaf range* ``[range_lo, range_hi]`` in sorted order.  The range is
+a by-product of the Karras construction and is what makes the paper's
+traversal mask (Section 4.1, Figure 1) a constant-time test: a subtree is
+hidden from the query at sorted position ``p`` exactly when its
+``range_hi <= p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class BVH:
+    """A built linear BVH over ``n_primitives`` boxes.
+
+    Attributes
+    ----------
+    n_primitives:
+        Number of leaves ``n``.
+    node_lo, node_hi:
+        ``(2 n - 1, d)`` fitted boxes for every node (internal + leaf),
+        indexed by node id.
+    left, right:
+        ``(n - 1,)`` child node ids per internal node.
+    parent:
+        ``(2 n - 1,)`` parent node id per node; the root's parent is -1.
+    node_range_lo, node_range_hi:
+        ``(2 n - 1,)`` sorted-leaf-position range covered by each node
+        (for a leaf, both equal its own position).
+    order:
+        ``(n,)`` primitive index (caller's numbering) at each sorted
+        position: ``order[p]`` is the primitive stored in leaf ``p``.
+    position:
+        ``(n,)`` inverse of ``order``: sorted position of each primitive.
+    codes:
+        ``(n,)`` sorted Morton codes (kept for inspection/tests).
+    levels:
+        Internal-node ids grouped by depth (root first); produced by the
+        builder's BFS and reused by the bottom-up refit.
+    """
+
+    n_primitives: int
+    node_lo: np.ndarray
+    node_hi: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    parent: np.ndarray
+    node_range_lo: np.ndarray
+    node_range_hi: np.ndarray
+    order: np.ndarray
+    position: np.ndarray
+    codes: np.ndarray
+    levels: list[np.ndarray]
+
+    @property
+    def n_internal(self) -> int:
+        """Number of internal nodes (= leaf-node id offset)."""
+        return self.n_primitives - 1
+
+    @property
+    def root(self) -> int:
+        """Node id of the root (0 in both the general and the n=1 case)."""
+        return 0
+
+    @property
+    def dim(self) -> int:
+        return self.node_lo.shape[1]
+
+    def leaf_node_id(self, positions: np.ndarray) -> np.ndarray:
+        """Node ids of the leaves at the given sorted positions."""
+        return np.asarray(positions) + self.n_internal
+
+    def nbytes(self) -> int:
+        """Device footprint of the tree's arrays."""
+        total = 0
+        for arr in (
+            self.node_lo,
+            self.node_hi,
+            self.left,
+            self.right,
+            self.parent,
+            self.node_range_lo,
+            self.node_range_hi,
+            self.order,
+            self.position,
+            self.codes,
+        ):
+            total += arr.nbytes
+        return total
+
+    def validate(self) -> None:
+        """Structural sanity checks (used by tests; O(n))."""
+        n = self.n_primitives
+        if n == 0:
+            raise ValueError("BVH with zero primitives")
+        if n == 1:
+            return
+        seen = np.zeros(2 * n - 1, dtype=bool)
+        seen[self.root] = True
+        for arr in (self.left, self.right):
+            if np.any(seen[arr]):
+                raise AssertionError("node referenced as a child twice (cycle)")
+            seen[arr] = True
+        if not seen.all():
+            raise AssertionError("unreachable node")
+        # every parent's box must contain both children's boxes
+        for child in (self.left, self.right):
+            if np.any(self.node_lo[np.arange(n - 1)] > self.node_lo[child] + 1e-12):
+                raise AssertionError("parent box does not contain child (lo)")
+            if np.any(self.node_hi[np.arange(n - 1)] < self.node_hi[child] - 1e-12):
+                raise AssertionError("parent box does not contain child (hi)")

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro``.
+
+Two subcommands:
+
+``cluster``
+    Cluster a point file (``.npy``/``.csv``/``.txt``/``.bin``) or a named
+    synthetic dataset, print the run summary (and optionally the work
+    counters), and write labels to a file.
+
+``bench``
+    Run one figure-style sweep from the command line without pytest —
+    handy for quick regressions on one machine.
+
+Examples
+--------
+::
+
+    python -m repro cluster --dataset hacc --n 50000 --eps 0.042 --minpts 2
+    python -m repro cluster points.csv --eps 0.01 --minpts 50 \
+        --algorithm fdbscan-densebox --labels-out labels.npy --counters
+    python -m repro bench --dataset portotaxi --n 8192 --eps 0.01 \
+        --minpts-sweep 10,20,50 --algorithms fdbscan,densebox
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.bench.harness import run_sweep
+from repro.bench.report import format_records, format_series
+from repro.core.api import dbscan
+from repro.datasets.io import load_points, subsample
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.device.device import Device
+from repro.metrics.stats import clustering_summary
+
+
+def _load_input(args) -> np.ndarray:
+    if args.dataset:
+        return load_dataset(args.dataset, args.n, seed=args.seed)
+    if not args.input:
+        raise SystemExit("either an input file or --dataset is required")
+    X = load_points(args.input, dim=args.dim)
+    if args.n and args.n < X.shape[0]:
+        X = subsample(X, args.n, seed=args.seed)
+    return X
+
+
+def _cmd_cluster(args) -> int:
+    X = _load_input(args)
+    device = Device(capacity_bytes=args.memory_cap)
+    result = dbscan(
+        X, args.eps, args.minpts, algorithm=args.algorithm, device=device
+    )
+    print(f"algorithm : {result.info.get('algorithm', args.algorithm)}")
+    for key, value in clustering_summary(result).items():
+        print(f"{key:>18} : {value}")
+    if "dense_fraction" in result.info:
+        print(f"{'dense_fraction':>18} : {result.info['dense_fraction']:.1%}")
+    if args.counters:
+        print("-- device counters --")
+        for key, value in sorted(device.counters.snapshot().items()):
+            if isinstance(value, int) and value:
+                print(f"{key:>18} : {value:,}")
+        print(f"{'peak_bytes':>18} : {device.memory.peak_bytes:,}")
+    if args.labels_out:
+        np.save(args.labels_out, result.labels)
+        print(f"labels written to {args.labels_out}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    X = _load_input(args)
+    algorithms = args.algorithms.split(",")
+    if args.minpts_sweep:
+        values = [int(v) for v in args.minpts_sweep.split(",")]
+        cells = [{"eps": args.eps, "min_samples": v} for v in values]
+        x_key = "min_samples"
+    elif args.eps_sweep:
+        values = [float(v) for v in args.eps_sweep.split(",")]
+        cells = [{"eps": v, "min_samples": args.minpts} for v in values]
+        x_key = "eps"
+    else:
+        cells = [{"eps": args.eps, "min_samples": args.minpts}]
+        x_key = "min_samples"
+    records = run_sweep(
+        algorithms,
+        cells,
+        lambda cell: X,
+        dataset=args.dataset or args.input,
+        time_budget=args.time_budget,
+        capacity_bytes=args.memory_cap,
+    )
+    print(format_series(records, x_key=x_key, title="seconds"))
+    print()
+    print(format_records(records))
+    if args.save:
+        from repro.bench.history import save_records
+
+        save_records(args.save, records, meta={"argv": sys.argv[1:]})
+        print(f"records written to {args.save}")
+    if args.compare:
+        from repro.bench.history import compare_records, load_records
+
+        baseline, _ = load_records(args.compare)
+        report = compare_records(baseline, records)
+        print("-- comparison vs", args.compare, "--")
+        for kind in ("regressions", "improvements", "status_changes", "result_changes"):
+            for entry in report[kind]:
+                print(f"  {kind[:-1]}: {entry}")
+        if not any(report[k] for k in ("regressions", "status_changes", "result_changes")):
+            print("  no regressions")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tree-based DBSCAN (FDBSCAN / FDBSCAN-DenseBox) and baselines",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("input", nargs="?", help="point file (.npy/.csv/.txt/.bin)")
+        p.add_argument(
+            "--dataset",
+            choices=sorted(DATASETS),
+            help="generate a named synthetic dataset instead of reading a file",
+        )
+        p.add_argument("--n", type=int, default=10_000, help="points to generate/sample")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--dim", type=int, help="row width for raw .bin inputs")
+        p.add_argument("--eps", type=float, required=True)
+        p.add_argument(
+            "--memory-cap", type=int, help="device memory cap in bytes (OOM simulation)"
+        )
+
+    cluster = sub.add_parser("cluster", help="cluster a point set")
+    common(cluster)
+    cluster.add_argument("--minpts", type=int, required=True)
+    cluster.add_argument("--algorithm", default="auto")
+    cluster.add_argument("--labels-out", help="write labels to this .npy file")
+    cluster.add_argument(
+        "--counters", action="store_true", help="print device work counters"
+    )
+    cluster.set_defaults(func=_cmd_cluster)
+
+    bench = sub.add_parser("bench", help="run a parameter sweep")
+    common(bench)
+    bench.add_argument("--minpts", type=int, default=5)
+    bench.add_argument("--minpts-sweep", help="comma-separated minpts values")
+    bench.add_argument("--eps-sweep", help="comma-separated eps values")
+    bench.add_argument(
+        "--algorithms", default="fdbscan,fdbscan-densebox", help="comma-separated names"
+    )
+    bench.add_argument("--time-budget", type=float, help="per-cell seconds budget")
+    bench.add_argument("--save", help="write the records to this JSON file")
+    bench.add_argument(
+        "--compare", help="diff against a JSON file written by --save"
+    )
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,197 @@
+"""Public clustering API.
+
+:func:`dbscan` is the one-call entry point; :class:`DBSCAN` the
+sklearn-style estimator wrapper.  Algorithm names accepted everywhere
+(benchmarks address the baselines through the same registry):
+
+===================  ====================================================
+name                 implementation
+===================  ====================================================
+``"fdbscan"``        :func:`repro.core.fdbscan.fdbscan` (Section 4.1)
+``"fdbscan-densebox"`` / ``"densebox"``
+                     :func:`repro.core.densebox.fdbscan_densebox` (4.2)
+``"auto"``           heuristic choice between the two (the paper's
+                     future-work item, Section 6) — see
+                     :func:`choose_algorithm`
+``"gdbscan"``        :func:`repro.baselines.gdbscan.gdbscan`
+``"cuda-dclust"``    :func:`repro.baselines.cuda_dclust.cuda_dclust`
+``"dsdbscan"``       :func:`repro.baselines.dsdbscan.dsdbscan`
+``"grid"``           :func:`repro.baselines.grid_dbscan.grid_dbscan`
+                     (the cell-binary-search design Section 4.2 rejects)
+``"sequential"``     :func:`repro.baselines.sequential_dbscan.sequential_dbscan`
+``"brute"``          :func:`repro.baselines.brute.brute_dbscan`
+===================  ====================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.densebox import fdbscan_densebox
+from repro.core.fdbscan import fdbscan
+from repro.core.labels import DBSCANResult
+from repro.core.validation import validate_params, validate_points
+from repro.device.device import Device
+from repro.grid.grid import build_grid, compact_cells
+
+#: Dense-cell point fraction above which the auto heuristic picks
+#: FDBSCAN-DenseBox.  Calibrated on the paper's crossovers: Figure 6 shows
+#: the two algorithms near-equal at ~13 % dense occupancy with FDBSCAN
+#: winning below, while Figures 4 and 7 show DenseBox winning decisively
+#: from ~50 % up; 0.25 splits the regimes.
+AUTO_DENSE_FRACTION_THRESHOLD = 0.25
+
+
+def dense_fraction_estimate(X: np.ndarray, eps: float, min_samples: int) -> float:
+    """Fraction of points falling in dense grid cells.
+
+    The quantity driving the FDBSCAN vs DenseBox trade-off; computed with
+    one sort over cell ids (no tree, no primitives), so it is cheap enough
+    to run ahead of clustering.
+    """
+    X = validate_points(X)
+    eps, minpts = validate_params(eps, min_samples)
+    grid = build_grid(X, eps)
+    coords = grid.cell_coords(X)
+    cell_of_point, _n_cells, _order, _starts, counts = compact_cells(grid, coords)
+    return float((counts[cell_of_point] >= minpts).mean())
+
+
+def choose_algorithm(X: np.ndarray, eps: float, min_samples: int) -> str:
+    """The Section-6 switching heuristic: DenseBox when dense cells will
+    absorb a substantial share of the points, FDBSCAN otherwise."""
+    frac = dense_fraction_estimate(X, eps, min_samples)
+    return "fdbscan-densebox" if frac >= AUTO_DENSE_FRACTION_THRESHOLD else "fdbscan"
+
+
+def _baseline(name: str):
+    # Imported lazily so `repro.core` does not hard-depend on scipy's
+    # spatial module at import time.
+    from repro import baselines
+
+    return {
+        "gdbscan": baselines.gdbscan,
+        "cuda-dclust": baselines.cuda_dclust,
+        "dsdbscan": baselines.dsdbscan,
+        "grid": baselines.grid_dbscan,
+        "sequential": baselines.sequential_dbscan,
+        "brute": baselines.brute_dbscan,
+    }[name]
+
+
+def dbscan(
+    X: np.ndarray,
+    eps: float,
+    min_samples: int,
+    algorithm: str = "auto",
+    device: Device | None = None,
+    **kwargs,
+) -> DBSCANResult:
+    """Cluster ``X`` with DBSCAN.
+
+    Parameters
+    ----------
+    X:
+        ``(n, d)`` points.  The tree-based algorithms require
+        ``1 <= d <= 3`` (the paper's low-dimensional scope); baselines
+        accept any ``d``.
+    eps:
+        Neighbourhood radius; neighbours satisfy ``dist(x, y) <= eps``.
+    min_samples:
+        Density threshold ``minpts`` (a point counts itself).
+    algorithm:
+        One of the registry names above (default ``"auto"``).
+    device:
+        Optional :class:`~repro.device.Device` for work counters, kernel
+        timings and memory capping.
+    kwargs:
+        Forwarded to the implementation (e.g. ``use_mask`` / ``early_exit``
+        for the tree algorithms).
+
+    Returns
+    -------
+    :class:`~repro.core.labels.DBSCANResult`
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import dbscan
+    >>> rng = np.random.default_rng(0)
+    >>> X = np.vstack([rng.normal(0, .1, (50, 2)), rng.normal(5, .1, (50, 2))])
+    >>> res = dbscan(X, eps=0.5, min_samples=5)
+    >>> res.n_clusters
+    2
+    """
+    name = algorithm.lower()
+    if name == "auto":
+        name = choose_algorithm(X, eps, min_samples)
+    if name == "fdbscan":
+        return fdbscan(X, eps, min_samples, device=device, **kwargs)
+    if name in ("fdbscan-densebox", "densebox"):
+        return fdbscan_densebox(X, eps, min_samples, device=device, **kwargs)
+    try:
+        impl = _baseline(name)
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of: auto, fdbscan, "
+            "fdbscan-densebox, gdbscan, cuda-dclust, dsdbscan, grid, sequential, brute"
+        ) from None
+    return impl(X, eps, min_samples, device=device, **kwargs)
+
+
+class DBSCAN:
+    """Estimator-style wrapper around :func:`dbscan` (sklearn calling
+    convention, so existing pipelines can swap implementations).
+
+    Parameters mirror :func:`dbscan`; fitted attributes follow sklearn:
+    ``labels_``, ``core_sample_indices_``, ``components_`` (the core
+    points), ``n_clusters_`` plus this library's ``result_``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import DBSCAN
+    >>> X = np.array([[0., 0.], [0., .1], [.1, 0.], [5., 5.]])
+    >>> model = DBSCAN(eps=0.3, min_samples=3).fit(X)
+    >>> model.labels_
+    array([ 0,  0,  0, -1])
+    """
+
+    def __init__(
+        self,
+        eps: float = 0.5,
+        min_samples: int = 5,
+        algorithm: str = "auto",
+        device: Device | None = None,
+        **kwargs,
+    ):
+        self.eps = eps
+        self.min_samples = min_samples
+        self.algorithm = algorithm
+        self.device = device
+        self.kwargs = kwargs
+
+    def fit(self, X: np.ndarray, sample_weight=None) -> "DBSCAN":
+        """Cluster ``X`` (optionally weighted) and store the fitted
+        attributes."""
+        kwargs = dict(self.kwargs)
+        if sample_weight is not None:
+            kwargs["sample_weight"] = sample_weight
+        result = dbscan(
+            X,
+            self.eps,
+            self.min_samples,
+            algorithm=self.algorithm,
+            device=self.device,
+            **kwargs,
+        )
+        self.result_ = result
+        self.labels_ = result.labels
+        self.core_sample_indices_ = np.flatnonzero(result.is_core)
+        self.components_ = np.asarray(X, dtype=np.float64)[result.is_core]
+        self.n_clusters_ = result.n_clusters
+        return self
+
+    def fit_predict(self, X: np.ndarray, sample_weight=None) -> np.ndarray:
+        """Cluster ``X`` and return the labels."""
+        return self.fit(X, sample_weight=sample_weight).labels_

@@ -1,0 +1,49 @@
+"""DBSCAN* (Campello et al. 2013) — a paper future-work item (Section 6).
+
+DBSCAN* "simplifies the algorithm by removing the notion of border points
+completely": clusters consist of core points only; every non-core point
+is noise.  This improves consistency with the statistical interpretation
+of clustering and underlies HDBSCAN.
+
+The paper notes its algorithms "can be easily adapted for DBSCAN*" — and
+within the two-phase framework the adaptation is exactly: run the main
+phase without the border-attachment rule.  Since border attachment never
+influences the core partition (attached points are never unioned
+through), the same clusters are obtained by demoting border points after
+any standard run, which is how :func:`dbscan_star` is implemented: it
+composes with *every* algorithm in the registry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import dbscan
+from repro.core.labels import DBSCANResult, relabel_consecutive
+from repro.device.device import Device
+
+
+def dbscan_star(
+    X: np.ndarray,
+    eps: float,
+    min_samples: int,
+    algorithm: str = "auto",
+    device: Device | None = None,
+    **kwargs,
+) -> DBSCANResult:
+    """Cluster ``X`` with DBSCAN*: clusters of core points only.
+
+    Accepts everything :func:`repro.core.api.dbscan` accepts.  Cluster ids
+    are renumbered consecutively after border demotion (clusters never
+    vanish — every DBSCAN cluster contains at least one core point).
+    """
+    base = dbscan(X, eps, min_samples, algorithm=algorithm, device=device, **kwargs)
+    labels, n_clusters = relabel_consecutive(base.labels, base.is_core)
+    info = dict(base.info)
+    info["variant"] = "dbscan*"
+    info["demoted_border_points"] = int(
+        np.count_nonzero((base.labels >= 0) & ~base.is_core)
+    )
+    return DBSCANResult(
+        labels=labels, is_core=base.is_core, n_clusters=n_clusters, info=info
+    )

@@ -1,0 +1,273 @@
+"""FDBSCAN-DenseBox — dense-cell aware fused DBSCAN (Section 4.2).
+
+When ``|N_eps(x)| >> minpts``, most distance computations are provably
+redundant.  FDBSCAN-DenseBox superimposes a grid of cell length
+``eps / sqrt(d)`` (cell diameter ``eps``) over the domain: any cell with at
+least ``minpts`` points — a *dense cell* — consists purely of core points
+of one cluster.  The BVH is then built over a *mixed* primitive set:
+isolated points plus one box per dense cell, which both shrinks the tree
+and lets dense regions be resolved per-cell instead of per-point.
+
+Phases:
+
+1. **decompose** — grid, dense cells, mixed primitives
+   (:func:`repro.grid.dense_cells.decompose`);
+2. **preprocessing** — only isolated points need a core test; their
+   batched traversal counts isolated-point hits directly and scans the
+   members of hit dense boxes, terminating at ``minpts``;
+3. **main phase** — (a) all points of each dense cell are unioned
+   (they are one cluster by construction); (b) a batched traversal for
+   *all* points resolves discovered objects: a point hit follows the
+   standard core/border rule; a dense-box hit needs only *one* member
+   within ``eps`` — a short-circuited scan, after which the query is
+   unioned into (or, if non-core, attached to) the cell's cluster.
+
+The pair-once mask generalises to the mixed tree: every query is masked by
+the sorted position of *its own primitive* (its point, or its cell's box),
+so object pairs are processed by exactly one side.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bvh.builder import build_bvh
+from repro.bvh.traversal import DEFAULT_CHUNK_SIZE, for_each_leaf_hit
+from repro.core.framework import attach_border, resolve_pairs
+from repro.core.labels import DBSCANResult, finalize_clusters
+from repro.core.validation import validate_params, validate_points, validate_weights
+from repro.device.device import Device, default_device
+from repro.device.primitives import concatenated_ranges, segment_ids_from_counts
+from repro.grid.dense_cells import DenseDecomposition, decompose
+from repro.unionfind.ecl import EclUnionFind
+
+_BIG = np.iinfo(np.int64).max
+
+
+def _scan_boxes(
+    X: np.ndarray,
+    deco: DenseDecomposition,
+    q_pts: np.ndarray,
+    q_seg_ids: np.ndarray,
+    box_ranks: np.ndarray,
+    eps2: float,
+):
+    """Distance-test the members of hit dense boxes against their queries.
+
+    ``q_pts`` are the query coordinates indexed by ``q_seg_ids`` per hit;
+    ``box_ranks`` the dense rank of each hit box.  Returns
+    ``(within, seg, members, first_slot, cnts)`` where ``within`` flags each
+    expanded (query, member) test, ``seg`` maps tests back to hits,
+    ``members`` are dataset indices, and ``first_slot`` is the position (in
+    scan order) of the first member within ``eps`` per hit (or ``_BIG``).
+    """
+    starts, cnts = deco.dense_members(box_ranks)
+    mem_slots = concatenated_ranges(starts, cnts)
+    members = deco.members[mem_slots]
+    seg = segment_ids_from_counts(cnts)
+    diff = q_pts[q_seg_ids[seg]] - X[members]
+    within = np.einsum("ij,ij->i", diff, diff) <= eps2
+    pos_in_seg = np.arange(members.shape[0], dtype=np.int64) - np.repeat(
+        np.cumsum(cnts) - cnts, cnts
+    )
+    cand = np.where(within, pos_in_seg, _BIG)
+    first_slot = np.full(box_ranks.shape[0], _BIG, dtype=np.int64)
+    np.minimum.at(first_slot, seg, cand)
+    return within, seg, members, first_slot, cnts
+
+
+def fdbscan_densebox(
+    X: np.ndarray,
+    eps: float,
+    min_samples: int,
+    device: Device | None = None,
+    use_mask: bool = True,
+    early_exit: bool = True,
+    chunk_size: int | None = None,
+    sample_weight=None,
+) -> DBSCANResult:
+    """Cluster ``X`` with FDBSCAN-DenseBox.
+
+    Arguments match :func:`repro.core.fdbscan.fdbscan` (including the
+    weighted-density ``sample_weight``: dense cells then threshold summed
+    member weight, and the all-members-core guarantee carries over).
+    ``info`` additionally carries ``dense_fraction`` (share of points
+    inside dense cells — the regime indicator the paper reports),
+    ``n_dense_cells`` and ``total_cells`` (the virtual grid size).
+    """
+    X = validate_points(X)
+    eps, minpts = validate_params(eps, min_samples)
+    dev = default_device(device)
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_SIZE
+    n = X.shape[0]
+    eps2 = eps * eps
+    info: dict = {"algorithm": "fdbscan-densebox", "n": n, "eps": eps, "min_samples": minpts}
+
+    weights = None if sample_weight is None else validate_weights(sample_weight, n)
+
+    # --- decomposition + tree over the mixed primitive set ------------------
+    t0 = time.perf_counter()
+    deco = decompose(X, eps, minpts, device=dev, sample_weight=weights)
+    tree = build_bvh(deco.prim_lo, deco.prim_hi, device=dev)
+    order = tree.order
+    t1 = time.perf_counter()
+    info["t_build"] = t1 - t0
+    info["dense_fraction"] = deco.dense_fraction()
+    info["n_dense_cells"] = deco.n_dense
+    info["total_cells"] = deco.grid.total_cells
+
+    # --- preprocessing: core status ------------------------------------------
+    is_core: np.ndarray | None
+    if weights is None and minpts == 2:
+        is_core = None
+        resolution_core = np.ones(n, dtype=bool)
+    else:
+        is_core = np.zeros(n, dtype=bool)
+        is_core[deco.is_dense_point] = True  # dense-cell points are core by construction
+        if weights is None and minpts == 1:
+            is_core[:] = True  # every point is its own neighbour
+        elif deco.n_isolated:
+            queries = X[deco.isolated_idx]
+            counts = np.zeros(
+                deco.n_isolated, dtype=np.int64 if weights is None else np.float64
+            )
+
+            def pre_hits(q_ids: np.ndarray, leaf_pos: np.ndarray) -> None:
+                prim = order[leaf_pos]
+                box = deco.prim_is_box[prim]
+                pt_hits = ~box
+                if pt_hits.any():
+                    # A point-primitive hit already passed the (exact,
+                    # degenerate-box) distance test; the query's own
+                    # primitive contributes its self-count here.
+                    if weights is None:
+                        np.add.at(counts, q_ids[pt_hits], 1)
+                    else:
+                        np.add.at(
+                            counts,
+                            q_ids[pt_hits],
+                            weights[deco.prim_point[prim[pt_hits]]],
+                        )
+                    dev.counters.add("distance_evals", int(pt_hits.sum()))
+                if box.any():
+                    qb = q_ids[box]
+                    ranks = deco.prim_point[prim[box]]
+                    within, seg, box_members, _first, _cnts = _scan_boxes(
+                        X, deco, queries, qb, ranks, eps2
+                    )
+                    if weights is None:
+                        np.add.at(counts, qb[seg], within.astype(np.int64))
+                    else:
+                        np.add.at(counts, qb[seg], within * weights[box_members])
+                    dev.counters.add("distance_evals", int(within.shape[0]))
+
+            finished_fn = None
+            if early_exit:
+
+                def finished_fn() -> np.ndarray:
+                    return counts >= minpts
+
+            for_each_leaf_hit(
+                tree,
+                queries,
+                eps,
+                pre_hits,
+                finished_fn=finished_fn,
+                device=dev,
+                kernel_name="densebox_preprocess",
+                leaf_test_is_distance=False,
+                chunk_size=chunk_size,
+            )
+            is_core[deco.isolated_idx] = counts >= minpts
+            if not early_exit:
+                info["isolated_core_counts"] = counts
+        resolution_core = is_core
+    t2 = time.perf_counter()
+    info["t_preprocess"] = t2 - t1
+
+    # --- main phase ------------------------------------------------------------
+    uf = EclUnionFind(n, device=dev)
+
+    # (a) union all points within each dense cell.
+    if deco.n_dense:
+        starts = deco.cell_starts[deco.dense_cells]
+        cnts = deco.cell_counts[deco.dense_cells]
+        firsts = deco.members[starts]
+        rest = deco.members[concatenated_ranges(starts + 1, cnts - 1)]
+        uf.union(np.repeat(firsts, cnts - 1), rest)
+
+    # (b) batched traversal for every point against the mixed tree.
+    mask_positions = None
+    if use_mask:
+        prim_of_point = np.empty(n, dtype=np.int64)
+        prim_of_point[deco.isolated_idx] = np.arange(deco.n_isolated, dtype=np.int64)
+        dense_pts = np.flatnonzero(deco.is_dense_point)
+        prim_of_point[dense_pts] = deco.n_isolated + deco.dense_rank_of_cell[
+            deco.cell_of_point[dense_pts]
+        ]
+        mask_positions = tree.position[prim_of_point]
+
+    def main_hits(q_ids: np.ndarray, leaf_pos: np.ndarray) -> None:
+        prim = order[leaf_pos]
+        box = deco.prim_is_box[prim]
+        pt_hits = ~box
+        if pt_hits.any():
+            nbr = deco.prim_point[prim[pt_hits]]
+            q = q_ids[pt_hits]
+            keep = nbr != q  # self-pairs only occur unmasked
+            resolve_pairs(uf, resolution_core, q[keep], nbr[keep], dev)
+            dev.counters.add("distance_evals", int(pt_hits.sum()))
+        if box.any():
+            qb = q_ids[box]
+            ranks = deco.prim_point[prim[box]]
+            # Skip the query's own cell (pre-unioned in step (a); only
+            # reachable when the mask is disabled).
+            own = deco.dense_rank_of_cell[deco.cell_of_point[qb]] == ranks
+            if own.any():
+                qb = qb[~own]
+                ranks = ranks[~own]
+            if qb.size == 0:
+                return
+            within, seg, members, first_slot, cnts = _scan_boxes(
+                X, deco, X, qb, ranks, eps2
+            )
+            # Short-circuit emulation: the kernel scans each cell linearly
+            # and stops at the first member within eps, so the work charged
+            # is first-hit-position + 1 (or the full cell on a miss).
+            has = first_slot != _BIG
+            evals = np.where(has, first_slot + 1, cnts)
+            dev.counters.add("distance_evals", int(evals.sum()))
+            if not has.any():
+                return
+            q_hit = qb[has]
+            member_starts = deco.dense_members(ranks[has])[0]
+            first_member = deco.members[member_starts + first_slot[has]]
+            dev.counters.add("pairs_processed", q_hit.shape[0])
+            core_q = resolution_core[q_hit]
+            if core_q.any():
+                uf.union(q_hit[core_q], first_member[core_q])
+            if (~core_q).any():
+                # The member is a dense-cell point, hence core: attach the
+                # non-core query to its cluster.
+                attach_border(uf, first_member[~core_q], q_hit[~core_q], dev)
+
+    for_each_leaf_hit(
+        tree,
+        X,
+        eps,
+        main_hits,
+        mask_positions=mask_positions,
+        device=dev,
+        kernel_name="densebox_main",
+        leaf_test_is_distance=False,
+        chunk_size=chunk_size,
+    )
+    t3 = time.perf_counter()
+    info["t_main"] = t3 - t2
+
+    labels, core_mask, n_clusters = finalize_clusters(uf.parents, is_core, dev.counters)
+    info["t_finalize"] = time.perf_counter() - t3
+    return DBSCANResult(labels=labels, is_core=core_mask, n_clusters=n_clusters, info=info)

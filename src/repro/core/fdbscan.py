@@ -1,0 +1,174 @@
+"""FDBSCAN — fused tree traversal + union-find (Section 4.1).
+
+The algorithm builds a linear BVH over the points and runs the two-phase
+framework with one thread (query) per point:
+
+- **preprocessing**: a batched radius search counts each point's
+  neighbours, terminating a query as soon as ``minpts`` neighbours are
+  seen (a point counts itself);
+- **main phase**: a second batched traversal streams every neighbour pair
+  to the union-find resolution *as the pairs are discovered* — neighbours
+  are never stored.  The traversal uses the paper's leaf-index mask
+  (Figure 1): the subtrees holding leaves at sorted positions at or below
+  the query's own leaf are hidden, so every unordered pair is processed
+  exactly once, saving memory accesses, distance computations and
+  Union-Find operations.
+
+Both optimisations are exposed as switches (``use_mask``, ``early_exit``)
+so the ablation benchmarks can quantify each one.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bvh.aabb import boxes_from_points
+from repro.bvh.builder import build_bvh
+from repro.bvh.traversal import DEFAULT_CHUNK_SIZE, count_within, for_each_leaf_hit
+from repro.core.framework import resolve_pairs
+from repro.core.labels import DBSCANResult, finalize_clusters
+from repro.core.validation import validate_params, validate_points, validate_weights
+from repro.device.device import Device, default_device
+from repro.unionfind.ecl import EclUnionFind
+
+
+def fdbscan(
+    X: np.ndarray,
+    eps: float,
+    min_samples: int,
+    device: Device | None = None,
+    use_mask: bool = True,
+    early_exit: bool = True,
+    chunk_size: int | None = None,
+    sample_weight=None,
+) -> DBSCANResult:
+    """Cluster ``X`` with FDBSCAN.
+
+    Parameters
+    ----------
+    X:
+        ``(n, d)`` points, ``1 <= d <= 3``.
+    eps:
+        Neighbourhood radius (``dist(x, y) <= eps``).
+    min_samples:
+        The ``minpts`` density threshold; a point is core when its
+        ``eps``-neighbourhood (itself included) holds at least this many
+        points.
+    device:
+        Accounting device (optional).
+    use_mask:
+        Apply the leaf-index traversal mask in the main phase (Section
+        4.1).  Disabling it processes every pair twice — the ablation
+        baseline.
+    early_exit:
+        Terminate preprocessing traversals at ``minpts`` neighbours
+        (Section 3.2).  Disabling computes full neighbourhood counts
+        (useful for ``minpts`` sweeps; exposed in ``info['core_counts']``).
+    chunk_size:
+        Queries advanced per traversal wavefront (the resident-thread
+        bound; ``None`` = the traversal default).  Output is invariant to
+        it; transient frontier memory is proportional to it.
+    sample_weight:
+        Optional positive per-point weights: a point is core when the
+        summed weight of its eps-neighbourhood (itself included) reaches
+        ``min_samples`` — the sklearn-compatible weighted-density
+        semantics.  With integer weights this is exactly clustering the
+        multiset with each point repeated ``weight`` times.
+
+    Returns
+    -------
+    :class:`~repro.core.labels.DBSCANResult`
+        ``info`` carries phase wall-times (``t_build``, ``t_preprocess``,
+        ``t_main``, ``t_finalize``) and, when ``early_exit`` is off, the
+        exact neighbour counts.
+    """
+    X = validate_points(X)
+    eps, minpts = validate_params(eps, min_samples)
+    dev = default_device(device)
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_SIZE
+    n = X.shape[0]
+    info: dict = {"algorithm": "fdbscan", "n": n, "eps": eps, "min_samples": minpts}
+
+    t0 = time.perf_counter()
+    lo, hi = boxes_from_points(X)
+    tree = build_bvh(lo, hi, device=dev)
+    t1 = time.perf_counter()
+    info["t_build"] = t1 - t0
+
+    # --- preprocessing phase: core-point determination --------------------
+    is_core: np.ndarray | None
+    if sample_weight is not None:
+        weights = validate_weights(sample_weight, n)
+        counts = count_within(
+            tree,
+            X,
+            eps,
+            stop_at=minpts if early_exit else None,
+            device=dev,
+            chunk_size=chunk_size,
+            leaf_weights=weights[tree.order],
+        )
+        is_core = counts >= minpts
+        resolution_core = is_core
+        if not early_exit:
+            info["core_counts"] = counts
+    elif minpts == 2:
+        # Skipped (Algorithm 3, line 2): any pair within eps in the main
+        # phase certifies both endpoints core.
+        is_core = None
+        resolution_core = np.ones(n, dtype=bool)
+    elif minpts == 1:
+        # Every point is core (it is its own neighbour); no search needed.
+        is_core = np.ones(n, dtype=bool)
+        resolution_core = is_core
+    else:
+        counts = count_within(
+            tree,
+            X,
+            eps,
+            stop_at=minpts if early_exit else None,
+            device=dev,
+            chunk_size=chunk_size,
+        )
+        is_core = counts >= minpts
+        resolution_core = is_core
+        if not early_exit:
+            info["core_counts"] = counts
+    t2 = time.perf_counter()
+    info["t_preprocess"] = t2 - t1
+
+    # --- main phase: fused traversal + union-find --------------------------
+    uf = EclUnionFind(n, device=dev)
+    mask_positions = tree.position if use_mask else None
+    order = tree.order
+
+    def on_hits(q_ids: np.ndarray, leaf_pos: np.ndarray) -> None:
+        nbr = order[leaf_pos]
+        if not use_mask:
+            keep = nbr != q_ids
+            q = q_ids[keep]
+            nb = nbr[keep]
+        else:
+            q, nb = q_ids, nbr
+        resolve_pairs(uf, resolution_core, q, nb, dev)
+
+    for_each_leaf_hit(
+        tree,
+        X,
+        eps,
+        on_hits,
+        mask_positions=mask_positions,
+        device=dev,
+        kernel_name="fdbscan_main",
+        chunk_size=chunk_size,
+    )
+    t3 = time.perf_counter()
+    info["t_main"] = t3 - t2
+
+    # --- finalisation -------------------------------------------------------
+    labels, core_mask, n_clusters = finalize_clusters(uf.parents, is_core, dev.counters)
+    info["t_finalize"] = time.perf_counter() - t3
+    return DBSCANResult(labels=labels, is_core=core_mask, n_clusters=n_clusters, info=info)

@@ -1,0 +1,92 @@
+"""The parallel disjoint-set DBSCAN framework (Section 3.2, Algorithm 3).
+
+The framework splits DBSCAN into two batched phases:
+
+1. **preprocessing** — determine the core points.  The framework only
+   requires *whether* ``|N_eps(x)| >= minpts``, so incremental neighbour
+   discovery may stop at ``minpts`` (early termination).  The phase is
+   skipped entirely for ``minpts == 2``, where any pair within ``eps``
+   certifies both endpoints core (Algorithm 3, line 2).
+
+2. **main** — for every pair ``(x, y)`` with ``dist(x, y) <= eps``,
+   executed with edge-level parallelism:
+
+   - both core                →  ``Union(x, y)``;
+   - one core, other unlabeled →  attach the non-core point to the core
+     point's cluster with a single **atomic CAS** on the labels array —
+     the paper's replacement for the critical section of Algorithm 3
+     (lines 10-12), which prevents the *bridging effect* where a border
+     point within ``eps`` of two clusters would merge them;
+   - neither core             →  nothing.
+
+:func:`resolve_pairs` is that per-edge resolution, shared verbatim by
+FDBSCAN and FDBSCAN-DenseBox (the two algorithms differ only in how pairs
+are *discovered*).  Pairs arrive in per-traversal-step batches and are
+consumed immediately — the fused, on-the-fly processing that keeps memory
+linear in ``n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.atomics import atomic_cas_batch
+from repro.device.device import Device, default_device
+from repro.unionfind.ecl import EclUnionFind
+
+
+def attach_border(
+    uf: EclUnionFind,
+    core_pts: np.ndarray,
+    border_pts: np.ndarray,
+    device: Device | None = None,
+) -> None:
+    """CAS-attach unlabeled non-core points to their core neighbour's cluster.
+
+    For each pair, ``labels[border] = Find(core)`` iff ``labels[border]``
+    still equals ``border`` (the "not yet a member of any cluster" check of
+    Algorithm 3, line 9, folded into the CAS's expected value).  Losing
+    requests — duplicates in the batch, or points attached by an earlier
+    batch — fail the CAS and are dropped, which is precisely the behaviour
+    that prevents cluster bridging through shared border points.
+    """
+    if core_pts.size == 0:
+        return
+    dev = default_device(device)
+    reps = uf.find(core_pts)
+    atomic_cas_batch(
+        uf.parents,
+        index=border_pts,
+        expected=border_pts,
+        desired=reps,
+        counters=dev.counters,
+    )
+
+
+def resolve_pairs(
+    uf: EclUnionFind,
+    is_core: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    device: Device | None = None,
+) -> None:
+    """Apply Algorithm 3's per-edge resolution to a batch of pairs.
+
+    ``x``/``y`` are equal-length arrays of point indices with
+    ``dist(x, y) <= eps`` already established by the caller.  Each
+    unordered pair needs to be presented only once (either orientation):
+    both orientations of the core/non-core rule are applied here.
+    """
+    dev = default_device(device)
+    dev.counters.add("pairs_processed", x.shape[0])
+    cx = is_core[x]
+    cy = is_core[y]
+    both = cx & cy
+    if both.any():
+        uf.union(x[both], y[both])
+    x_only = cx & ~cy
+    if x_only.any():
+        attach_border(uf, x[x_only], y[x_only], dev)
+    y_only = cy & ~cx
+    if y_only.any():
+        attach_border(uf, y[y_only], x[y_only], dev)

@@ -1,0 +1,124 @@
+"""Cluster label semantics and finalisation.
+
+Label conventions used throughout the repository (matching sklearn so
+downstream users can drop the library in):
+
+- ``labels[i] == -1``  — noise;
+- ``labels[i] >= 0``   — consecutive cluster ids ``0 .. n_clusters - 1``,
+  numbered by the smallest point index in each cluster (deterministic).
+
+The raw output of the framework's main phase is the union-find ``parents``
+array plus (for ``minpts > 2``) the core mask from the preprocessing
+phase.  :func:`finalize_clusters` runs the paper's finalisation kernel and
+converts to the public convention, including the two special regimes:
+
+- ``minpts == 2`` skips the preprocessing phase entirely (Algorithm 3,
+  line 2): any pair within ``eps`` proves both endpoints core, so
+  core/noise status is recovered *after* the main phase from component
+  sizes (singletons are noise, everything else core — the
+  Friends-of-Friends regime);
+- border points are exactly the non-core points whose label was CAS-
+  attached during the main phase; non-core points still labelled by
+  themselves are noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.unionfind.ecl import finalize_labels
+
+
+@dataclass
+class DBSCANResult:
+    """Clustering output shared by every algorithm in the repository.
+
+    Attributes
+    ----------
+    labels:
+        ``(n,)`` int64 — consecutive cluster ids, -1 for noise.
+    is_core:
+        ``(n,)`` bool core-point mask.
+    n_clusters:
+        Number of clusters.
+    info:
+        Free-form per-run diagnostics (phase timings, dense-cell fraction,
+        counters snapshot ...).
+    """
+
+    labels: np.ndarray
+    is_core: np.ndarray
+    n_clusters: int
+    info: dict = field(default_factory=dict)
+
+    @property
+    def n_noise(self) -> int:
+        """Number of noise points."""
+        return int(np.count_nonzero(self.labels == -1))
+
+    @property
+    def n_border(self) -> int:
+        """Number of border points (clustered but not core)."""
+        return int(np.count_nonzero((self.labels >= 0) & ~self.is_core))
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Size of each cluster, indexed by cluster id."""
+        if self.n_clusters == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.bincount(self.labels[self.labels >= 0], minlength=self.n_clusters)
+
+
+def relabel_consecutive(raw: np.ndarray, clustered_mask: np.ndarray) -> tuple[np.ndarray, int]:
+    """Map raw representative labels to consecutive ids.
+
+    ``raw`` holds an arbitrary representative per point; points where
+    ``clustered_mask`` is ``False`` become -1.  Clusters are numbered in
+    increasing order of their representative (= smallest member index,
+    since the union-find hooks larger roots under smaller ones), which
+    makes the numbering deterministic and independent of traversal order.
+    """
+    n = raw.shape[0]
+    labels = np.full(n, -1, dtype=np.int64)
+    reps = raw[clustered_mask]
+    if reps.size:
+        unique_reps = np.unique(reps)
+        labels[clustered_mask] = np.searchsorted(unique_reps, reps)
+        return labels, int(unique_reps.shape[0])
+    return labels, 0
+
+
+def finalize_clusters(
+    parents: np.ndarray,
+    is_core: np.ndarray | None,
+    counters=None,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Run the finalisation kernel and produce public labels.
+
+    Parameters
+    ----------
+    parents:
+        The union-find array after the main phase (mutated: flattened).
+    is_core:
+        Core mask from preprocessing, or ``None`` for the ``minpts == 2``
+        regime where core status is derived from component sizes.
+
+    Returns
+    -------
+    ``(labels, is_core, n_clusters)``
+    """
+    n = parents.shape[0]
+    roots = finalize_labels(parents, counters)
+    own = roots == np.arange(n, dtype=parents.dtype)
+    if is_core is None:
+        sizes = np.bincount(roots, minlength=n)
+        is_core = sizes[roots] >= 2
+        clustered = is_core
+    else:
+        is_core = np.asarray(is_core, dtype=bool)
+        # Clustered = core points, plus non-core points that were attached
+        # (their label moved off themselves during the main phase).
+        clustered = is_core | ~own
+    labels, n_clusters = relabel_consecutive(roots, clustered)
+    return labels, is_core, n_clusters

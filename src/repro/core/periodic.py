@@ -1,0 +1,160 @@
+"""DBSCAN under periodic boundary conditions (the cosmology setting).
+
+The paper's 3-D experiment clusters one rank of a HACC snapshot —
+cosmological simulations live in *periodic* boxes, and production halo
+finding (Friends-of-Friends) uses the periodic metric: a halo spanning
+the box boundary is one halo.  The paper's single-rank data sidesteps
+this (the rank's sub-volume already carries boundary halos as extra
+particles); this module provides the real thing for full-box data.
+
+The construction mirrors the distributed halo exchange: every point
+within ``eps`` of a box face is replicated as *image points* shifted by
+the box period (up to ``2^d - 1`` images for corner points).  Clustering
+the augmented set under the plain metric gives each point the exact
+periodic neighbourhood (each wrapped neighbour appears exactly once,
+as a real point or an image), so core status is exact.  Afterwards every
+image is unioned with its original — sound, because they are the *same*
+point, so any cluster containing the image legitimately contains the
+original — and labels are read off the originals.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core.api import dbscan
+from repro.core.labels import DBSCANResult, relabel_consecutive
+from repro.core.validation import validate_params, validate_points
+from repro.device.device import Device
+from repro.unionfind.sequential import SequentialUnionFind
+
+
+def periodic_images(
+    X: np.ndarray, box_size: np.ndarray, eps: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Image points for a periodic box.
+
+    Returns ``(images, source)``: shifted copies of every point within
+    ``eps`` of one or more box faces, and the original index of each
+    image.  Points must lie in ``[0, box_size)`` per axis.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    n, d = X.shape
+    box = np.broadcast_to(np.asarray(box_size, dtype=np.float64), (d,))
+    if np.any(box <= 0):
+        raise ValueError("box_size must be positive per axis")
+    if 2 * eps >= box.min():
+        raise ValueError(
+            f"eps={eps} too large for the box (needs 2*eps < min box edge "
+            f"{box.min()}: otherwise a point would neighbour its own image)"
+        )
+    if np.any(X < 0) or np.any(X >= box):
+        raise ValueError("points must lie in [0, box_size) per axis")
+
+    images = []
+    sources = []
+    # Per-axis shift options: -box (near the high face), +box (near the
+    # low face), or 0; enumerate non-zero combinations.
+    near_lo = X < eps
+    near_hi = X >= box - eps
+    for combo in itertools.product((-1, 0, 1), repeat=d):
+        if not any(combo):
+            continue
+        mask = np.ones(n, dtype=bool)
+        for axis, c in enumerate(combo):
+            if c == 1:
+                mask &= near_lo[:, axis]
+            elif c == -1:
+                mask &= near_hi[:, axis]
+        if not mask.any():
+            continue
+        shift = np.array(combo, dtype=np.float64) * box
+        images.append(X[mask] + shift)
+        sources.append(np.flatnonzero(mask))
+    if images:
+        return np.concatenate(images), np.concatenate(sources).astype(np.int64)
+    return np.zeros((0, d)), np.zeros(0, dtype=np.int64)
+
+
+def periodic_dbscan(
+    X: np.ndarray,
+    eps: float,
+    min_samples: int,
+    box_size,
+    algorithm: str = "auto",
+    device: Device | None = None,
+    **kwargs,
+) -> DBSCANResult:
+    """Cluster points in a periodic box with exact wrap-around semantics.
+
+    ``box_size`` is a scalar or per-axis array; points must lie in
+    ``[0, box_size)``.  Any algorithm in the registry can serve as the
+    engine (it sees the augmented point set).  Core flags and noise are
+    exact under the periodic metric; border assignment remains
+    implementation-defined, as everywhere else.
+    """
+    X = validate_points(X)
+    eps, minpts = validate_params(eps, min_samples)
+    n = X.shape[0]
+    images, source = periodic_images(X, box_size, eps)
+    augmented = np.concatenate([X, images]) if images.size else X
+
+    base = dbscan(
+        augmented, eps, minpts, algorithm=algorithm, device=device, **kwargs
+    )
+
+    labels_aug = base.labels
+    is_core = base.is_core[:n].copy()
+    # Image core status backfills the original (identical neighbourhoods
+    # under the periodic metric).
+    is_core[source[base.is_core[n:]]] = True
+
+    # Merge augmented clusters that share a *core* point with one of its
+    # images: the point is literally the same point, so its clusters are
+    # one periodic cluster.  Border points never merge clusters (they pick
+    # one side, exactly as in the flat algorithm — no bridging).
+    uf = SequentialUnionFind(n)
+    rep_of_cluster: dict[int, int] = {}
+
+    def union_core_into(cluster: int, point: int) -> None:
+        if cluster in rep_of_cluster:
+            uf.union(rep_of_cluster[cluster], point)
+        else:
+            rep_of_cluster[cluster] = point
+
+    for idx in np.flatnonzero(is_core):
+        if labels_aug[idx] >= 0:
+            union_core_into(int(labels_aug[idx]), int(idx))
+    for img_row, orig in enumerate(source):
+        cluster = int(labels_aug[n + img_row])
+        if cluster >= 0 and is_core[orig]:
+            union_core_into(cluster, int(orig))
+
+    # Border originals: keep the original copy's assignment, falling back
+    # to an image's (possible when the CAS landed on the image).
+    border_cluster = np.where(labels_aug[:n] >= 0, labels_aug[:n], -1)
+    for img_row, orig in enumerate(source):
+        cluster = int(labels_aug[n + img_row])
+        if cluster >= 0 and border_cluster[orig] < 0:
+            border_cluster[orig] = cluster
+
+    clustered = is_core | (border_cluster >= 0)
+    raw = np.full(n, -1, dtype=np.int64)
+    for idx in np.flatnonzero(clustered):
+        anchor = (
+            int(idx)
+            if is_core[idx]
+            else rep_of_cluster[int(border_cluster[idx])]
+        )
+        raw[idx] = uf.find(anchor)
+    labels, n_clusters = relabel_consecutive(raw, clustered)
+    info = dict(base.info)
+    info.update(
+        variant="periodic",
+        n=n,
+        n_images=int(images.shape[0]),
+        box_size=np.broadcast_to(np.asarray(box_size, dtype=np.float64), (X.shape[1],)).tolist(),
+    )
+    return DBSCANResult(labels=labels, is_core=is_core, n_clusters=n_clusters, info=info)

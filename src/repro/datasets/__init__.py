@@ -1,0 +1,34 @@
+"""Synthetic stand-ins for the paper's evaluation datasets.
+
+The paper evaluates on four real datasets (NGSIM vehicle trajectories,
+Porto taxi GPS traces, the North-Jutland 3D road network, and a HACC
+cosmology snapshot) that are not redistributable and reach 81M points.
+Each generator here reproduces the corresponding dataset's *density
+structure* — the property the figures actually depend on: how many points
+fall into dense grid cells at the paper's ``(eps, minpts)`` settings, how
+large eps-neighbourhoods get, and how the eps-graph mass grows.
+
+All generators are deterministic in ``seed`` and return float64 ``(n, d)``
+arrays.  :mod:`repro.datasets.registry` maps dataset names to generators
+together with the per-figure parameters from Section 5.
+"""
+
+from repro.datasets.hacc import hacc_cosmology
+from repro.datasets.ngsim import ngsim_trajectories
+from repro.datasets.portotaxi import portotaxi_traces
+from repro.datasets.registry import DATASETS, load_dataset, paper_params
+from repro.datasets.road3d import road_network_3d
+from repro.datasets.synthetic import gaussian_blobs, noisy_rings, uniform_box
+
+__all__ = [
+    "DATASETS",
+    "gaussian_blobs",
+    "hacc_cosmology",
+    "load_dataset",
+    "ngsim_trajectories",
+    "noisy_rings",
+    "paper_params",
+    "portotaxi_traces",
+    "road_network_3d",
+    "uniform_box",
+]

@@ -1,0 +1,73 @@
+"""Point-set IO and sampling utilities.
+
+The paper's 2-D comparisons are "performed using a random subsampling of
+the datasets in order to accommodate memory requirements exhibited by
+certain codes" — :func:`subsample` is that operation, seeded and without
+replacement.  The loaders/savers cover the formats a downstream user is
+likely to hold trajectory or particle data in: ``.npy``, ``.csv``/``.txt``
+(one point per row) and raw little-endian float binary (the HACC-style
+layout: ``n * d`` float32/float64 values).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.validation import validate_points
+
+
+def subsample(X: np.ndarray, n: int, seed: int = 0) -> np.ndarray:
+    """Draw ``n`` points without replacement (the paper's sampling step).
+
+    ``n`` larger than the dataset raises — silently clipping a benchmark's
+    sample size falsifies its x-axis.
+    """
+    X = np.asarray(X)
+    if n <= 0:
+        raise ValueError(f"sample size must be positive; got {n}")
+    if n > X.shape[0]:
+        raise ValueError(f"cannot draw {n} points from {X.shape[0]}")
+    rng = np.random.default_rng(seed)
+    return X[rng.choice(X.shape[0], size=n, replace=False)]
+
+
+def save_points(path: str, X: np.ndarray) -> None:
+    """Save a point set; the format follows the file extension
+    (``.npy``, ``.csv``, ``.txt``, or ``.bin`` raw float64)."""
+    X = validate_points(X, max_dim=None)
+    ext = os.path.splitext(path)[1].lower()
+    if ext == ".npy":
+        np.save(path, X)
+    elif ext in (".csv", ".txt"):
+        np.savetxt(path, X, delimiter=",")
+    elif ext == ".bin":
+        X.astype(np.float64).tofile(path)
+    else:
+        raise ValueError(f"unsupported extension {ext!r} (use .npy/.csv/.txt/.bin)")
+
+
+def load_points(path: str, dim: int | None = None, dtype=np.float64) -> np.ndarray:
+    """Load a point set saved by :func:`save_points` (or compatible files).
+
+    ``.bin`` files are a flat stream of ``dtype`` values and need ``dim``
+    to recover the row shape; the others are self-describing.
+    """
+    ext = os.path.splitext(path)[1].lower()
+    if ext == ".npy":
+        X = np.load(path)
+    elif ext in (".csv", ".txt"):
+        X = np.loadtxt(path, delimiter=",", ndmin=2)
+    elif ext == ".bin":
+        if dim is None:
+            raise ValueError("raw .bin files need dim= to recover the row shape")
+        flat = np.fromfile(path, dtype=dtype)
+        if flat.size % dim:
+            raise ValueError(
+                f"file holds {flat.size} values, not divisible by dim={dim}"
+            )
+        X = flat.reshape(-1, dim)
+    else:
+        raise ValueError(f"unsupported extension {ext!r} (use .npy/.csv/.txt/.bin)")
+    return validate_points(np.asarray(X, dtype=np.float64), max_dim=None)

@@ -1,0 +1,108 @@
+"""Dataset registry: names, generators and the paper's per-figure settings.
+
+Every benchmark addresses datasets by name through :func:`load_dataset`
+and reads the exact Section-5 parameters from :func:`paper_params`, so the
+figure scripts contain no magic numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.hacc import hacc_cosmology
+from repro.datasets.ngsim import ngsim_trajectories
+from repro.datasets.portotaxi import portotaxi_traces
+from repro.datasets.road3d import road_network_3d
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A registered dataset: generator plus the paper's study parameters."""
+
+    name: str
+    generator: Callable[[int, int], np.ndarray]
+    dim: int
+    description: str
+    #: Figure 4(a-c): minpts sweep — fixed eps, n = 16,384.
+    minpts_sweep_eps: float | None = None
+    minpts_sweep_values: tuple[int, ...] = ()
+    #: Figure 4(d-f): eps sweep — fixed minpts, n = 16,384.
+    eps_sweep_minpts: int | None = None
+    eps_sweep_values: tuple[float, ...] = ()
+    #: Figure 4(g-i): size sweep — fixed (minpts, eps).
+    size_sweep_params: tuple[int, float] | None = None
+
+
+#: The paper's sweep settings (Section 5.1: eps = 0.005 / 0.01 / 0.08 for
+#: the minpts sweeps; minpts = 500 / 50 / 100 for the eps sweeps;
+#: (minpts, eps) = (500, 0.0025) / (1000, 0.05) / (100, 0.01) for the size
+#: sweeps; Section 5.2: eps = 0.042 for cosmology).
+DATASETS: dict[str, DatasetSpec] = {
+    "ngsim": DatasetSpec(
+        name="ngsim",
+        generator=ngsim_trajectories,
+        dim=2,
+        description="Vehicle trajectories on three highway corridors (NGSIM stand-in)",
+        minpts_sweep_eps=0.005,
+        minpts_sweep_values=(100, 200, 300, 400, 500),
+        eps_sweep_minpts=500,
+        eps_sweep_values=(0.0025, 0.005, 0.01, 0.02, 0.04),
+        size_sweep_params=(500, 0.0025),
+    ),
+    "portotaxi": DatasetSpec(
+        name="portotaxi",
+        generator=portotaxi_traces,
+        dim=2,
+        description="Taxi GPS traces over a city street grid (PortoTaxi stand-in)",
+        minpts_sweep_eps=0.01,
+        minpts_sweep_values=(10, 20, 50, 100, 200),
+        eps_sweep_minpts=50,
+        eps_sweep_values=(0.005, 0.01, 0.02, 0.04, 0.08),
+        size_sweep_params=(1000, 0.05),
+    ),
+    "road3d": DatasetSpec(
+        name="road3d",
+        generator=road_network_3d,
+        dim=2,
+        description="Province-scale road network, lon/lat (3D Road stand-in)",
+        minpts_sweep_eps=0.08,
+        minpts_sweep_values=(10, 20, 50, 100, 200),
+        eps_sweep_minpts=100,
+        eps_sweep_values=(0.01, 0.02, 0.04, 0.08, 0.16),
+        size_sweep_params=(100, 0.01),
+    ),
+    "hacc": DatasetSpec(
+        name="hacc",
+        generator=hacc_cosmology,
+        dim=3,
+        description="3-D cosmology particle snapshot with halos (HACC stand-in)",
+        minpts_sweep_eps=0.042,
+        minpts_sweep_values=(2, 5, 10, 50, 100, 300),
+        eps_sweep_minpts=2,
+        eps_sweep_values=(0.042, 0.1, 0.25, 0.5, 1.0),
+    ),
+}
+
+
+def load_dataset(name: str, n: int, seed: int = 0) -> np.ndarray:
+    """Generate ``n`` points of the named dataset stand-in."""
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None
+    return spec.generator(n, seed)
+
+
+def paper_params(name: str) -> DatasetSpec:
+    """The registered spec (sweep settings) for a dataset."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None

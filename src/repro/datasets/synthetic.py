@@ -1,0 +1,59 @@
+"""Generic synthetic point sets for tests and examples."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gaussian_blobs(
+    n: int,
+    centers: int = 3,
+    std: float = 0.1,
+    dim: int = 2,
+    box: float = 10.0,
+    seed: int = 0,
+    noise_fraction: float = 0.0,
+) -> np.ndarray:
+    """Isotropic Gaussian clusters plus optional uniform background noise.
+
+    ``centers`` cluster centres are drawn uniformly in ``[0, box]^dim``;
+    points split evenly among clusters (remainder to the first ones);
+    ``noise_fraction`` of the points is replaced by uniform background.
+    """
+    if n <= 0 or centers <= 0:
+        raise ValueError("n and centers must be positive")
+    rng = np.random.default_rng(seed)
+    ctrs = rng.uniform(0, box, size=(centers, dim))
+    assignment = np.arange(n) % centers
+    X = ctrs[assignment] + rng.normal(0, std, size=(n, dim))
+    n_noise = int(round(n * noise_fraction))
+    if n_noise:
+        idx = rng.choice(n, size=n_noise, replace=False)
+        X[idx] = rng.uniform(-0.5 * box, 1.5 * box, size=(n_noise, dim))
+    return X
+
+
+def uniform_box(n: int, dim: int = 2, box: float = 1.0, seed: int = 0) -> np.ndarray:
+    """Uniform points in ``[0, box]^dim`` (the unclustered null case)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, box, size=(n, dim))
+
+
+def noisy_rings(
+    n: int,
+    rings: int = 2,
+    radius_step: float = 1.0,
+    noise: float = 0.03,
+    seed: int = 0,
+) -> np.ndarray:
+    """Concentric 2-D rings — the classic arbitrary-shape case DBSCAN is
+    motivated by (centroid methods cannot separate them)."""
+    if n <= 0 or rings <= 0:
+        raise ValueError("n and rings must be positive")
+    rng = np.random.default_rng(seed)
+    ring = np.arange(n) % rings
+    radius = (ring + 1) * radius_step + rng.normal(0, noise, n)
+    theta = rng.uniform(0, 2 * np.pi, n)
+    return np.column_stack([radius * np.cos(theta), radius * np.sin(theta)])

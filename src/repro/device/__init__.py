@@ -1,0 +1,73 @@
+"""Data-parallel *device model*: the execution substrate for the GPU kernels.
+
+The paper's algorithms are expressed as batched GPU kernels (CUDA/Kokkos via
+ArborX).  This package provides the Python-side analogue used throughout the
+reproduction:
+
+``device``
+    :class:`~repro.device.device.Device` — a handle bundling kernel-launch
+    accounting, machine-independent work counters and a device-memory ledger.
+    Every algorithm in :mod:`repro.core` and :mod:`repro.baselines` executes
+    against a :class:`Device` so that runs are comparable by *work performed*
+    (distance evaluations, BVH nodes visited, union operations, peak bytes)
+    and not only by host wall-clock time.
+
+``atomics``
+    Deterministic emulations of the device atomics the paper relies on:
+    ``atomicCAS`` for border-point attachment (Algorithm 3, lines 10-12) and
+    ``atomicMin`` for lock-free union-find hooking.
+
+``primitives``
+    The Thrust-level toolkit (scan, sort-by-key, stream compaction,
+    histogram, segmented reduction) used by BVH construction and the
+    dense-cell grid.
+
+``memory``
+    An allocation ledger with an optional capacity cap.  The cap lets the
+    benchmark harness reproduce the out-of-memory failures the paper reports
+    for G-DBSCAN on the largest PortoTaxi samples (Figure 4(h)).
+"""
+
+from repro.device.atomics import (
+    atomic_add,
+    atomic_cas_batch,
+    atomic_max_scatter,
+    atomic_min_scatter,
+)
+from repro.device.counters import KernelCounters
+from repro.device.device import Device, KernelLaunch, default_device, get_default_device
+from repro.device.memory import DeviceMemoryError, MemoryTracker
+from repro.device.primitives import (
+    concatenated_ranges,
+    exclusive_scan,
+    histogram_by_key,
+    inclusive_scan,
+    run_length_encode,
+    segment_ids_from_counts,
+    segmented_reduce,
+    sort_by_key,
+    stream_compact,
+)
+
+__all__ = [
+    "Device",
+    "DeviceMemoryError",
+    "KernelCounters",
+    "KernelLaunch",
+    "MemoryTracker",
+    "atomic_add",
+    "atomic_cas_batch",
+    "atomic_max_scatter",
+    "atomic_min_scatter",
+    "concatenated_ranges",
+    "default_device",
+    "exclusive_scan",
+    "get_default_device",
+    "histogram_by_key",
+    "inclusive_scan",
+    "run_length_encode",
+    "segment_ids_from_counts",
+    "segmented_reduce",
+    "sort_by_key",
+    "stream_compact",
+]

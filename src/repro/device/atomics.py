@@ -1,0 +1,130 @@
+"""Deterministic emulations of the device atomics the algorithms rely on.
+
+The paper replaces Algorithm 3's critical section (lines 10-12) with a
+single ``atomicCAS`` on the labels array, and the union-find of
+Jaiganesh & Burtscher hooks roots with ``atomicMin``-style races.  On a
+GPU, many threads issue these atomics concurrently and the hardware picks
+some linearisation.  Here whole *batches* of requests arrive as arrays and
+the helpers apply one fixed, deterministic linearisation:
+
+- :func:`atomic_cas_batch`  — first request (in batch order) wins per
+  address, exactly one winner per address, mirroring "one thread's CAS
+  succeeds, the rest observe the new value and retry/skip";
+- :func:`atomic_min_scatter` / :func:`atomic_max_scatter` — ``np.minimum.at``
+  scatter, the value-level fixed point of racing ``atomicMin`` calls (the
+  result of concurrent atomicMin is order-independent, so this emulation is
+  *exact*, not just a legal linearisation);
+- :func:`atomic_add` — ``np.add.at`` scatter; likewise order-independent.
+
+Every helper takes an optional :class:`~repro.device.KernelCounters` to
+report the atomic traffic the kernel generated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.counters import KernelCounters
+
+
+def atomic_cas_batch(
+    target: np.ndarray,
+    index: np.ndarray,
+    expected: np.ndarray,
+    desired: np.ndarray,
+    counters: KernelCounters | None = None,
+) -> np.ndarray:
+    """Batched compare-and-swap: per request, ``target[index] = desired`` iff
+    ``target[index] == expected``; the first matching request per address wins.
+
+    Parameters
+    ----------
+    target:
+        Flat integer array mutated in place (e.g. the labels array).
+    index, expected, desired:
+        Equal-length request arrays.  ``expected``/``desired`` may be
+        scalars, broadcast to the request count.
+
+    Returns
+    -------
+    success:
+        Boolean array, one entry per request; ``True`` where that request's
+        swap was performed.
+
+    Notes
+    -----
+    Duplicate addresses within one batch model concurrent threads racing on
+    one location: the earliest request whose ``expected`` matches the
+    *original* value succeeds; later requests to the same address observe a
+    mutated value and fail, mirroring a GPU where losers of the CAS race see
+    the winner's write.
+    """
+    index = np.asarray(index, dtype=np.intp)
+    n = index.shape[0]
+    expected = np.broadcast_to(np.asarray(expected), (n,))
+    desired = np.broadcast_to(np.asarray(desired), (n,))
+    if counters is not None:
+        counters.add("cas_attempts", n)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+
+    # First occurrence of each address in batch order.
+    first_pos = np.full(target.shape[0], -1, dtype=np.intp)
+    # np.minimum.at keeps the smallest request position per address.
+    positions = np.arange(n, dtype=np.intp)
+    big = np.iinfo(np.intp).max
+    first_seen = np.full(target.shape[0], big, dtype=np.intp)
+    np.minimum.at(first_seen, index, positions)
+    first_pos = first_seen[index]
+
+    is_first = positions == first_pos
+    matches = target[index] == expected
+    success = is_first & matches
+    target[index[success]] = desired[success]
+    if counters is not None:
+        counters.add("cas_successes", int(success.sum()))
+    return success
+
+
+def atomic_min_scatter(
+    target: np.ndarray,
+    index: np.ndarray,
+    value: np.ndarray,
+    counters: KernelCounters | None = None,
+) -> None:
+    """Batched ``atomicMin``: ``target[i] = min(target[i], v)`` per request.
+
+    Concurrent ``atomicMin`` calls commute, so this scatter is an exact
+    model of the device behaviour, not merely one linearisation.
+    """
+    index = np.asarray(index, dtype=np.intp)
+    if counters is not None:
+        counters.add("cas_attempts", index.shape[0])
+    np.minimum.at(target, index, value)
+
+
+def atomic_max_scatter(
+    target: np.ndarray,
+    index: np.ndarray,
+    value: np.ndarray,
+    counters: KernelCounters | None = None,
+) -> None:
+    """Batched ``atomicMax`` — see :func:`atomic_min_scatter`."""
+    index = np.asarray(index, dtype=np.intp)
+    if counters is not None:
+        counters.add("cas_attempts", index.shape[0])
+    np.maximum.at(target, index, value)
+
+
+def atomic_add(
+    target: np.ndarray,
+    index: np.ndarray,
+    value,
+    counters: KernelCounters | None = None,
+) -> None:
+    """Batched ``atomicAdd``: ``target[i] += v`` per request (commutative,
+    hence exact)."""
+    index = np.asarray(index, dtype=np.intp)
+    if counters is not None:
+        counters.add("cas_attempts", index.shape[0])
+    np.add.at(target, index, value)

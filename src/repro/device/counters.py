@@ -1,0 +1,120 @@
+"""Machine-independent work counters for the device model.
+
+Wall-clock time on a simulated device is dominated by the host interpreter
+and therefore only weakly comparable to the paper's V100 measurements.  The
+counters collected here measure the *work the kernels perform* — the
+quantity the paper's optimisations actually target:
+
+- ``distance_evals``  — pairwise distance computations (the figure the
+  dense-box optimisation of Section 4.2 is designed to reduce);
+- ``nodes_visited``   — BVH nodes touched during traversal (reduced by the
+  leaf-index mask of Section 4.1, Figure 1);
+- ``pairs_processed`` — neighbour pairs handed to UNION (halved by the
+  mask: each edge processed once instead of twice);
+- ``union_ops`` / ``find_steps`` — disjoint-set work (Section 4's
+  synchronisation-free union-find);
+- ``cas_attempts`` / ``cas_successes`` — border-point attachment traffic
+  (Algorithm 3, lines 9-12);
+- ``kernel_launches`` / ``thread_steps`` — launch count and the total
+  number of per-thread wavefront steps, a proxy for occupancy;
+- ``frontier_peak``   — the largest traversal frontier, a proxy for the
+  transient memory the batched traversal needs.
+
+All counters are plain integers; :meth:`KernelCounters.snapshot` /
+:meth:`KernelCounters.diff` make it easy for benchmarks to report the work
+done by a single phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class KernelCounters:
+    """Accumulated work counters for one :class:`~repro.device.Device`."""
+
+    distance_evals: int = 0
+    nodes_visited: int = 0
+    pairs_processed: int = 0
+    union_ops: int = 0
+    find_steps: int = 0
+    cas_attempts: int = 0
+    cas_successes: int = 0
+    kernel_launches: int = 0
+    thread_steps: int = 0
+    frontier_peak: int = 0
+    dense_cell_points: int = 0
+    bytes_scanned: int = 0
+    extra: dict = field(default_factory=dict)
+
+    _INT_FIELDS = (
+        "distance_evals",
+        "nodes_visited",
+        "pairs_processed",
+        "union_ops",
+        "find_steps",
+        "cas_attempts",
+        "cas_successes",
+        "kernel_launches",
+        "thread_steps",
+        "frontier_peak",
+        "dense_cell_points",
+        "bytes_scanned",
+    )
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``.
+
+        Unknown names accumulate in :attr:`extra`, so kernels may define
+        ad-hoc counters without touching this class.
+        """
+        if name in self._INT_FIELDS:
+            setattr(self, name, getattr(self, name) + int(amount))
+        else:
+            self.extra[name] = self.extra.get(name, 0) + int(amount)
+
+    def observe_peak(self, name: str, value: int) -> None:
+        """Record ``value`` into a high-watermark counter ``name``."""
+        if name in self._INT_FIELDS:
+            setattr(self, name, max(getattr(self, name), int(value)))
+        else:
+            self.extra[name] = max(self.extra.get(name, 0), int(value))
+
+    def reset(self) -> None:
+        """Zero every counter (including ad-hoc ones)."""
+        for f in self._INT_FIELDS:
+            setattr(self, f, 0)
+        self.extra.clear()
+
+    def snapshot(self) -> dict:
+        """Return a plain-``dict`` copy of the current counter values."""
+        out = {f: getattr(self, f) for f in self._INT_FIELDS}
+        out.update(self.extra)
+        return out
+
+    def diff(self, before: dict) -> dict:
+        """Return counter deltas relative to an earlier :meth:`snapshot`.
+
+        High-watermark counters (``frontier_peak``) are reported as the
+        current value, not a delta, because a high-watermark does not
+        decompose over phases.
+        """
+        now = self.snapshot()
+        out = {}
+        for key, value in now.items():
+            if key == "frontier_peak":
+                out[key] = value
+            else:
+                out[key] = value - before.get(key, 0)
+        return out
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [
+            f"{f.name}={getattr(self, f.name)}"
+            for f in fields(self)
+            if f.name != "extra" and getattr(self, f.name)
+        ]
+        if self.extra:
+            parts.append(f"extra={self.extra}")
+        return "KernelCounters(" + ", ".join(parts) + ")"

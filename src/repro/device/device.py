@@ -1,0 +1,115 @@
+"""The :class:`Device` handle: one simulated GPU per algorithm run.
+
+A :class:`Device` bundles the three pieces of per-run accounting the
+reproduction reports alongside wall-clock time:
+
+- :attr:`Device.counters` — machine-independent work counters
+  (:class:`~repro.device.counters.KernelCounters`);
+- :attr:`Device.memory`   — the device-memory ledger
+  (:class:`~repro.device.memory.MemoryTracker`), optionally capped;
+- kernel-launch records  — every batched kernel the algorithms execute is
+  wrapped in :meth:`Device.kernel`, which records the launch, its logical
+  thread count, and its wall-clock duration, giving a per-phase timing
+  breakdown equivalent to ``nvprof``.
+
+Algorithms accept ``device=None`` and fall back to a shared default device
+(:func:`get_default_device`), so casual callers never see this machinery.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.device.counters import KernelCounters
+from repro.device.memory import MemoryTracker
+
+
+@dataclass
+class KernelLaunch:
+    """Record of one batched kernel execution."""
+
+    name: str
+    threads: int
+    seconds: float
+    steps: int = 0
+
+
+@dataclass
+class Device:
+    """A simulated GPU: counters + memory ledger + launch log.
+
+    Parameters
+    ----------
+    name:
+        Cosmetic identifier, shown in reports.
+    capacity_bytes:
+        Device memory cap forwarded to :class:`MemoryTracker`; ``None``
+        (default) disables OOM simulation.
+    """
+
+    name: str = "sim-gpu0"
+    capacity_bytes: int | None = None
+    counters: KernelCounters = field(default_factory=KernelCounters)
+    memory: MemoryTracker = field(init=False)
+    launches: list[KernelLaunch] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.memory = MemoryTracker(self.capacity_bytes)
+
+    @contextmanager
+    def kernel(self, name: str, threads: int):
+        """Context manager wrapping one batched kernel launch.
+
+        ``threads`` is the logical thread count (one per query/point/edge,
+        as the paper's kernels assign).  The block's wall time and the
+        launch are recorded; the yielded :class:`KernelLaunch` lets the
+        kernel body report how many wavefront steps it took (a divergence
+        proxy: fewer steps for the same work means better convergence of
+        the batched traversal).
+        """
+        launch = KernelLaunch(name=name, threads=int(threads), seconds=0.0)
+        self.counters.add("kernel_launches", 1)
+        start = time.perf_counter()
+        try:
+            yield launch
+        finally:
+            launch.seconds = time.perf_counter() - start
+            self.counters.add("thread_steps", launch.steps)
+            self.launches.append(launch)
+
+    def reset(self) -> None:
+        """Clear counters, memory accounting and the launch log."""
+        self.counters.reset()
+        self.memory.reset()
+        self.launches.clear()
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Total wall seconds per kernel name (the ``nvprof`` style view)."""
+        out: dict[str, float] = {}
+        for launch in self.launches:
+            out[launch.name] = out.get(launch.name, 0.0) + launch.seconds
+        return out
+
+    def report(self) -> dict:
+        """Combined run report: counters, memory, per-kernel seconds."""
+        return {
+            "device": self.name,
+            "counters": self.counters.snapshot(),
+            "memory": self.memory.report(),
+            "kernels": self.phase_seconds(),
+        }
+
+
+_DEFAULT_DEVICE = Device(name="default-sim-gpu")
+
+
+def get_default_device() -> Device:
+    """The shared fallback device used when callers pass ``device=None``."""
+    return _DEFAULT_DEVICE
+
+
+def default_device(device: Device | None) -> Device:
+    """Resolve an optional device argument to a concrete :class:`Device`."""
+    return device if device is not None else _DEFAULT_DEVICE

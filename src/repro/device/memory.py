@@ -1,0 +1,161 @@
+"""Device-memory ledger.
+
+The paper's framework (Section 3.2) is explicitly designed around the
+limited memory of a GPU: the fused algorithms keep memory *linear in the
+number of points*, whereas adjacency-graph algorithms such as G-DBSCAN keep
+the full edge set and "tend to run out of memory even for smaller datasets"
+(the survey [32] measured 166x the footprint of CUDA-DClust).
+
+:class:`MemoryTracker` gives every algorithm a common ledger:
+
+- allocations are recorded with a *tag* (``"bvh"``, ``"adjacency"``,
+  ``"labels"``, ...) so reports can break the footprint down by data
+  structure;
+- ``capacity_bytes`` optionally caps the live footprint.  Exceeding the cap
+  raises :class:`DeviceMemoryError`, which the benchmark harness catches to
+  reproduce the paper's missing G-DBSCAN data points (Figure 4(h));
+- :attr:`MemoryTracker.peak_bytes` is the number the memory experiment
+  reports.
+
+The tracker measures the footprint of the *device-resident* data
+structures the algorithms declare, not the Python process RSS — exactly the
+quantity the paper reasons about.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+
+class DeviceMemoryError(MemoryError):
+    """Raised when an allocation would exceed the device memory capacity."""
+
+    def __init__(self, requested: int, live: int, capacity: int, tag: str):
+        self.requested = int(requested)
+        self.live = int(live)
+        self.capacity = int(capacity)
+        self.tag = tag
+        super().__init__(
+            f"device OOM allocating {requested} bytes for '{tag}': "
+            f"{live} bytes live, capacity {capacity} bytes"
+        )
+
+
+class MemoryTracker:
+    """Allocation ledger with optional capacity cap.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Maximum allowed live footprint; ``None`` means unlimited.  The
+        paper's single V100 has 16 GiB; benchmarks use much smaller caps so
+        the OOM regime is reachable at laptop problem sizes.
+    """
+
+    def __init__(self, capacity_bytes: int | None = None):
+        self.capacity_bytes = capacity_bytes
+        self.live_bytes = 0
+        self.peak_bytes = 0
+        self.live_by_tag: dict[str, int] = {}
+        self.peak_by_tag: dict[str, int] = {}
+        self.alloc_count = 0
+
+    # -- raw byte accounting -------------------------------------------------
+
+    def allocate(self, nbytes: int, tag: str = "untagged", transient: bool = False) -> int:
+        """Record an allocation of ``nbytes`` under ``tag``.
+
+        Returns ``nbytes`` for convenience.  Raises
+        :class:`DeviceMemoryError` if the cap would be exceeded; the ledger
+        is left unchanged in that case.
+
+        ``transient=True`` marks host-emulation scratch (e.g. the wavefront
+        traversal frontier) that has no device-resident counterpart — on
+        the GPU the same work uses bounded per-thread traversal stacks.
+        Transient bytes are recorded in the ledger and per-tag peaks (so
+        reports can show them) but are exempt from the capacity check.
+        """
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        if (
+            not transient
+            and self.capacity_bytes is not None
+            and self.live_bytes + nbytes > self.capacity_bytes
+        ):
+            raise DeviceMemoryError(nbytes, self.live_bytes, self.capacity_bytes, tag)
+        self.live_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+        self.live_by_tag[tag] = self.live_by_tag.get(tag, 0) + nbytes
+        self.peak_by_tag[tag] = max(self.peak_by_tag.get(tag, 0), self.live_by_tag[tag])
+        self.alloc_count += 1
+        return nbytes
+
+    def free(self, nbytes: int, tag: str = "untagged") -> None:
+        """Release ``nbytes`` previously recorded under ``tag``."""
+        nbytes = int(nbytes)
+        held = self.live_by_tag.get(tag, 0)
+        if nbytes > held:
+            raise ValueError(f"freeing {nbytes} bytes from '{tag}' which holds {held}")
+        self.live_bytes -= nbytes
+        self.live_by_tag[tag] = held - nbytes
+
+    @contextmanager
+    def scoped(self, nbytes: int, tag: str = "untagged"):
+        """Context manager: allocation held for the duration of the block."""
+        self.allocate(nbytes, tag)
+        try:
+            yield
+        finally:
+            self.free(nbytes, tag)
+
+    # -- numpy conveniences ----------------------------------------------------
+
+    def array(self, shape, dtype, tag: str = "untagged") -> np.ndarray:
+        """Allocate a zeroed device array, recording its footprint.
+
+        The caller owns releasing it with :meth:`free_array` (or may leak it
+        into the run's footprint, which is what a real kernel pipeline does
+        with persistent state).
+        """
+        arr = np.zeros(shape, dtype=dtype)
+        self.allocate(arr.nbytes, tag)
+        return arr
+
+    def track_array(self, arr: np.ndarray, tag: str = "untagged") -> np.ndarray:
+        """Record an existing array's footprint and return it unchanged."""
+        self.allocate(arr.nbytes, tag)
+        return arr
+
+    def free_array(self, arr: np.ndarray, tag: str = "untagged") -> None:
+        """Release an array's footprint recorded under ``tag``."""
+        self.free(arr.nbytes, tag)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Forget all accounting (capacity is kept)."""
+        self.live_bytes = 0
+        self.peak_bytes = 0
+        self.live_by_tag.clear()
+        self.peak_by_tag.clear()
+        self.alloc_count = 0
+
+    def report(self) -> dict:
+        """Summary dict: live/peak totals and per-tag peaks."""
+        return {
+            "live_bytes": self.live_bytes,
+            "peak_bytes": self.peak_bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "peak_by_tag": dict(sorted(self.peak_by_tag.items())),
+            "alloc_count": self.alloc_count,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cap = self.capacity_bytes if self.capacity_bytes is not None else "inf"
+        return (
+            f"MemoryTracker(live={self.live_bytes}, peak={self.peak_bytes}, "
+            f"capacity={cap})"
+        )

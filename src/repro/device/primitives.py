@@ -1,0 +1,152 @@
+"""Thrust-level parallel primitives used by the kernels.
+
+BVH construction (Karras 2012) and the dense-cell grid of
+FDBSCAN-DenseBox are built from a small set of classic data-parallel
+primitives — exactly the set a CUDA implementation would take from
+Thrust/CUB.  Each helper here is the numpy-vectorised equivalent; none of
+them contain Python-level loops over elements.
+
+All functions are pure (no hidden state) and operate on 1-D arrays unless
+documented otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def exclusive_scan(values: np.ndarray, dtype=None) -> np.ndarray:
+    """Exclusive prefix sum: ``out[i] = sum(values[:i])``, ``out[0] = 0``.
+
+    The workhorse of stream compaction and CSR offset construction.
+    """
+    values = np.asarray(values)
+    if dtype is None:
+        dtype = np.result_type(values.dtype, np.int64) if values.dtype.kind in "iub" else values.dtype
+    out = np.zeros(values.shape[0] + 1, dtype=dtype)
+    np.cumsum(values, dtype=dtype, out=out[1:])
+    return out[:-1]
+
+
+def inclusive_scan(values: np.ndarray, dtype=None) -> np.ndarray:
+    """Inclusive prefix sum: ``out[i] = sum(values[:i + 1])``."""
+    values = np.asarray(values)
+    if dtype is None:
+        dtype = np.result_type(values.dtype, np.int64) if values.dtype.kind in "iub" else values.dtype
+    return np.cumsum(values, dtype=dtype)
+
+
+def sort_by_key(keys: np.ndarray, *values: np.ndarray, stable: bool = True):
+    """Sort ``keys`` ascending, permuting each array in ``values`` alongside.
+
+    Returns ``(sorted_keys, order)`` when no values are given, otherwise
+    ``(sorted_keys, *permuted_values, order)``.  ``order`` is the permutation
+    applied, so callers can invert it.  A stable sort matches the radix sort
+    a GPU pipeline would use and keeps duplicate-key handling deterministic.
+    """
+    keys = np.asarray(keys)
+    kind = "stable" if stable else "quicksort"
+    order = np.argsort(keys, kind=kind)
+    sorted_keys = keys[order]
+    if not values:
+        return sorted_keys, order
+    permuted = tuple(np.asarray(v)[order] for v in values)
+    return (sorted_keys, *permuted, order)
+
+
+def stream_compact(mask: np.ndarray, *arrays: np.ndarray):
+    """Keep the entries of every array where ``mask`` is ``True``.
+
+    Equivalent to ``thrust::copy_if``; returns a tuple mirroring ``arrays``
+    (or a single array when one input is given).
+    """
+    mask = np.asarray(mask, dtype=bool)
+    out = tuple(np.asarray(a)[mask] for a in arrays)
+    return out[0] if len(out) == 1 else out
+
+
+def run_length_encode(sorted_keys: np.ndarray):
+    """Compact runs of equal values in a *sorted* key array.
+
+    Returns ``(unique_keys, run_starts, run_lengths)``.  ``run_starts[i]`` is
+    the index of the first occurrence of ``unique_keys[i]`` in
+    ``sorted_keys``.  This is how the grid turns a sorted cell-id array into
+    the set of non-empty cells with their populations.
+    """
+    sorted_keys = np.asarray(sorted_keys)
+    n = sorted_keys.shape[0]
+    if n == 0:
+        return sorted_keys[:0], np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=boundary[1:])
+    run_starts = np.flatnonzero(boundary).astype(np.int64)
+    run_lengths = np.diff(np.append(run_starts, n)).astype(np.int64)
+    return sorted_keys[run_starts], run_starts, run_lengths
+
+
+def segmented_reduce(values: np.ndarray, segment_ids: np.ndarray, num_segments: int, op: str = "sum"):
+    """Reduce ``values`` per segment (segments given by id, not necessarily sorted).
+
+    ``op`` is one of ``"sum"``, ``"min"``, ``"max"``.  Empty segments reduce
+    to the operation identity (0 / +inf / -inf for floats; type extremes for
+    ints).
+    """
+    values = np.asarray(values)
+    segment_ids = np.asarray(segment_ids, dtype=np.intp)
+    if op == "sum":
+        out = np.zeros(num_segments, dtype=values.dtype)
+        np.add.at(out, segment_ids, values)
+        return out
+    if op == "min":
+        ident = np.inf if values.dtype.kind == "f" else np.iinfo(values.dtype).max
+        out = np.full(num_segments, ident, dtype=values.dtype)
+        np.minimum.at(out, segment_ids, values)
+        return out
+    if op == "max":
+        ident = -np.inf if values.dtype.kind == "f" else np.iinfo(values.dtype).min
+        out = np.full(num_segments, ident, dtype=values.dtype)
+        np.maximum.at(out, segment_ids, values)
+        return out
+    raise ValueError(f"unknown op {op!r}; expected 'sum', 'min' or 'max'")
+
+
+def concatenated_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(starts[k], starts[k] + counts[k])`` for all ``k``.
+
+    The standard expand-by-prefix-sum idiom: this is how a kernel turns a
+    batch of (cell, population) segments into one flat index stream —
+    e.g. gathering every member of every dense cell hit during a traversal
+    step — without a Python-level loop.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if starts.shape != counts.shape:
+        raise ValueError(f"starts/counts differ in shape: {starts.shape} vs {counts.shape}")
+    if np.any(counts < 0):
+        raise ValueError("negative segment count")
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    return np.repeat(starts, counts) + within
+
+
+def segment_ids_from_counts(counts: np.ndarray) -> np.ndarray:
+    """Segment id per output element for segments of the given sizes
+    (``[2, 0, 3] -> [0, 0, 2, 2, 2]``)."""
+    counts = np.asarray(counts, dtype=np.int64)
+    return np.repeat(np.arange(counts.shape[0], dtype=np.int64), counts)
+
+
+def histogram_by_key(keys: np.ndarray, num_bins: int) -> np.ndarray:
+    """Count occurrences of each key in ``[0, num_bins)``.
+
+    Keys outside the range raise ``ValueError`` — a kernel writing out of
+    bounds is a bug, not data.
+    """
+    keys = np.asarray(keys, dtype=np.intp)
+    if keys.size and (keys.min() < 0 or keys.max() >= num_bins):
+        raise ValueError("histogram key out of range")
+    return np.bincount(keys, minlength=num_bins).astype(np.int64)

@@ -1,0 +1,45 @@
+"""Distributed DBSCAN — the paper's Section-6 extension, simulated.
+
+The paper notes that "the local DBSCAN implementation is an inherent
+component of a full distributed algorithm, [so] the proposed algorithm
+can be easily plugged into most distributed frameworks", and lists
+"combining the proposed approach with distributed computations" as future
+work.  This package builds that combination over the repository's local
+algorithms, following the standard spatial-decomposition scheme of the
+distributed DBSCAN literature the paper cites (Patwary et al. SC'12,
+BD-CATS, Mr. Scan):
+
+``partition``
+    Recursive coordinate bisection (RCB) of the domain into one box per
+    rank, plus *ghost* selection: every remote point within ``eps`` of a
+    rank's box is replicated there, which makes each owned point's full
+    eps-neighbourhood locally visible — the property all correctness
+    arguments rest on.
+
+``comm``
+    A simulated communicator: in-process "ranks" exchanging numpy arrays,
+    with per-rank byte/message accounting (the distributed analogue of the
+    device model's counters).
+
+``driver``
+    The three-phase distributed algorithm: (1) rank-local core
+    determination + fused local clustering (any tree algorithm), (2) ghost
+    core-flag exchange, (3) a merge phase that unions the core members of
+    local clusters globally and resolves border points on their owner
+    rank — border points never merge clusters, preserving the paper's
+    no-bridging guarantee across ranks.
+"""
+
+from repro.distributed.comm import CommStats, SimulatedComm
+from repro.distributed.driver import distributed_dbscan
+from repro.distributed.partition import GhostExchange, Partition, rcb_partition, select_ghosts
+
+__all__ = [
+    "CommStats",
+    "GhostExchange",
+    "Partition",
+    "SimulatedComm",
+    "distributed_dbscan",
+    "rcb_partition",
+    "select_ghosts",
+]

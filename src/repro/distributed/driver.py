@@ -1,0 +1,233 @@
+"""The distributed DBSCAN driver.
+
+Three phases over an RCB partition with eps-halo ghosts (the scheme of
+Patwary et al. SC'12 / BD-CATS, with the paper's fused tree algorithm as
+the rank-local engine):
+
+1. **local phase** — every rank builds a BVH over its owned + ghost
+   points; owned points' neighbour counts are *exact* (the halo guarantees
+   the full eps-neighbourhood is local), giving owned core flags;
+2. **flag exchange** — ghost core flags arrive from their owner ranks
+   (simulated; one boolean per ghost), after which each rank runs the
+   fused main phase with queries restricted to owned points: owned-owned
+   pairs resolve locally, owned-ghost pairs resolve on both sharing ranks
+   (idempotent for unions; border CAS divergence is reconciled in phase 3
+   by preferring the owner rank's attachment);
+3. **merge phase** — each rank ships, per local cluster, its *core*
+   members' global ids plus its owned border attachments.  Core groups are
+   unioned globally — any core-core eps-pair was locally clustered on the
+   owner's rank, so the global core partition is exact — and border points
+   take their owner rank's attachment.  Borders are never unioned through,
+   so no cluster bridging can occur across ranks either.
+
+The result is DBSCAN-equivalent to a single-device run: identical core
+and noise sets, identical core partition, legal border assignments.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bvh.aabb import boxes_from_points
+from repro.bvh.builder import build_bvh
+from repro.bvh.traversal import count_within, for_each_leaf_hit
+from repro.core.framework import resolve_pairs
+from repro.core.labels import DBSCANResult, relabel_consecutive
+from repro.core.validation import validate_params, validate_points
+from repro.device.device import Device, default_device
+from repro.device.primitives import run_length_encode
+from repro.distributed.comm import SimulatedComm
+from repro.distributed.partition import rcb_partition, select_ghosts
+from repro.unionfind.ecl import EclUnionFind, find_roots
+
+
+def _local_phase(
+    X: np.ndarray,
+    local_ids: np.ndarray,
+    n_owned: int,
+    eps: float,
+    minpts: int,
+    dev: Device,
+):
+    """One rank's work: core flags for owned points + local clustering.
+
+    ``local_ids`` lists global ids, owned first (``n_owned`` of them) then
+    ghosts.  Returns ``(owned_core, local_parents, local_core)`` where the
+    parents array is over local indices.
+    """
+    pts = X[local_ids]
+    lo, hi = boxes_from_points(pts)
+    tree = build_bvh(lo, hi, device=dev)
+    owned_pts = pts[:n_owned]
+
+    if minpts == 2:
+        local_core = np.ones(local_ids.shape[0], dtype=bool)
+        owned_core = None  # derived from component sizes globally
+    elif minpts == 1:
+        local_core = np.ones(local_ids.shape[0], dtype=bool)
+        owned_core = np.ones(n_owned, dtype=bool)
+    else:
+        counts = count_within(tree, owned_pts, eps, stop_at=minpts, device=dev)
+        owned_core = counts >= minpts
+        local_core = np.zeros(local_ids.shape[0], dtype=bool)
+        local_core[:n_owned] = owned_core
+        # ghost flags are filled in by the caller after the exchange
+    return tree, owned_core, local_core
+
+
+def distributed_dbscan(
+    X: np.ndarray,
+    eps: float,
+    min_samples: int,
+    n_ranks: int = 4,
+    device: Device | None = None,
+) -> DBSCANResult:
+    """Cluster ``X`` across ``n_ranks`` simulated ranks.
+
+    ``info`` reports the decomposition (per-rank owned/ghost counts) and
+    the communication volume per phase.  Output is DBSCAN-equivalent to
+    any single-device algorithm in the registry.
+    """
+    X = validate_points(X)
+    eps, minpts = validate_params(eps, min_samples)
+    dev = default_device(device)
+    n = X.shape[0]
+    t0 = time.perf_counter()
+
+    partition = rcb_partition(X, n_ranks)
+    halo = select_ghosts(X, partition, eps)
+    comm = SimulatedComm(n_ranks)
+    # Ghost coordinates travel to their consumer ranks.
+    comm.exchange("ghosts", [X[g] for g in halo.ghosts])
+
+    owned_lists = [partition.owned(r) for r in range(n_ranks)]
+    local_ids_per_rank = [
+        np.concatenate([owned_lists[r], halo.ghosts[r]]) for r in range(n_ranks)
+    ]
+
+    # --- phase 1: local core determination --------------------------------
+    rank_state = []
+    global_core = np.zeros(n, dtype=bool)
+    for r in range(n_ranks):
+        tree, owned_core, local_core = _local_phase(
+            X, local_ids_per_rank[r], owned_lists[r].shape[0], eps, minpts, dev
+        )
+        rank_state.append((tree, local_core))
+        if owned_core is not None:
+            global_core[owned_lists[r]] = owned_core
+
+    # --- phase 2: ghost core-flag exchange + local main phase --------------
+    if minpts > 2:
+        comm.exchange("core_flags", [global_core[g] for g in halo.ghosts])
+    local_parents = []
+    for r in range(n_ranks):
+        tree, local_core = rank_state[r]
+        local_ids = local_ids_per_rank[r]
+        n_owned = owned_lists[r].shape[0]
+        if minpts > 2:
+            local_core[n_owned:] = global_core[halo.ghosts[r]]
+        uf = EclUnionFind(local_ids.shape[0], device=dev)
+        order = tree.order
+
+        def on_hits(q_ids: np.ndarray, leaf_pos: np.ndarray) -> None:
+            nbr = order[leaf_pos]
+            keep = nbr != q_ids  # queries are the first n_owned local rows
+            resolve_pairs(uf, local_core, q_ids[keep], nbr[keep], dev)
+
+        for_each_leaf_hit(
+            tree,
+            X[local_ids[:n_owned]],
+            eps,
+            on_hits,
+            device=dev,
+            kernel_name=f"dist_main_rank{r}",
+        )
+        local_parents.append(uf)
+
+    # --- phase 3: merge -----------------------------------------------------
+    guf = EclUnionFind(n, device=dev)
+    merge_payloads = []
+    for r in range(n_ranks):
+        uf = local_parents[r]
+        local_ids = local_ids_per_rank[r]
+        tree, local_core = rank_state[r]
+        labels_local = uf.finalize()
+        core_rows = np.flatnonzero(local_core)
+        if core_rows.size:
+            # Union each local cluster's core members globally.
+            roots = labels_local[core_rows]
+            order = np.argsort(roots, kind="stable")
+            core_sorted = core_rows[order]
+            _, starts, lengths = run_length_encode(roots[order])
+            firsts = np.repeat(core_sorted[starts], lengths) if starts.size else core_sorted
+            guf.union(local_ids[firsts], local_ids[core_sorted])
+            merge_payloads.append(local_ids[core_sorted])
+        else:
+            merge_payloads.append(np.zeros(0, dtype=np.int64))
+    comm.gather("merge_core_groups", merge_payloads)
+
+    # Border attachments, owner-rank authoritative.
+    attach_targets = np.full(n, -1, dtype=np.int64)
+    attach_payloads = []
+    for r in range(n_ranks):
+        uf = local_parents[r]
+        local_ids = local_ids_per_rank[r]
+        tree, local_core = rank_state[r]
+        n_owned = owned_lists[r].shape[0]
+        labels_local = uf.parents  # finalized above
+        # a core member per local cluster root (for attachment targets)
+        core_rows = np.flatnonzero(local_core)
+        rep_for_root = np.full(local_ids.shape[0], -1, dtype=np.int64)
+        if core_rows.size:
+            roots_of_core = labels_local[core_rows]
+            order = np.argsort(roots_of_core, kind="stable")
+            uroots, starts, _lengths = run_length_encode(roots_of_core[order])
+            rep_for_root[uroots] = core_rows[order][starts]
+        owned_rows = np.arange(n_owned)
+        border_rows = owned_rows[
+            ~local_core[:n_owned] & (labels_local[:n_owned] != owned_rows)
+        ]
+        if border_rows.size:
+            targets = rep_for_root[labels_local[border_rows]]
+            attach_targets[local_ids[border_rows]] = local_ids[targets]
+        attach_payloads.append(local_ids[border_rows])
+    comm.gather("merge_border_attachments", attach_payloads)
+
+    # --- assemble the global result ------------------------------------------
+    if minpts == 2:
+        roots = find_roots(guf.parents, np.arange(n, dtype=np.int64), dev.counters)
+        sizes = np.bincount(roots, minlength=n)
+        global_core = sizes[roots] >= 2
+        clustered = global_core
+        raw = np.where(clustered, roots, -1)
+    elif minpts == 1:
+        global_core[:] = True
+        roots = find_roots(guf.parents, np.arange(n, dtype=np.int64), dev.counters)
+        clustered = np.ones(n, dtype=bool)
+        raw = roots
+    else:
+        roots = find_roots(guf.parents, np.arange(n, dtype=np.int64), dev.counters)
+        attached = attach_targets >= 0
+        raw = np.where(global_core, roots, -1)
+        raw[attached & ~global_core] = roots[attach_targets[attached & ~global_core]]
+        clustered = global_core | (attached & ~global_core)
+    labels, n_clusters = relabel_consecutive(raw, clustered)
+
+    info = {
+        "algorithm": "distributed-fdbscan",
+        "n": n,
+        "eps": eps,
+        "min_samples": minpts,
+        "n_ranks": n_ranks,
+        "owned_per_rank": partition.counts().tolist(),
+        "ghosts_per_rank": [int(g.shape[0]) for g in halo.ghosts],
+        "comm_messages": comm.stats.messages,
+        "comm_bytes": comm.stats.bytes_sent,
+        "comm_by_phase": dict(comm.stats.by_phase),
+        "t_total": time.perf_counter() - t0,
+    }
+    return DBSCANResult(
+        labels=labels, is_core=global_core, n_clusters=n_clusters, info=info
+    )

@@ -1,0 +1,27 @@
+"""The auxiliary regular grid and dense-cell decomposition (Section 4.2).
+
+FDBSCAN-DenseBox superimposes a Cartesian grid with cell length
+``eps / sqrt(d)`` over the domain — the choice that "guarantees that the
+diameter of each cell does not exceed eps", so every pair of points in one
+cell is mutually within ``eps`` and a cell holding at least ``minpts``
+points consists purely of core points of one cluster.
+
+``grid``
+    The virtual grid itself.  The paper stresses that the grid may have
+    *billions* of cells with only a tiny population of non-empty ones
+    (3.5 billion vs 28 million for the cosmology problem); accordingly the
+    grid is never materialised — points are mapped to per-axis integer
+    coordinates and the non-empty cells are obtained by sorting, with an
+    overflow-safe lexicographic fallback when even the flattened int64
+    cell id would overflow.
+
+``dense_cells``
+    Identifies the dense cells and assembles the *mixed primitive set* —
+    isolated points plus one (tight) box per dense cell — from which the
+    DenseBox BVH is built (Figure 2).
+"""
+
+from repro.grid.dense_cells import DenseDecomposition, decompose
+from repro.grid.grid import RegularGrid, build_grid
+
+__all__ = ["DenseDecomposition", "RegularGrid", "build_grid", "decompose"]

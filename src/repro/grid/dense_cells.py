@@ -1,0 +1,209 @@
+"""Dense-cell decomposition and the mixed primitive set (Section 4.2).
+
+A cell with at least ``minpts`` points is *dense*: its diameter is at most
+``eps``, so every point in it is a core point and the whole cell belongs
+to one cluster — no distance computations are needed among its members.
+
+The decomposition produces, besides the dense/isolated classification,
+the *mixed primitive set* from which the DenseBox BVH is built
+(Figure 2, right): one degenerate box per isolated point followed by one
+box per dense cell.  "The BVH only requires bounding volumes for a set of
+objects", so such mixing imposes no constraint on the builder.  The
+dense-cell boxes are the *tight* bounds of the member points — a subset of
+the geometric cell, so every guarantee (diameter ≤ eps) still holds while
+traversal pruning gets strictly better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.device.device import Device, default_device
+from repro.grid.grid import RegularGrid, build_grid, compact_cells
+
+
+@dataclass
+class DenseDecomposition:
+    """Dense/isolated split of a dataset for given ``eps``/``minpts``.
+
+    Attributes
+    ----------
+    grid:
+        The virtual :class:`~repro.grid.grid.RegularGrid`.
+    cell_of_point:
+        Compacted occupied-cell index per point, ``(n,)``.
+    n_cells:
+        Number of occupied cells.
+    cell_counts:
+        Population of each occupied cell, ``(n_cells,)``.
+    dense_mask:
+        ``(n_cells,)`` bool — cells with ``>= minpts`` points.
+    is_dense_point:
+        ``(n,)`` bool — point lies in a dense cell.
+    isolated_idx:
+        Dataset indices of points outside dense cells.
+    members:
+        Point indices sorted by cell (CSR values shared by all cells).
+    cell_starts:
+        CSR offsets of ``members`` per occupied cell.
+    dense_cells:
+        Occupied-cell indices of the dense cells, ``(n_dense,)``.
+    dense_rank_of_cell:
+        ``(n_cells,)`` — dense rank of each occupied cell, -1 if not dense.
+    prim_lo / prim_hi:
+        The mixed primitive boxes: rows ``[0, n_isolated)`` are the
+        isolated points (degenerate), rows ``[n_isolated, ...)`` the dense
+        cell boxes.
+    prim_is_box:
+        ``(n_prims,)`` bool — primitive kind.
+    prim_point:
+        For point primitives, the dataset index; for box primitives, the
+        *dense rank* (index into ``dense_cells``).
+    """
+
+    grid: RegularGrid
+    cell_of_point: np.ndarray
+    n_cells: int
+    cell_counts: np.ndarray
+    dense_mask: np.ndarray
+    is_dense_point: np.ndarray
+    isolated_idx: np.ndarray
+    members: np.ndarray
+    cell_starts: np.ndarray
+    dense_cells: np.ndarray
+    dense_rank_of_cell: np.ndarray
+    prim_lo: np.ndarray
+    prim_hi: np.ndarray
+    prim_is_box: np.ndarray
+    prim_point: np.ndarray
+
+    @property
+    def n_isolated(self) -> int:
+        return self.isolated_idx.shape[0]
+
+    @property
+    def n_dense(self) -> int:
+        return self.dense_cells.shape[0]
+
+    @property
+    def n_dense_points(self) -> int:
+        return int(self.is_dense_point.sum())
+
+    def dense_fraction(self) -> float:
+        """Fraction of all points lying in dense cells — the quantity the
+        paper reports (>95 % on the 2-D datasets; 13 %/2 %/0 % on the
+        cosmology data as ``minpts`` grows)."""
+        return self.n_dense_points / self.is_dense_point.shape[0]
+
+    def dense_members(self, dense_rank: np.ndarray):
+        """CSR view of the members of the given dense cells: returns
+        ``(starts, counts)`` into :attr:`members`."""
+        cells = self.dense_cells[dense_rank]
+        return self.cell_starts[cells], self.cell_counts[cells]
+
+    def nbytes(self) -> int:
+        total = 0
+        for arr in (
+            self.cell_of_point,
+            self.cell_counts,
+            self.dense_mask,
+            self.is_dense_point,
+            self.isolated_idx,
+            self.members,
+            self.cell_starts,
+            self.dense_cells,
+            self.dense_rank_of_cell,
+            self.prim_lo,
+            self.prim_hi,
+            self.prim_is_box,
+            self.prim_point,
+        ):
+            total += arr.nbytes
+        return total
+
+
+def decompose(
+    points: np.ndarray,
+    eps: float,
+    minpts: int,
+    device: Device | None = None,
+    sample_weight: np.ndarray | None = None,
+) -> DenseDecomposition:
+    """Run the dense-cell preprocessing of FDBSCAN-DenseBox.
+
+    Computes the grid, classifies cells, and assembles the mixed primitive
+    set.  The number of points absorbed into dense cells is recorded in
+    the device's ``dense_cell_points`` counter.
+
+    With ``sample_weight`` a cell is dense when its members' summed weight
+    reaches ``minpts`` (the weighted-density generalisation; the dense-cell
+    core guarantee carries over: every member's neighbourhood weight is at
+    least the cell weight).
+    """
+    dev = default_device(device)
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    n = points.shape[0]
+    with dev.kernel("dense_decompose", threads=n) as launch:
+        grid = build_grid(points, eps)
+        coords = grid.cell_coords(points)
+        cell_of_point, n_cells, members, cell_starts, cell_counts = compact_cells(grid, coords)
+        if sample_weight is None:
+            dense_mask = cell_counts >= int(minpts)
+        else:
+            cell_weights = np.zeros(n_cells, dtype=np.float64)
+            np.add.at(cell_weights, cell_of_point, sample_weight)
+            dense_mask = cell_weights >= float(minpts)
+        is_dense_point = dense_mask[cell_of_point]
+        isolated_idx = np.flatnonzero(~is_dense_point).astype(np.int64)
+        dense_cells = np.flatnonzero(dense_mask).astype(np.int64)
+
+        # Tight boxes per dense cell via segmented min/max over members.
+        n_dense = dense_cells.shape[0]
+        dim = points.shape[1]
+        box_lo = np.empty((n_dense, dim), dtype=np.float64)
+        box_hi = np.empty((n_dense, dim), dtype=np.float64)
+        dense_rank_of_cell = np.full(n_cells, -1, dtype=np.int64)
+        if n_dense:
+            dense_rank_of_cell[dense_cells] = np.arange(n_dense, dtype=np.int64)
+            member_rank = dense_rank_of_cell[cell_of_point[members]]
+            in_dense = member_rank >= 0
+            rows = member_rank[in_dense]
+            pts = points[members[in_dense]]
+            box_lo.fill(np.inf)
+            box_hi.fill(-np.inf)
+            np.minimum.at(box_lo, rows, pts)
+            np.maximum.at(box_hi, rows, pts)
+
+        iso_pts = points[isolated_idx]
+        prim_lo = np.concatenate([iso_pts, box_lo], axis=0)
+        prim_hi = np.concatenate([iso_pts, box_hi], axis=0)
+        n_iso = isolated_idx.shape[0]
+        prim_is_box = np.zeros(n_iso + n_dense, dtype=bool)
+        prim_is_box[n_iso:] = True
+        prim_point = np.concatenate(
+            [isolated_idx, np.arange(n_dense, dtype=np.int64)]
+        )
+        launch.steps = 1
+
+    dev.counters.add("dense_cell_points", int(is_dense_point.sum()))
+    deco = DenseDecomposition(
+        grid=grid,
+        cell_of_point=cell_of_point,
+        n_cells=n_cells,
+        cell_counts=cell_counts,
+        dense_mask=dense_mask,
+        is_dense_point=is_dense_point,
+        isolated_idx=isolated_idx,
+        members=members,
+        cell_starts=cell_starts,
+        dense_cells=dense_cells,
+        dense_rank_of_cell=dense_rank_of_cell,
+        prim_lo=prim_lo,
+        prim_hi=prim_hi,
+        prim_is_box=prim_is_box,
+        prim_point=prim_point,
+    )
+    dev.memory.allocate(deco.nbytes(), tag="grid")
+    return deco

@@ -1,0 +1,205 @@
+"""Condensed tree, stabilities, and excess-of-mass cluster extraction.
+
+Implements the HDBSCAN machinery of Campello et al. (2013) in the
+formulation of the reference ``hdbscan`` library:
+
+- **condense**: walk the single-linkage dendrogram from the root with a
+  minimum cluster size; a split where both sides are large enough creates
+  two new condensed clusters, otherwise the too-small side's points
+  simply *fall out* of the current cluster at that level.  Levels are
+  expressed as ``lambda = 1 / distance``;
+- **stability** of a condensed cluster: ``sum((lambda_child - lambda_birth)
+  * size_child)`` over its condensed rows — the "excess of mass" the
+  cluster accumulates over its lifetime;
+- **EOM selection**: bottom-up, keep a cluster iff its own stability
+  exceeds the sum of its children's selected stabilities (the root is
+  excluded unless ``allow_single_cluster``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CondensedTree:
+    """The condensed hierarchy.
+
+    Rows are edges ``parent -> child`` at level ``lambda`` with ``size``
+    points: ``child`` is either another condensed cluster (``size > 1``
+    possible) or an original point (ids ``< n_points``, ``size == 1``).
+    Cluster ids start at ``n_points`` (the root cluster) — the reference
+    library's convention.
+    """
+
+    n_points: int
+    parent: np.ndarray
+    child: np.ndarray
+    lambda_val: np.ndarray
+    size: np.ndarray
+
+    @property
+    def cluster_ids(self) -> np.ndarray:
+        """All condensed cluster ids (root first)."""
+        ids = np.unique(self.parent)
+        return ids
+
+    def children_of(self, cluster: int) -> np.ndarray:
+        """Condensed *cluster* children of ``cluster``."""
+        rows = (self.parent == cluster) & (self.child >= self.n_points)
+        return self.child[rows].astype(np.int64)
+
+
+def _subtree_points(Z: np.ndarray, n: int, node: int) -> list[int]:
+    """Original points under a dendrogram node (iterative DFS)."""
+    out: list[int] = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current < n:
+            out.append(current)
+        else:
+            row = current - n
+            stack.append(int(Z[row, 0]))
+            stack.append(int(Z[row, 1]))
+    return out
+
+
+def condense_dendrogram(Z: np.ndarray, n: int, min_cluster_size: int = 5) -> CondensedTree:
+    """Condense a single-linkage dendrogram.
+
+    ``Z`` is the ``(n - 1, 4)`` linkage array of
+    :func:`repro.hierarchy.mst.single_linkage_dendrogram`; merges must be
+    sorted ascending by height (they are, by construction).
+    """
+    if min_cluster_size < 2:
+        raise ValueError(f"min_cluster_size must be >= 2; got {min_cluster_size}")
+    if n < 2:
+        return CondensedTree(
+            n_points=n,
+            parent=np.zeros(0, dtype=np.int64),
+            child=np.zeros(0, dtype=np.int64),
+            lambda_val=np.zeros(0),
+            size=np.zeros(0, dtype=np.int64),
+        )
+    parents: list[int] = []
+    children: list[int] = []
+    lambdas: list[float] = []
+    sizes: list[int] = []
+
+    def emit(parent: int, child: int, lam: float, size: int) -> None:
+        parents.append(parent)
+        children.append(child)
+        lambdas.append(lam)
+        sizes.append(size)
+
+    def node_size(node: int) -> int:
+        return 1 if node < n else int(Z[node - n, 3])
+
+    root = 2 * n - 2
+    next_cluster = n + 1
+    # stack of (dendrogram node, condensed cluster id it belongs to)
+    stack = [(root, n)]
+    while stack:
+        node, cluster = stack.pop()
+        row = node - n
+        left, right = int(Z[row, 0]), int(Z[row, 1])
+        dist = Z[row, 2]
+        lam = 1.0 / dist if dist > 0 else np.inf
+        s_left, s_right = node_size(left), node_size(right)
+        big_left = s_left >= min_cluster_size
+        big_right = s_right >= min_cluster_size
+        if big_left and big_right:
+            for side, s_side in ((left, s_left), (right, s_right)):
+                emit(cluster, next_cluster, lam, s_side)
+                stack.append((side, next_cluster))
+                next_cluster += 1
+        elif big_left or big_right:
+            keep, drop = (left, right) if big_left else (right, left)
+            for p in _subtree_points(Z, n, drop):
+                emit(cluster, p, lam, 1)
+            stack.append((keep, cluster))
+        else:
+            for p in _subtree_points(Z, n, left):
+                emit(cluster, p, lam, 1)
+            for p in _subtree_points(Z, n, right):
+                emit(cluster, p, lam, 1)
+    return CondensedTree(
+        n_points=n,
+        parent=np.array(parents, dtype=np.int64),
+        child=np.array(children, dtype=np.int64),
+        lambda_val=np.array(lambdas, dtype=np.float64),
+        size=np.array(sizes, dtype=np.int64),
+    )
+
+
+def cluster_stabilities(tree: CondensedTree) -> dict[int, float]:
+    """Excess-of-mass stability per condensed cluster.
+
+    ``lambda_birth`` of a cluster is the level of the row that created it
+    (0 for the root); finite row levels only (infinite levels — duplicate
+    points — contribute through a capped lambda to keep stabilities
+    finite, matching the reference implementation's clipping).
+    """
+    birth: dict[int, float] = {int(tree.n_points): 0.0}
+    finite = tree.lambda_val[np.isfinite(tree.lambda_val)]
+    cap = float(finite.max()) if finite.size else 1.0
+    lam = np.minimum(tree.lambda_val, cap)
+    for parent, child, level in zip(tree.parent, tree.child, lam):
+        if child >= tree.n_points:
+            birth[int(child)] = float(level)
+    stability: dict[int, float] = {}
+    for parent, level, size in zip(tree.parent, lam, tree.size):
+        parent = int(parent)
+        stability[parent] = stability.get(parent, 0.0) + (
+            float(level) - birth.get(parent, 0.0)
+        ) * int(size)
+    return stability
+
+
+def extract_eom_clusters(
+    tree: CondensedTree, allow_single_cluster: bool = False
+) -> tuple[list[int], dict[int, float]]:
+    """Excess-of-mass cluster selection.
+
+    Returns ``(selected_cluster_ids, stabilities)``.  Selection is
+    bottom-up: a cluster survives iff its stability beats the summed
+    (propagated) stability of its condensed children; the root only
+    participates when ``allow_single_cluster``.
+    """
+    stability = cluster_stabilities(tree)
+    clusters = sorted(stability, reverse=True)  # children before parents
+    selected: dict[int, bool] = {}
+    propagated: dict[int, float] = {}
+    for cluster in clusters:
+        kids = tree.children_of(cluster)
+        child_sum = float(sum(propagated.get(int(k), 0.0) for k in kids))
+        own = stability[cluster]
+        is_root = cluster == tree.n_points
+        if is_root and not allow_single_cluster:
+            selected[cluster] = False
+            propagated[cluster] = child_sum
+        elif own >= child_sum:
+            selected[cluster] = True
+            propagated[cluster] = own
+        else:
+            selected[cluster] = False
+            propagated[cluster] = child_sum
+    # Keep only the topmost selected cluster on every root-to-leaf path
+    # (condensed ids increase downward, so ascending order visits parents
+    # before children).
+    chosen: list[int] = []
+    blocked: set[int] = set()
+    for cluster in sorted(selected):
+        if cluster in blocked:
+            continue
+        if selected[cluster]:
+            chosen.append(cluster)
+            stack = list(tree.children_of(cluster))
+            while stack:
+                kid = int(stack.pop())
+                blocked.add(kid)
+                stack.extend(tree.children_of(kid))
+    return chosen, stability

@@ -1,0 +1,110 @@
+"""Mutual-reachability MST and the single-linkage dendrogram.
+
+The mutual reachability distance smooths the metric by each point's local
+density: ``d_mreach(a, b) = max(core(a), core(b), dist(a, b))``.  Its
+minimum spanning tree carries the *entire* density hierarchy: by the
+minimax-path property, two points are connected at threshold ``eps`` in
+the full mutual-reachability graph iff they are connected through MST
+edges of weight ``<= eps``.
+
+The MST is computed with Prim's algorithm over on-demand distance rows:
+one row of plain distances per step, maxed with the core distances —
+O(n²) work, O(n) live memory, nothing materialised (the same memory
+discipline the paper's framework insists on for the flat algorithm).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.device import Device, default_device
+
+
+def mutual_reachability_mst(
+    X: np.ndarray,
+    core_dist: np.ndarray,
+    device: Device | None = None,
+) -> np.ndarray:
+    """MST of the mutual reachability graph.
+
+    Returns an ``(n - 1, 3)`` float64 array of rows ``(a, b, weight)``
+    sorted ascending by weight (endpoint ids stored as floats).
+    """
+    dev = default_device(device)
+    X = np.ascontiguousarray(X, dtype=np.float64)
+    core_dist = np.asarray(core_dist, dtype=np.float64)
+    n = X.shape[0]
+    if core_dist.shape != (n,):
+        raise ValueError(f"core_dist must be ({n},); got {core_dist.shape}")
+    if n == 1:
+        return np.zeros((0, 3), dtype=np.float64)
+
+    in_tree = np.zeros(n, dtype=bool)
+    best = np.full(n, np.inf)
+    best_from = np.zeros(n, dtype=np.int64)
+    edges = np.empty((n - 1, 3), dtype=np.float64)
+
+    with dev.kernel("mreach_mst", threads=n) as launch:
+        current = 0
+        in_tree[0] = True
+        for step in range(n - 1):
+            # Relax against the vertex just added (one on-demand row).
+            diff = X - X[current]
+            dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            dev.counters.add("distance_evals", n)
+            mreach = np.maximum(dist, np.maximum(core_dist, core_dist[current]))
+            closer = mreach < best
+            improve = closer & ~in_tree
+            best[improve] = mreach[improve]
+            best_from[improve] = current
+            # Take the closest outside vertex.
+            masked = np.where(in_tree, np.inf, best)
+            nxt = int(np.argmin(masked))
+            edges[step] = (best_from[nxt], nxt, best[nxt])
+            in_tree[nxt] = True
+            current = nxt
+        launch.steps = n - 1
+
+    order = np.argsort(edges[:, 2], kind="stable")
+    return edges[order]
+
+
+def single_linkage_dendrogram(mst_edges: np.ndarray, n: int) -> np.ndarray:
+    """Dendrogram from weight-sorted MST edges (scipy linkage layout).
+
+    Returns an ``(n - 1, 4)`` array whose row ``i`` merges nodes
+    ``Z[i, 0]`` and ``Z[i, 1]`` (original points are ``0 .. n-1``, the
+    merge result is node ``n + i``) at height ``Z[i, 2]``, producing a
+    cluster of ``Z[i, 3]`` points.
+    """
+    if mst_edges.shape[0] != n - 1:
+        raise ValueError(
+            f"expected {n - 1} MST edges for {n} points; got {mst_edges.shape[0]}"
+        )
+    Z = np.empty((n - 1, 4), dtype=np.float64)
+    # Union-find over points, tracking each set's current dendrogram node.
+    parent = np.arange(2 * n - 1, dtype=np.int64)
+    node_of_root = np.arange(n, dtype=np.int64)
+    size = np.ones(n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for i in range(n - 1):
+        a, b, w = int(mst_edges[i, 0]), int(mst_edges[i, 1]), mst_edges[i, 2]
+        ra, rb = find(a), find(b)
+        if ra == rb:  # pragma: no cover - MST edges never cycle
+            raise AssertionError("cycle in MST edge list")
+        Z[i, 0] = node_of_root[ra]
+        Z[i, 1] = node_of_root[rb]
+        Z[i, 2] = w
+        Z[i, 3] = size[ra] + size[rb]
+        parent[rb] = ra
+        node_of_root[ra] = n + i
+        size[ra] += size[rb]
+    return Z

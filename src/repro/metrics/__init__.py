@@ -1,0 +1,46 @@
+"""Clustering comparison and summary metrics.
+
+``equivalence``
+    DBSCAN-aware equality: two clusterings are *DBSCAN-equivalent* when
+    their core sets, noise sets and core partitions agree; border points
+    may differ in which adjacent cluster they joined (the paper:
+    "implementations of the algorithm may differ in their handling of
+    such border points").  This is the relation all differential tests
+    assert.
+
+``scores``
+    Quantitative agreement scores (Rand / adjusted Rand / pairwise
+    precision-recall) for comparing against ground truth or measuring how
+    far two outputs drift.
+
+``stats``
+    Cluster-level summaries used by examples and benchmark reports.
+"""
+
+from repro.metrics.equivalence import (
+    ClusteringMismatch,
+    assert_dbscan_equivalent,
+    dbscan_equivalent,
+    partitions_equal,
+)
+from repro.metrics.scores import (
+    adjusted_rand_index,
+    contingency_table,
+    pair_confusion,
+    pair_precision_recall,
+    rand_index,
+)
+from repro.metrics.stats import clustering_summary
+
+__all__ = [
+    "ClusteringMismatch",
+    "adjusted_rand_index",
+    "assert_dbscan_equivalent",
+    "clustering_summary",
+    "contingency_table",
+    "dbscan_equivalent",
+    "pair_confusion",
+    "pair_precision_recall",
+    "partitions_equal",
+    "rand_index",
+]

@@ -1,0 +1,119 @@
+"""DBSCAN-aware clustering equivalence.
+
+DBSCAN's output is unique except for border points: a border point within
+``eps`` of core points of several clusters may legally join any of them
+(Section 2.1 of the paper).  Two runs are therefore compared as:
+
+1. identical core masks;
+2. identical noise masks (noise = not core and not attached — this *is*
+   deterministic);
+3. identical partitions of the **core** points (cluster ids may be
+   permuted);
+4. every border point's cluster must contain a core point within ``eps``
+   of it (checked when coordinates are supplied) — i.e. the border
+   assignment must be *legal* even where it differs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.core.labels import DBSCANResult
+
+
+class ClusteringMismatch(AssertionError):
+    """Raised by :func:`assert_dbscan_equivalent` with a specific diagnosis."""
+
+
+def partitions_equal(labels_a: np.ndarray, labels_b: np.ndarray, mask: np.ndarray) -> bool:
+    """Whether two labelings induce the same partition of ``mask``'s points
+    (cluster ids may be permuted)."""
+    a = np.asarray(labels_a)[mask]
+    b = np.asarray(labels_b)[mask]
+    if a.shape != b.shape:
+        return False
+    if a.size == 0:
+        return True
+    # Same partition iff the joint labelling has exactly as many distinct
+    # pairs as each labelling has distinct values.
+    pairs = np.unique(np.column_stack([a, b]), axis=0)
+    return pairs.shape[0] == np.unique(a).shape[0] == np.unique(b).shape[0]
+
+
+def _border_assignment_legal(
+    result: DBSCANResult, X: np.ndarray, eps: float
+) -> np.ndarray:
+    """Boolean mask over border points: assigned cluster has a core point
+    within ``eps``."""
+    border = (result.labels >= 0) & ~result.is_core
+    idx = np.flatnonzero(border)
+    if idx.size == 0:
+        return np.ones(0, dtype=bool)
+    core_idx = np.flatnonzero(result.is_core)
+    tree = cKDTree(X[core_idx])
+    ok = np.zeros(idx.size, dtype=bool)
+    neighbor_lists = tree.query_ball_point(X[idx], eps)
+    for k, nbrs in enumerate(neighbor_lists):
+        if not nbrs:
+            continue
+        cluster = result.labels[idx[k]]
+        ok[k] = bool(np.any(result.labels[core_idx[nbrs]] == cluster))
+    return ok
+
+
+def dbscan_equivalent(
+    a: DBSCANResult,
+    b: DBSCANResult,
+    X: np.ndarray | None = None,
+    eps: float | None = None,
+) -> bool:
+    """Whether two results are DBSCAN-equivalent (see module docstring)."""
+    try:
+        assert_dbscan_equivalent(a, b, X, eps)
+    except ClusteringMismatch:
+        return False
+    return True
+
+
+def assert_dbscan_equivalent(
+    a: DBSCANResult,
+    b: DBSCANResult,
+    X: np.ndarray | None = None,
+    eps: float | None = None,
+) -> None:
+    """Assert DBSCAN equivalence, raising :class:`ClusteringMismatch` with
+    the first failing criterion."""
+    if a.labels.shape != b.labels.shape:
+        raise ClusteringMismatch(
+            f"point counts differ: {a.labels.shape} vs {b.labels.shape}"
+        )
+    if not np.array_equal(a.is_core, b.is_core):
+        diff = np.flatnonzero(a.is_core != b.is_core)
+        raise ClusteringMismatch(
+            f"core masks differ at {diff.size} points (first: {diff[:5]})"
+        )
+    noise_a = a.labels == -1
+    noise_b = b.labels == -1
+    if not np.array_equal(noise_a, noise_b):
+        diff = np.flatnonzero(noise_a != noise_b)
+        raise ClusteringMismatch(
+            f"noise masks differ at {diff.size} points (first: {diff[:5]})"
+        )
+    if a.n_clusters != b.n_clusters:
+        raise ClusteringMismatch(
+            f"cluster counts differ: {a.n_clusters} vs {b.n_clusters}"
+        )
+    if not partitions_equal(a.labels, b.labels, a.is_core):
+        raise ClusteringMismatch("core-point partitions differ")
+    if X is not None:
+        if eps is None:
+            raise ValueError("eps is required when X is given")
+        X = np.asarray(X, dtype=np.float64)
+        for name, result in (("a", a), ("b", b)):
+            ok = _border_assignment_legal(result, X, eps)
+            if not ok.all():
+                raise ClusteringMismatch(
+                    f"result {name}: {np.count_nonzero(~ok)} border points are "
+                    "assigned to clusters with no core point within eps"
+                )

@@ -1,0 +1,34 @@
+"""Cluster-level summaries for examples and benchmark reports."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.labels import DBSCANResult
+
+
+def clustering_summary(result: DBSCANResult) -> dict:
+    """Summary statistics of one clustering result.
+
+    Returns a plain dict with the headline numbers a run report prints:
+    cluster count, core/border/noise split, and size distribution facts.
+    """
+    sizes = result.cluster_sizes()
+    n = result.labels.shape[0]
+    summary = {
+        "n_points": int(n),
+        "n_clusters": int(result.n_clusters),
+        "n_core": int(np.count_nonzero(result.is_core)),
+        "n_border": result.n_border,
+        "n_noise": result.n_noise,
+        "noise_fraction": result.n_noise / n,
+    }
+    if sizes.size:
+        summary.update(
+            largest_cluster=int(sizes.max()),
+            smallest_cluster=int(sizes.min()),
+            median_cluster=float(np.median(sizes)),
+        )
+    else:
+        summary.update(largest_cluster=0, smallest_cluster=0, median_cluster=0.0)
+    return summary

@@ -1,0 +1,29 @@
+"""Disjoint-set (union-find) structures.
+
+The paper adopts the synchronisation-free union-find of Jaiganesh &
+Burtscher's ECL-CC (HPDC'18): a flat ``labels`` array encodes the forest,
+``find`` uses *intermediate pointer jumping* (every visited element is
+re-pointed to its grandparent, halving path lengths), hooking always
+attaches the larger root under the smaller, and — because intermediate
+jumping does not guarantee fully compressed paths — a *finalisation*
+kernel flattens every label to its representative at the end of the main
+phase (Section 4, first paragraph).
+
+``ecl``
+    The batched, vectorised reproduction used by all framework algorithms.
+
+``sequential``
+    Textbook union-by-size with full path compression; the differential-
+    testing oracle.
+"""
+
+from repro.unionfind.ecl import EclUnionFind, find_roots, finalize_labels, union_batch
+from repro.unionfind.sequential import SequentialUnionFind
+
+__all__ = [
+    "EclUnionFind",
+    "SequentialUnionFind",
+    "find_roots",
+    "finalize_labels",
+    "union_batch",
+]

@@ -1,0 +1,58 @@
+"""Textbook sequential union-find (union by size, full path compression).
+
+This is the differential-testing oracle for :mod:`repro.unionfind.ecl`:
+both structures must induce identical partitions for any edge sequence.
+It is also what the CUDA-DClust baseline's host-side collision resolution
+uses, matching that algorithm's CPU final stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SequentialUnionFind:
+    """Classic disjoint-set forest over ``n`` elements."""
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError(f"negative element count: {n}")
+        self._parent = list(range(n))
+        self._size = [1] * n
+
+    @property
+    def n(self) -> int:
+        return len(self._parent)
+
+    def find(self, x: int) -> int:
+        """Representative of ``x`` (with full path compression)."""
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; returns ``True`` if they were
+        previously distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """Whether ``a`` and ``b`` are currently in the same set."""
+        return self.find(a) == self.find(b)
+
+    def labels(self) -> np.ndarray:
+        """Flat representative array (the analogue of ECL finalisation)."""
+        return np.array([self.find(x) for x in range(self.n)], dtype=np.int64)
+
+    def n_sets(self) -> int:
+        """Number of disjoint sets."""
+        return len({self.find(x) for x in range(self.n)})

@@ -1,0 +1,73 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device.device import Device, get_default_device
+
+
+@pytest.fixture
+def rng():
+    """A per-test deterministic generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def device():
+    """A fresh accounting device (never the shared default)."""
+    return Device(name="test-gpu")
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_device():
+    """Keep the shared default device's ledgers from leaking across tests."""
+    yield
+    get_default_device().reset()
+
+
+@pytest.fixture
+def blobs_2d(rng):
+    """Two tight 2-D clusters plus scattered noise (400 points)."""
+    return np.concatenate(
+        [
+            rng.normal(0.0, 0.1, size=(180, 2)),
+            rng.normal(3.0, 0.1, size=(170, 2)),
+            rng.uniform(-2.0, 5.0, size=(50, 2)),
+        ]
+    )
+
+
+@pytest.fixture
+def blobs_3d(rng):
+    """Three 3-D clusters plus noise (330 points)."""
+    return np.concatenate(
+        [
+            rng.normal(0.0, 0.15, size=(100, 3)),
+            rng.normal(2.0, 0.15, size=(100, 3)),
+            rng.normal(-2.0, 0.15, size=(100, 3)),
+            rng.uniform(-4.0, 4.0, size=(30, 3)),
+        ]
+    )
+
+
+def brute_neighbor_counts(X: np.ndarray, eps: float) -> np.ndarray:
+    """Reference |N_eps(x)| (self included, dist <= eps)."""
+    diff = X[:, None, :] - X[None, :, :]
+    d2 = np.einsum("ijk,ijk->ij", diff, diff)
+    return (d2 <= eps * eps).sum(axis=1)
+
+
+def brute_pairs(X: np.ndarray, eps: float) -> set[tuple[int, int]]:
+    """Reference unordered neighbour pairs (i < j, dist <= eps)."""
+    diff = X[:, None, :] - X[None, :, :]
+    d2 = np.einsum("ijk,ijk->ij", diff, diff)
+    adj = d2 <= eps * eps
+    out = set()
+    n = X.shape[0]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if adj[i, j]:
+                out.add((i, j))
+    return out

@@ -1,0 +1,115 @@
+"""Tests for AABB operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bvh.aabb import (
+    box_contains_box,
+    boxes_from_points,
+    merge_aabbs,
+    mindist_point_box_sq,
+    scene_bounds,
+    validate_boxes,
+)
+
+
+class TestConstruction:
+    def test_boxes_from_points_degenerate(self):
+        pts = np.array([[1.0, 2.0], [3.0, 4.0]])
+        lo, hi = boxes_from_points(pts)
+        np.testing.assert_array_equal(lo, pts)
+        np.testing.assert_array_equal(hi, pts)
+        # copies, not views
+        lo[0, 0] = 99
+        assert pts[0, 0] == 1.0
+
+    def test_scene_bounds(self):
+        lo = np.array([[0.0, 1.0], [2.0, -1.0]])
+        hi = np.array([[1.0, 2.0], [3.0, 0.0]])
+        slo, shi = scene_bounds(lo, hi)
+        np.testing.assert_array_equal(slo, [0.0, -1.0])
+        np.testing.assert_array_equal(shi, [3.0, 2.0])
+
+    def test_scene_bounds_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            scene_bounds(np.zeros((0, 2)), np.zeros((0, 2)))
+
+    def test_merge(self):
+        lo, hi = merge_aabbs(
+            np.array([[0.0, 0.0]]),
+            np.array([[1.0, 1.0]]),
+            np.array([[0.5, -1.0]]),
+            np.array([[2.0, 0.5]]),
+        )
+        np.testing.assert_array_equal(lo, [[0.0, -1.0]])
+        np.testing.assert_array_equal(hi, [[2.0, 1.0]])
+
+
+class TestMinDist:
+    def test_point_inside_box_is_zero(self):
+        d2 = mindist_point_box_sq(
+            np.array([[0.5, 0.5]]), np.array([[0.0, 0.0]]), np.array([[1.0, 1.0]])
+        )
+        assert d2[0] == 0.0
+
+    def test_point_outside_face(self):
+        d2 = mindist_point_box_sq(
+            np.array([[2.0, 0.5]]), np.array([[0.0, 0.0]]), np.array([[1.0, 1.0]])
+        )
+        assert d2[0] == pytest.approx(1.0)
+
+    def test_point_outside_corner(self):
+        d2 = mindist_point_box_sq(
+            np.array([[2.0, 2.0]]), np.array([[0.0, 0.0]]), np.array([[1.0, 1.0]])
+        )
+        assert d2[0] == pytest.approx(2.0)
+
+    def test_degenerate_box_equals_point_distance(self):
+        rng = np.random.default_rng(3)
+        p = rng.normal(size=(50, 3))
+        q = rng.normal(size=(50, 3))
+        d2 = mindist_point_box_sq(p, q, q)
+        np.testing.assert_allclose(d2, ((p - q) ** 2).sum(axis=1))
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_mindist_lower_bounds_any_inner_point(self, seed):
+        # mindist(point, box) must lower-bound the distance to every point
+        # inside the box — the property traversal pruning relies on.
+        rng = np.random.default_rng(seed)
+        lo = rng.uniform(-1, 0, size=(1, 2))
+        hi = lo + rng.uniform(0.1, 1, size=(1, 2))
+        q = rng.uniform(-3, 3, size=(1, 2))
+        d2 = mindist_point_box_sq(q, lo, hi)[0]
+        inner = rng.uniform(lo, hi, size=(20, 2))
+        inner_d2 = ((q - inner) ** 2).sum(axis=1)
+        assert (inner_d2 >= d2 - 1e-12).all()
+
+
+class TestValidate:
+    def test_accepts_valid(self):
+        validate_boxes(np.zeros((3, 2)), np.ones((3, 2)))
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError, match="matching"):
+            validate_boxes(np.zeros((3, 2)), np.ones((2, 2)))
+
+    def test_rejects_nonfinite(self):
+        lo = np.zeros((1, 2))
+        hi = np.array([[np.inf, 1.0]])
+        with pytest.raises(ValueError, match="finite"):
+            validate_boxes(lo, hi)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError, match="lo > hi"):
+            validate_boxes(np.ones((1, 2)), np.zeros((1, 2)))
+
+    def test_contains(self):
+        outer_lo = np.array([[0.0, 0.0]])
+        outer_hi = np.array([[2.0, 2.0]])
+        inner_lo = np.array([[0.5, 0.5]])
+        inner_hi = np.array([[1.0, 1.0]])
+        assert box_contains_box(outer_lo, outer_hi, inner_lo, inner_hi)[0]
+        assert not box_contains_box(inner_lo, inner_hi, outer_lo, outer_hi)[0]

@@ -1,0 +1,136 @@
+"""Baseline-specific behaviours: G-DBSCAN's memory profile and OOM mode,
+CUDA-DClust's chains/collisions, DSDBSCAN, and the brute reference."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    brute_dbscan,
+    cuda_dclust,
+    dsdbscan,
+    gdbscan,
+    sequential_dbscan,
+)
+from repro.device.device import Device
+from repro.device.memory import DeviceMemoryError
+from repro.metrics.equivalence import assert_dbscan_equivalent
+
+
+class TestGDBSCAN:
+    def test_adjacency_memory_charged(self, blobs_2d):
+        dev = Device()
+        gdbscan(blobs_2d, 0.3, 5, device=dev)
+        assert dev.memory.peak_by_tag["adjacency"] > 0
+
+    def test_memory_grows_with_eps(self, blobs_2d):
+        dev_small, dev_big = Device(), Device()
+        gdbscan(blobs_2d, 0.1, 5, device=dev_small)
+        gdbscan(blobs_2d, 0.8, 5, device=dev_big)
+        assert (
+            dev_big.memory.peak_by_tag["adjacency"]
+            > dev_small.memory.peak_by_tag["adjacency"]
+        )
+
+    def test_oom_on_capped_device(self, rng):
+        # Dense data + tiny device: the paper's Figure 4(h) failure mode.
+        X = rng.normal(0, 0.01, size=(500, 2))
+        dev = Device(capacity_bytes=10_000)
+        with pytest.raises(DeviceMemoryError):
+            gdbscan(X, 0.5, 5, device=dev)
+
+    def test_oom_charged_before_materialisation(self, rng):
+        X = rng.normal(0, 0.01, size=(300, 2))
+        dev = Device(capacity_bytes=1)
+        with pytest.raises(DeviceMemoryError) as exc:
+            gdbscan(X, 0.5, 5, device=dev)
+        assert exc.value.tag == "adjacency"
+
+    def test_distance_evals_are_all_to_all(self, blobs_2d):
+        dev = Device()
+        gdbscan(blobs_2d, 0.3, 5, device=dev)
+        n = blobs_2d.shape[0]
+        assert dev.counters.distance_evals == n * n
+
+    def test_info_edge_count(self, blobs_2d):
+        res = gdbscan(blobs_2d, 0.3, 5)
+        assert res.info["n_edges"] >= 0
+
+
+class TestCudaDclust:
+    def test_chain_and_collision_stats(self, blobs_2d):
+        res = cuda_dclust(blobs_2d, 0.3, 5)
+        assert res.info["n_chains"] >= res.n_clusters
+        assert res.info["n_collisions"] >= 0
+
+    def test_small_blocks_force_collisions(self, rng):
+        # One big cluster, one chain per round: every later seed collides.
+        X = rng.normal(0, 0.05, size=(300, 2))
+        res = cuda_dclust(X, 0.3, 5, chains_per_round=1)
+        assert res.n_clusters == 1
+
+    @pytest.mark.parametrize("chains_per_round", [1, 4, 256])
+    def test_block_size_does_not_change_clustering(self, blobs_2d, chains_per_round):
+        base = sequential_dbscan(blobs_2d, 0.3, 5)
+        res = cuda_dclust(blobs_2d, 0.3, 5, chains_per_round=chains_per_round)
+        assert_dbscan_equivalent(base, res, blobs_2d, 0.3)
+
+    def test_collision_matrix_memory_quadratic_in_chains(self, blobs_2d):
+        dev = Device()
+        res = cuda_dclust(blobs_2d, 0.3, 5, device=dev)
+        assert dev.memory.peak_by_tag["collision_matrix"] == max(res.info["n_chains"], 1) ** 2
+
+    def test_all_noise(self, rng):
+        X = rng.uniform(0, 100, size=(100, 2))
+        res = cuda_dclust(X, 0.01, 3)
+        assert res.n_clusters == 0
+        assert res.info["n_chains"] == 0
+
+
+class TestDSDBSCAN:
+    def test_matches_oracle(self, blobs_2d):
+        base = sequential_dbscan(blobs_2d, 0.3, 5)
+        res = dsdbscan(blobs_2d, 0.3, 5)
+        assert_dbscan_equivalent(base, res, blobs_2d, 0.3)
+
+    def test_minpts_regimes(self, blobs_2d):
+        for mp in (1, 2, 10):
+            base = sequential_dbscan(blobs_2d, 0.3, mp)
+            res = dsdbscan(blobs_2d, 0.3, mp)
+            assert_dbscan_equivalent(base, res, blobs_2d, 0.3)
+
+
+class TestBrute:
+    def test_matches_oracle(self, blobs_2d):
+        base = sequential_dbscan(blobs_2d, 0.3, 5)
+        res = brute_dbscan(blobs_2d, 0.3, 5)
+        assert_dbscan_equivalent(base, res, blobs_2d, 0.3)
+
+    def test_high_dimensional_accepted(self, rng):
+        # Baselines are not Morton-limited.
+        X = rng.normal(0, 1, size=(60, 5))
+        res = brute_dbscan(X, 1.5, 4)
+        assert res.labels.shape == (60,)
+
+
+class TestSequentialOracleInternals:
+    def test_noise_reclaimed_as_border(self):
+        # A point visited before its cluster exists must still end up a
+        # border point (the "tentatively marked as noise" path).
+        # Index 0 is non-core and scanned first; the cluster around index 1+
+        # reaches it later.
+        line = np.column_stack([0.1 + 0.01 * np.arange(30), np.zeros(30)])
+        lone = np.array([[0.0, 0.0]])  # only within eps of the first line point
+        X = np.concatenate([lone, line])
+        res = sequential_dbscan(X, 0.1, 10)
+        assert not res.is_core[0]
+        assert res.labels[0] >= 0  # reclaimed, not noise
+
+    def test_border_first_cluster_wins_deterministic(self, blobs_2d):
+        a = sequential_dbscan(blobs_2d, 0.3, 5)
+        b = sequential_dbscan(blobs_2d, 0.3, 5)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_cluster_ids_are_consecutive(self, blobs_2d):
+        res = sequential_dbscan(blobs_2d, 0.3, 5)
+        got = np.unique(res.labels[res.labels >= 0])
+        np.testing.assert_array_equal(got, np.arange(res.n_clusters))

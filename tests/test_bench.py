@@ -1,0 +1,202 @@
+"""Tests for the benchmark harness and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import RunRecord, run_once, run_sweep
+from repro.bench.report import format_records, format_series
+from repro.datasets import gaussian_blobs
+
+
+@pytest.fixture(scope="module")
+def small_blobs():
+    return gaussian_blobs(300, centers=3, std=0.05, seed=0)
+
+
+class TestRunOnce:
+    def test_ok_record(self, small_blobs):
+        rec = run_once("fdbscan", small_blobs, 0.2, 5, dataset="blobs")
+        assert rec.status == "ok"
+        assert rec.seconds > 0
+        assert rec.n_clusters == 3
+        assert rec.counters["distance_evals"] > 0
+        assert rec.peak_bytes > 0
+
+    def test_oom_record(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(0, 0.01, size=(400, 2))
+        rec = run_once("gdbscan", X, 0.5, 5, capacity_bytes=1000)
+        assert rec.status == "oom"
+        assert "OOM" in rec.detail or "capacity" in rec.detail
+
+    def test_fresh_device_per_run(self, small_blobs):
+        a = run_once("fdbscan", small_blobs, 0.2, 5)
+        b = run_once("fdbscan", small_blobs, 0.2, 5)
+        assert a.counters["distance_evals"] == b.counters["distance_evals"]
+
+    def test_as_row_keys(self, small_blobs):
+        row = run_once("fdbscan", small_blobs, 0.2, 5).as_row()
+        assert {"algorithm", "seconds", "status", "clusters"} <= set(row)
+
+
+class TestRunSweep:
+    def test_full_grid(self, small_blobs):
+        cells = [{"eps": 0.2, "min_samples": m} for m in (3, 5)]
+        records = run_sweep(
+            ["fdbscan", "densebox"], cells, lambda c: small_blobs, dataset="blobs"
+        )
+        assert len(records) == 4
+        assert all(r.status == "ok" for r in records)
+
+    def test_time_budget_skips(self, small_blobs):
+        cells = [{"eps": 0.2, "min_samples": m} for m in (3, 4, 5)]
+        records = run_sweep(
+            ["fdbscan"], cells, lambda c: small_blobs, time_budget=0.0
+        )
+        # first cell runs (and busts the budget), the rest are skipped
+        assert records[0].status == "ok"
+        assert all(r.status == "skipped" for r in records[1:])
+
+    def test_oom_does_not_abort_sweep(self):
+        # G-DBSCAN's persistent adjacency graph busts the cap; FDBSCAN with
+        # a bounded wavefront chunk stays under it.
+        rng = np.random.default_rng(1)
+        X = rng.normal(0, 0.01, size=(300, 2))
+        cells = [{"eps": 0.5, "min_samples": 5}]
+        records = run_sweep(
+            ["gdbscan", "fdbscan"],
+            cells,
+            lambda c: X,
+            capacity_bytes=400_000,
+            tree_kwargs={"chunk_size": 16},
+        )
+        statuses = {r.algorithm: r.status for r in records}
+        assert statuses["gdbscan"] == "oom"
+        assert statuses["fdbscan"] == "ok"
+
+
+class TestReport:
+    def _records(self):
+        return [
+            RunRecord("fdbscan", "d", 100, 0.1, 5, seconds=0.5, status="ok"),
+            RunRecord("fdbscan", "d", 200, 0.1, 5, seconds=1.0, status="ok"),
+            RunRecord("gdbscan", "d", 100, 0.1, 5, seconds=0.2, status="ok"),
+            RunRecord("gdbscan", "d", 200, 0.1, 5, status="oom"),
+        ]
+
+    def test_series_layout(self):
+        out = format_series(self._records(), x_key="n", title="panel")
+        lines = out.splitlines()
+        assert lines[0] == "panel"
+        assert "100" in lines[1] and "200" in lines[1]
+        assert lines[2].startswith("fdbscan")
+        assert "oom" in lines[3]
+
+    def test_records_table(self):
+        out = format_records(self._records())
+        assert "algorithm" in out.splitlines()[0]
+        assert len(out.splitlines()) == 2 + 4
+
+    def test_empty_records(self):
+        assert format_records([]) == "(no records)"
+
+    def test_selected_columns(self):
+        out = format_records(self._records(), columns=["algorithm", "seconds"])
+        assert out.splitlines()[0].split() == ["algorithm", "seconds"]
+
+
+class TestAsciiLogLog:
+    def _scaling_records(self):
+        from repro.bench.report import ascii_loglog  # noqa: F401
+
+        return [
+            RunRecord("fdbscan", "d", n, 0.1, 5, seconds=n / 1e4, status="ok")
+            for n in (1024, 2048, 4096)
+        ] + [
+            RunRecord("gdbscan", "d", 1024, 0.1, 5, seconds=0.01, status="ok"),
+            RunRecord("gdbscan", "d", 2048, 0.1, 5, status="oom"),
+        ]
+
+    def test_plot_contains_glyphs_and_legend(self):
+        from repro.bench.report import ascii_loglog
+
+        out = ascii_loglog(self._scaling_records(), x_key="n", title="scal")
+        assert out.startswith("scal")
+        assert "o=fdbscan" in out
+        assert "x=gdbscan" in out
+        assert "o" in out.splitlines()[3] or any("o" in l for l in out.splitlines())
+
+    def test_failed_cells_absent(self):
+        from repro.bench.report import ascii_loglog
+
+        out = ascii_loglog(self._scaling_records(), x_key="n")
+        # only one gdbscan point plotted (the oom cell is dropped)
+        body = "\n".join(out.splitlines()[1:-2])
+        assert body.count("x") == 1
+
+    def test_empty(self):
+        from repro.bench.report import ascii_loglog
+
+        assert "no plottable" in ascii_loglog([], x_key="n", title="t")
+
+
+class TestErrorCapture:
+    def test_arbitrary_failure_becomes_error_cell(self):
+        # a 5-D input breaks the tree algorithms' validation — the sweep
+        # must record an error cell, not die
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(20, 5))
+        rec = run_once("fdbscan", X, 0.5, 3)
+        assert rec.status == "error"
+        assert "ValueError" in rec.detail
+
+    def test_error_does_not_abort_sweep(self):
+        rng = np.random.default_rng(0)
+        X5 = rng.normal(size=(20, 5))
+        cells = [{"eps": 0.5, "min_samples": 3}]
+        records = run_sweep(["fdbscan", "brute"], cells, lambda c: X5)
+        statuses = {r.algorithm: r.status for r in records}
+        assert statuses["fdbscan"] == "error"
+        assert statuses["brute"] == "ok"  # baselines accept any d
+
+
+class TestAsciiDensity:
+    def test_basic_shape(self):
+        from repro.bench.report import ascii_density
+
+        rng = np.random.default_rng(0)
+        out = ascii_density(rng.uniform(size=(500, 2)), width=40, height=10, title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 12  # title + 10 rows + axis line
+        assert all(len(l) == 40 for l in lines[1:11])
+        assert "n=500" in lines[-1]
+
+    def test_dense_spot_renders_darker(self):
+        from repro.bench.report import ascii_density
+
+        rng = np.random.default_rng(1)
+        clump = rng.normal(0.2, 0.005, size=(900, 2))
+        spread = rng.uniform(0, 1, size=(100, 2))
+        out = ascii_density(np.concatenate([clump, spread]), width=30, height=10)
+        assert "@" in out
+
+    def test_3d_projection_axes(self):
+        from repro.bench.report import ascii_density
+
+        rng = np.random.default_rng(2)
+        X = rng.uniform(size=(200, 3))
+        a = ascii_density(X, axes=(0, 1))
+        b = ascii_density(X, axes=(0, 2))
+        assert a != b
+
+    def test_empty(self):
+        from repro.bench.report import ascii_density
+
+        assert "(no points)" in ascii_density(np.zeros((0, 2)), title="e")
+
+    def test_degenerate_single_point(self):
+        from repro.bench.report import ascii_density
+
+        out = ascii_density(np.array([[1.0, 1.0]]))
+        assert "n=1" in out

@@ -1,0 +1,84 @@
+"""Tests for benchmark record persistence and regression comparison."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import RunRecord, run_once
+from repro.bench.history import compare_records, load_records, save_records
+from repro.datasets import gaussian_blobs
+
+
+def _rec(algorithm="fdbscan", n=100, seconds=1.0, status="ok", clusters=3, noise=5):
+    return RunRecord(
+        algorithm=algorithm,
+        dataset="d",
+        n=n,
+        eps=0.1,
+        min_samples=5,
+        seconds=seconds,
+        status=status,
+        n_clusters=clusters,
+        n_noise=noise,
+        counters={"distance_evals": 42},
+    )
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        path = str(tmp_path / "run.json")
+        records = [_rec(), _rec(algorithm="gdbscan", status="oom", seconds=float("nan"))]
+        save_records(path, records, meta={"commit": "abc"})
+        back, meta = load_records(path)
+        assert meta == {"commit": "abc"}
+        assert len(back) == 2
+        assert back[0].algorithm == "fdbscan"
+        assert back[0].counters == {"distance_evals": 42}
+        assert back[1].status == "oom"
+        assert math.isnan(back[1].seconds)
+
+    def test_real_record_roundtrip(self, tmp_path):
+        X = gaussian_blobs(200, centers=2, std=0.05, seed=0)
+        rec = run_once("fdbscan", X, 0.2, 5, dataset="blobs")
+        path = str(tmp_path / "real.json")
+        save_records(path, [rec])
+        back, _ = load_records(path)
+        assert back[0].n_clusters == rec.n_clusters
+        assert back[0].seconds == pytest.approx(rec.seconds)
+        assert back[0].counters == {k: int(v) for k, v in rec.counters.items()}
+
+
+class TestCompare:
+    def test_regression_flagged(self):
+        report = compare_records([_rec(seconds=1.0)], [_rec(seconds=2.0)])
+        assert len(report["regressions"]) == 1
+        assert report["regressions"][0]["ratio"] == pytest.approx(2.0)
+        assert not report["improvements"]
+
+    def test_improvement_flagged(self):
+        report = compare_records([_rec(seconds=2.0)], [_rec(seconds=1.0)])
+        assert len(report["improvements"]) == 1
+
+    def test_within_threshold_quiet(self):
+        report = compare_records([_rec(seconds=1.0)], [_rec(seconds=1.1)])
+        assert not report["regressions"]
+        assert not report["improvements"]
+
+    def test_status_change(self):
+        report = compare_records([_rec(status="ok")], [_rec(status="oom")])
+        assert report["status_changes"][0]["after"] == "oom"
+
+    def test_result_change_is_correctness_alarm(self):
+        report = compare_records([_rec(clusters=3)], [_rec(clusters=4)])
+        assert len(report["result_changes"]) == 1
+
+    def test_unmatched_cells(self):
+        report = compare_records([_rec(n=100)], [_rec(n=200)])
+        assert len(report["unmatched"]) == 2
+
+    def test_custom_threshold(self):
+        report = compare_records(
+            [_rec(seconds=1.0)], [_rec(seconds=1.4)], regression_threshold=1.5
+        )
+        assert not report["regressions"]

@@ -1,0 +1,173 @@
+"""Structural tests for the Karras linear BVH construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bvh.aabb import boxes_from_points
+from repro.bvh.builder import _clz64, _delta, build_bvh, release_bvh
+from repro.device.device import Device
+
+
+def _random_tree(n, d, seed, clustered=False):
+    rng = np.random.default_rng(seed)
+    if clustered:
+        centers = rng.uniform(0, 10, size=(max(1, n // 20), d))
+        pts = centers[rng.integers(0, centers.shape[0], n)] + rng.normal(0, 0.01, (n, d))
+    else:
+        pts = rng.uniform(0, 1, size=(n, d))
+    lo, hi = boxes_from_points(pts)
+    return pts, build_bvh(lo, hi)
+
+
+class TestClz:
+    def test_known_values(self):
+        vals = np.array([0, 1, 2, 2**63], dtype=np.uint64)
+        np.testing.assert_array_equal(_clz64(vals), [64, 63, 62, 0])
+
+    @given(st.integers(0, 63))
+    @settings(max_examples=64, deadline=None)
+    def test_single_bit(self, k):
+        assert _clz64(np.array([1 << k], dtype=np.uint64))[0] == 63 - k
+
+
+class TestDelta:
+    def test_out_of_range_is_minus_one(self):
+        codes = np.array([0, 1], dtype=np.int64)
+        assert _delta(codes, np.array([0]), np.array([-1]))[0] == -1
+        assert _delta(codes, np.array([0]), np.array([2]))[0] == -1
+
+    def test_equal_codes_use_index_tiebreak(self):
+        codes = np.array([5, 5, 6], dtype=np.int64)
+        d_equal = _delta(codes, np.array([0]), np.array([1]))[0]
+        d_diff = _delta(codes, np.array([1]), np.array([2]))[0]
+        assert d_equal > 64  # tie-break regime
+        assert d_diff <= 63
+
+    def test_symmetry(self):
+        codes = np.array([3, 9, 12, 12], dtype=np.int64)
+        for i in range(4):
+            for j in range(4):
+                a = _delta(codes, np.array([i]), np.array([j]))[0]
+                b = _delta(codes, np.array([j]), np.array([i]))[0]
+                assert a == b
+
+
+def _check_invariants(tree):
+    """Full structural validation of a built tree."""
+    n = tree.n_primitives
+    tree.validate()
+    if n == 1:
+        assert tree.levels == []
+        return
+    # Each internal node's range is the concatenation of its children's.
+    for i in range(n - 1):
+        l, r = tree.left[i], tree.right[i]
+        assert tree.node_range_lo[i] == tree.node_range_lo[l]
+        assert tree.node_range_hi[i] == tree.node_range_hi[r]
+        assert tree.node_range_hi[l] + 1 == tree.node_range_lo[r]
+    # Root covers everything.
+    assert tree.node_range_lo[0] == 0
+    assert tree.node_range_hi[0] == n - 1
+    # parent pointers invert children.
+    for i in range(n - 1):
+        assert tree.parent[tree.left[i]] == i
+        assert tree.parent[tree.right[i]] == i
+    assert tree.parent[0] == -1
+    # order/position are inverse permutations.
+    np.testing.assert_array_equal(tree.position[tree.order], np.arange(n))
+    # levels cover each internal node exactly once, parents above children.
+    seen = np.concatenate(tree.levels)
+    assert sorted(seen.tolist()) == list(range(n - 1))
+    depth = np.empty(n - 1, dtype=int)
+    for d, level in enumerate(tree.levels):
+        depth[level] = d
+    for i in range(n - 1):
+        for child in (tree.left[i], tree.right[i]):
+            if child < n - 1:
+                assert depth[child] == depth[i] + 1
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 64, 257])
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_invariants_random(self, n, d):
+        _, tree = _random_tree(n, d, seed=n * 10 + d)
+        assert tree.n_primitives == n
+        _check_invariants(tree)
+
+    @pytest.mark.parametrize("n", [16, 100])
+    def test_invariants_clustered(self, n):
+        _, tree = _random_tree(n, 2, seed=n, clustered=True)
+        _check_invariants(tree)
+
+    def test_all_duplicate_points(self):
+        pts = np.ones((32, 2))
+        lo, hi = boxes_from_points(pts)
+        tree = build_bvh(lo, hi)
+        _check_invariants(tree)
+        np.testing.assert_array_equal(tree.node_lo[0], [1.0, 1.0])
+
+    def test_collinear_points(self):
+        pts = np.column_stack([np.linspace(0, 1, 50), np.zeros(50)])
+        lo, hi = boxes_from_points(pts)
+        tree = build_bvh(lo, hi)
+        _check_invariants(tree)
+
+    def test_mixed_boxes_and_points(self):
+        rng = np.random.default_rng(5)
+        pt = rng.uniform(0, 1, size=(20, 2))
+        lo = np.concatenate([pt, rng.uniform(0, 1, size=(10, 2))])
+        hi = lo.copy()
+        hi[20:] += 0.1  # real boxes
+        tree = build_bvh(lo, hi)
+        _check_invariants(tree)
+
+    def test_leaf_boxes_match_primitives(self):
+        pts, tree = _random_tree(40, 2, seed=9)
+        n = tree.n_primitives
+        np.testing.assert_array_equal(tree.node_lo[n - 1 :], pts[tree.order])
+        np.testing.assert_array_equal(tree.node_hi[n - 1 :], pts[tree.order])
+
+    def test_root_box_is_scene_bounds(self):
+        pts, tree = _random_tree(100, 3, seed=2)
+        np.testing.assert_allclose(tree.node_lo[0], pts.min(axis=0))
+        np.testing.assert_allclose(tree.node_hi[0], pts.max(axis=0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="zero primitives"):
+            build_bvh(np.zeros((0, 2)), np.zeros((0, 2)))
+
+    def test_memory_charged_and_released(self):
+        dev = Device()
+        pts = np.random.default_rng(0).uniform(size=(50, 2))
+        lo, hi = boxes_from_points(pts)
+        tree = build_bvh(lo, hi, device=dev)
+        assert dev.memory.live_by_tag["bvh"] == tree.nbytes() > 0
+        release_bvh(tree, device=dev)
+        assert dev.memory.live_by_tag["bvh"] == 0
+
+    def test_build_records_kernel(self):
+        dev = Device()
+        pts = np.random.default_rng(0).uniform(size=(8, 2))
+        lo, hi = boxes_from_points(pts)
+        build_bvh(lo, hi, device=dev)
+        assert any(l.name == "bvh_build" for l in dev.launches)
+
+    @given(st.integers(2, 200), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_property(self, n, seed):
+        _, tree = _random_tree(n, 2, seed=seed)
+        _check_invariants(tree)
+
+    @given(st.integers(2, 60), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_invariants_with_heavy_duplicates(self, n, seed):
+        rng = np.random.default_rng(seed)
+        # Points drawn from 3 exact locations: massive Morton ties.
+        sites = rng.uniform(0, 1, size=(3, 2))
+        pts = sites[rng.integers(0, 3, size=n)]
+        lo, hi = boxes_from_points(pts)
+        tree = build_bvh(lo, hi)
+        _check_invariants(tree)

@@ -1,0 +1,113 @@
+"""Tests for tree quality metrics and alternative orderings."""
+
+import numpy as np
+import pytest
+
+from repro.bvh.aabb import boxes_from_points
+from repro.bvh.builder import build_bvh
+from repro.bvh.statistics import (
+    leaf_depths,
+    scanline_codes,
+    shuffled_codes,
+    tree_statistics,
+)
+from repro.bvh.traversal import count_within
+from repro.device.device import Device
+
+from tests.conftest import brute_neighbor_counts
+
+
+def _tree(pts, codes=None):
+    lo, hi = boxes_from_points(pts)
+    return build_bvh(lo, hi, codes=codes)
+
+
+class TestLeafDepths:
+    def test_single_leaf(self):
+        tree = _tree(np.zeros((1, 2)))
+        np.testing.assert_array_equal(leaf_depths(tree), [0])
+
+    def test_balanced_power_of_two(self):
+        # Explicit 3-bit codes 0..7: the radix tree is a perfect tree.
+        pts = np.linspace(0, 1, 8).reshape(-1, 1)
+        tree = _tree(pts, codes=np.arange(8, dtype=np.int64))
+        np.testing.assert_array_equal(leaf_depths(tree), np.full(8, 3))
+
+    def test_depths_positive_and_bounded(self, rng):
+        pts = rng.uniform(0, 1, size=(200, 2))
+        tree = _tree(pts)
+        depths = leaf_depths(tree)
+        assert depths.shape == (200,)
+        assert depths.min() >= 1
+        assert depths.max() <= 199
+
+
+class TestTreeStatistics:
+    def test_fields(self, rng):
+        pts = rng.uniform(0, 1, size=(128, 2))
+        stats = tree_statistics(_tree(pts))
+        assert stats.n_primitives == 128
+        assert stats.max_depth >= stats.mean_leaf_depth > 0
+        assert stats.sah_cost > 0
+        assert stats.sibling_overlap >= 0
+        assert set(stats.as_dict()) == {
+            "n_primitives",
+            "max_depth",
+            "mean_leaf_depth",
+            "sah_cost",
+            "sibling_overlap",
+        }
+
+    def test_single_primitive(self):
+        stats = tree_statistics(_tree(np.zeros((1, 3))))
+        assert stats.max_depth == 0
+        assert stats.sibling_overlap == 0.0
+
+    def test_morton_beats_shuffled_quality(self, rng):
+        pts = rng.uniform(0, 1, size=(512, 2))
+        good = tree_statistics(_tree(pts))
+        bad = tree_statistics(_tree(pts, codes=shuffled_codes(pts, seed=1)))
+        assert good.sah_cost < bad.sah_cost
+        assert good.sibling_overlap < bad.sibling_overlap
+
+    def test_morton_beats_scanline_sah(self, rng):
+        # Scanline slabs do not overlap (disjoint x-ranges) but their
+        # surface area — hence expected traversal cost — is worse.
+        pts = rng.uniform(0, 1, size=(512, 2))
+        good = tree_statistics(_tree(pts))
+        scan = tree_statistics(_tree(pts, codes=scanline_codes(pts)))
+        assert good.sah_cost < scan.sah_cost
+
+    def test_scanline_traversal_visits_more_nodes(self, rng):
+        pts = rng.uniform(0, 1, size=(800, 2))
+        dev_good, dev_scan = Device(), Device()
+        count_within(_tree(pts), pts, 0.1, device=dev_good)
+        count_within(_tree(pts, codes=scanline_codes(pts)), pts, 0.1, device=dev_scan)
+        assert dev_good.counters.nodes_visited < dev_scan.counters.nodes_visited
+
+
+class TestAlternativeOrderingsStayCorrect:
+    @pytest.mark.parametrize("order", ["scanline", "shuffled"])
+    def test_traversal_results_identical(self, rng, order):
+        # A degraded order changes the *cost*, never the answer.
+        pts = rng.uniform(0, 1, size=(150, 2))
+        codes = scanline_codes(pts) if order == "scanline" else shuffled_codes(pts)
+        tree = _tree(pts, codes=codes)
+        tree.validate()
+        counts = count_within(tree, pts, 0.15)
+        np.testing.assert_array_equal(counts, brute_neighbor_counts(pts, 0.15))
+
+    def test_morton_traversal_visits_fewer_nodes(self, rng):
+        pts = rng.uniform(0, 1, size=(800, 2))
+        dev_good, dev_bad = Device(), Device()
+        count_within(_tree(pts), pts, 0.1, device=dev_good)
+        count_within(_tree(pts, codes=shuffled_codes(pts)), pts, 0.1, device=dev_bad)
+        assert dev_good.counters.nodes_visited < dev_bad.counters.nodes_visited / 2
+
+    def test_codes_validation(self, rng):
+        pts = rng.uniform(0, 1, size=(10, 2))
+        lo, hi = boxes_from_points(pts)
+        with pytest.raises(ValueError, match="codes must be"):
+            build_bvh(lo, hi, codes=np.zeros(5, dtype=np.int64))
+        with pytest.raises(ValueError, match="non-negative"):
+            build_bvh(lo, hi, codes=np.full(10, -1, dtype=np.int64))

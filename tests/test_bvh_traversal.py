@@ -1,0 +1,218 @@
+"""Correctness tests for batched BVH traversal: completeness vs brute
+force, early termination, the leaf-index mask, and chunking invariance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bvh.aabb import boxes_from_points
+from repro.bvh.builder import build_bvh
+from repro.bvh.traversal import count_within, for_each_leaf_hit
+from repro.device.device import Device
+
+from tests.conftest import brute_neighbor_counts, brute_pairs
+
+
+def _tree_over(pts):
+    lo, hi = boxes_from_points(pts)
+    return build_bvh(lo, hi)
+
+
+def _collect_pairs(tree, pts, eps, **kw):
+    pairs = []
+
+    def cb(q, pos):
+        nbr = tree.order[pos]
+        pairs.extend(zip(q.tolist(), nbr.tolist()))
+
+    result = for_each_leaf_hit(tree, pts, eps, cb, **kw)
+    return pairs, result
+
+
+class TestCountWithin:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    @pytest.mark.parametrize("eps", [0.05, 0.2, 0.7])
+    def test_counts_match_brute_force(self, d, eps):
+        rng = np.random.default_rng(d * 100)
+        pts = rng.uniform(0, 1, size=(150, d))
+        tree = _tree_over(pts)
+        counts = count_within(tree, pts, eps)
+        np.testing.assert_array_equal(counts, brute_neighbor_counts(pts, eps))
+
+    def test_external_queries(self):
+        rng = np.random.default_rng(7)
+        pts = rng.uniform(0, 1, size=(100, 2))
+        queries = rng.uniform(-0.5, 1.5, size=(40, 2))
+        tree = _tree_over(pts)
+        counts = count_within(tree, queries, 0.15)
+        diff = queries[:, None, :] - pts[None, :, :]
+        expected = (np.einsum("ijk,ijk->ij", diff, diff) <= 0.15**2).sum(axis=1)
+        np.testing.assert_array_equal(counts, expected)
+
+    def test_every_point_counts_itself(self):
+        rng = np.random.default_rng(8)
+        pts = rng.uniform(0, 1, size=(60, 2))
+        tree = _tree_over(pts)
+        counts = count_within(tree, pts, 1e-12)
+        assert (counts >= 1).all()
+
+    def test_early_exit_truncates_at_threshold(self):
+        rng = np.random.default_rng(9)
+        pts = rng.normal(0, 0.01, size=(300, 2))  # everything neighbours everything
+        tree = _tree_over(pts)
+        full = count_within(tree, pts, 1.0)
+        assert (full == 300).all()
+        capped = count_within(tree, pts, 1.0, stop_at=10)
+        assert (capped >= 10).all()
+        assert capped.sum() < full.sum()  # actually terminated early
+
+    def test_early_exit_agrees_on_core_decision(self):
+        rng = np.random.default_rng(10)
+        pts = np.concatenate(
+            [rng.normal(0, 0.05, (100, 2)), rng.uniform(-3, 3, (100, 2))]
+        )
+        tree = _tree_over(pts)
+        minpts = 8
+        exact = count_within(tree, pts, 0.2) >= minpts
+        early = count_within(tree, pts, 0.2, stop_at=minpts) >= minpts
+        np.testing.assert_array_equal(exact, early)
+
+    def test_early_exit_reduces_node_visits(self):
+        rng = np.random.default_rng(11)
+        pts = rng.normal(0, 0.01, size=(400, 2))
+        tree = _tree_over(pts)
+        dev_full, dev_early = Device(), Device()
+        count_within(tree, pts, 1.0, device=dev_full)
+        count_within(tree, pts, 1.0, stop_at=5, device=dev_early)
+        assert dev_early.counters.nodes_visited < dev_full.counters.nodes_visited
+
+    def test_stop_at_zero_rejected(self):
+        tree = _tree_over(np.zeros((3, 2)))
+        with pytest.raises(ValueError, match="stop_at"):
+            count_within(tree, np.zeros((3, 2)), 0.1, stop_at=0)
+
+    def test_single_primitive_tree(self):
+        tree = _tree_over(np.array([[0.5, 0.5]]))
+        counts = count_within(tree, np.array([[0.5, 0.5], [2.0, 2.0]]), 0.1)
+        np.testing.assert_array_equal(counts, [1, 0])
+
+    def test_zero_queries(self):
+        tree = _tree_over(np.zeros((3, 2)))
+        assert count_within(tree, np.zeros((0, 2)), 0.1).shape == (0,)
+
+
+class TestLeafHits:
+    def test_unmasked_pairs_are_symmetric_and_complete(self):
+        rng = np.random.default_rng(20)
+        pts = rng.uniform(0, 1, size=(80, 2))
+        tree = _tree_over(pts)
+        pairs, _ = _collect_pairs(tree, pts, 0.2)
+        got = {(q, n) for q, n in pairs if q != n}
+        expected = set()
+        for i, j in brute_pairs(pts, 0.2):
+            expected.add((i, j))
+            expected.add((j, i))
+        assert got == expected
+        # self-hits present exactly once per point
+        self_hits = [(q, n) for q, n in pairs if q == n]
+        assert len(self_hits) == 80
+
+    def test_masked_pairs_each_edge_once(self):
+        rng = np.random.default_rng(21)
+        pts = rng.uniform(0, 1, size=(120, 2))
+        tree = _tree_over(pts)
+        pairs, _ = _collect_pairs(tree, pts, 0.15, mask_positions=tree.position)
+        # no duplicates, no self-pairs
+        assert len(pairs) == len(set(pairs))
+        assert all(q != n for q, n in pairs)
+        got = {frozenset(p) for p in pairs}
+        expected = {frozenset(p) for p in brute_pairs(pts, 0.15)}
+        assert got == expected
+
+    def test_mask_halves_pair_traffic(self):
+        rng = np.random.default_rng(22)
+        pts = rng.uniform(0, 1, size=(150, 2))
+        tree = _tree_over(pts)
+        unmasked, _ = _collect_pairs(tree, pts, 0.2)
+        masked, _ = _collect_pairs(tree, pts, 0.2, mask_positions=tree.position)
+        non_self = [p for p in unmasked if p[0] != p[1]]
+        assert len(masked) * 2 == len(non_self)
+
+    def test_mask_reduces_node_visits(self):
+        rng = np.random.default_rng(23)
+        pts = rng.uniform(0, 1, size=(300, 2))
+        tree = _tree_over(pts)
+        dev_u, dev_m = Device(), Device()
+        _collect_pairs(tree, pts, 0.2, device=dev_u)
+        _collect_pairs(tree, pts, 0.2, mask_positions=tree.position, device=dev_m)
+        assert dev_m.counters.nodes_visited < dev_u.counters.nodes_visited
+
+    @pytest.mark.parametrize("chunk", [1, 7, 64, None])
+    def test_chunking_invariance(self, chunk):
+        rng = np.random.default_rng(24)
+        pts = rng.uniform(0, 1, size=(90, 2))
+        tree = _tree_over(pts)
+        base, _ = _collect_pairs(tree, pts, 0.25, chunk_size=None)
+        chunked, _ = _collect_pairs(tree, pts, 0.25, chunk_size=chunk)
+        assert sorted(base) == sorted(chunked)
+
+    def test_eps_zero_finds_exact_duplicates(self):
+        pts = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 1.0]])
+        tree = _tree_over(pts)
+        counts = count_within(tree, pts, 0.0)
+        np.testing.assert_array_equal(counts, [2, 2, 1])
+
+    def test_negative_eps_rejected(self):
+        tree = _tree_over(np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="eps"):
+            for_each_leaf_hit(tree, np.zeros((2, 2)), -1.0, lambda q, p: None)
+
+    def test_dim_mismatch_rejected(self):
+        tree = _tree_over(np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="queries"):
+            for_each_leaf_hit(tree, np.zeros((2, 3)), 0.1, lambda q, p: None)
+
+    def test_frontier_peak_reported(self):
+        rng = np.random.default_rng(25)
+        pts = rng.uniform(0, 1, size=(50, 2))
+        tree = _tree_over(pts)
+        _, result = _collect_pairs(tree, pts, 0.3)
+        assert result.frontier_peak > 0
+        assert result.steps > 0
+        assert result.leaf_hits > 0
+
+    def test_box_primitive_hits(self):
+        # A mixed tree: a fat box plus points; queries near the box edge
+        # must report the box when mindist <= eps.
+        lo = np.array([[0.0, 0.0], [5.0, 5.0]])
+        hi = np.array([[1.0, 1.0], [5.0, 5.0]])
+        tree = build_bvh(lo, hi)
+        hits = []
+
+        def cb(q, pos):
+            hits.extend(zip(q.tolist(), tree.order[pos].tolist()))
+
+        for_each_leaf_hit(tree, np.array([[1.4, 0.5], [1.6, 0.5]]), 0.5, cb)
+        assert (0, 0) in hits  # query 0 within 0.5 of the box
+        assert (1, 0) not in hits  # query 1 is 0.6 away
+
+    @given(st.integers(0, 10_000), st.floats(0.01, 0.6), st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_counts_property(self, seed, eps, d):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 1, size=(rng.integers(1, 120), d))
+        tree = _tree_over(pts)
+        counts = count_within(tree, pts, eps)
+        np.testing.assert_array_equal(counts, brute_neighbor_counts(pts, eps))
+
+    @given(st.integers(0, 10_000), st.floats(0.01, 0.4))
+    @settings(max_examples=25, deadline=None)
+    def test_masked_pairs_property(self, seed, eps):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 1, size=(rng.integers(2, 80), 2))
+        tree = _tree_over(pts)
+        pairs, _ = _collect_pairs(tree, pts, eps, mask_positions=tree.position)
+        assert len(pairs) == len(set(pairs))
+        got = {frozenset(p) for p in pairs}
+        assert got == {frozenset(p) for p in brute_pairs(pts, eps)}

@@ -1,0 +1,200 @@
+"""Tests for the command-line interface (in-process, via main(argv))."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import gaussian_blobs
+from repro.datasets.io import save_points
+
+
+@pytest.fixture
+def points_file(tmp_path):
+    X = gaussian_blobs(300, centers=3, std=0.05, seed=0)
+    path = str(tmp_path / "pts.npy")
+    save_points(path, X)
+    return path
+
+
+class TestParser:
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_eps_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--minpts", "5"])
+
+    def test_dataset_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", "--dataset", "mnist", "--eps", "1", "--minpts", "2"]
+            )
+
+
+class TestClusterCommand:
+    def test_cluster_file(self, points_file, capsys):
+        rc = main(["cluster", points_file, "--eps", "0.2", "--minpts", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "n_clusters : 3" in out
+
+    def test_cluster_named_dataset(self, capsys):
+        rc = main(
+            [
+                "cluster",
+                "--dataset",
+                "portotaxi",
+                "--n",
+                "2000",
+                "--eps",
+                "0.005",
+                "--minpts",
+                "10",
+            ]
+        )
+        assert rc == 0
+        assert "n_clusters" in capsys.readouterr().out
+
+    def test_counters_flag(self, points_file, capsys):
+        main(
+            [
+                "cluster",
+                points_file,
+                "--eps",
+                "0.2",
+                "--minpts",
+                "5",
+                "--algorithm",
+                "fdbscan",
+                "--counters",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "distance_evals" in out
+        assert "peak_bytes" in out
+
+    def test_labels_out(self, points_file, tmp_path, capsys):
+        out_path = str(tmp_path / "labels.npy")
+        main(
+            [
+                "cluster",
+                points_file,
+                "--eps",
+                "0.2",
+                "--minpts",
+                "5",
+                "--labels-out",
+                out_path,
+            ]
+        )
+        labels = np.load(out_path)
+        assert labels.shape == (300,)
+        assert set(np.unique(labels)) >= {0, 1, 2}
+
+    def test_subsampling_input_file(self, points_file, capsys):
+        rc = main(
+            ["cluster", points_file, "--n", "100", "--eps", "0.2", "--minpts", "3"]
+        )
+        assert rc == 0
+        assert "n_points : 100" in capsys.readouterr().out
+
+    def test_missing_input(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--eps", "0.2", "--minpts", "5"])
+
+
+class TestBenchCommand:
+    def test_minpts_sweep(self, points_file, capsys):
+        rc = main(
+            [
+                "bench",
+                points_file,
+                "--eps",
+                "0.2",
+                "--minpts-sweep",
+                "3,5",
+                "--algorithms",
+                "fdbscan,densebox",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fdbscan" in out and "densebox" in out
+        assert "status" in out
+
+    def test_eps_sweep(self, points_file, capsys):
+        rc = main(
+            [
+                "bench",
+                points_file,
+                "--minpts",
+                "5",
+                "--eps",
+                "0.2",
+                "--eps-sweep",
+                "0.1,0.2",
+                "--algorithms",
+                "fdbscan",
+            ]
+        )
+        assert rc == 0
+        assert "0.1" in capsys.readouterr().out
+
+    def test_memory_cap_reports_oom(self, capsys):
+        rc = main(
+            [
+                "bench",
+                "--dataset",
+                "ngsim",
+                "--n",
+                "2000",
+                "--eps",
+                "0.01",
+                "--minpts-sweep",
+                "5",
+                "--algorithms",
+                "gdbscan",
+                "--memory-cap",
+                "100000",
+            ]
+        )
+        assert rc == 0
+        assert "oom" in capsys.readouterr().out
+
+
+class TestBenchHistory:
+    def test_save_and_compare(self, points_file, tmp_path, capsys):
+        path = str(tmp_path / "run.json")
+        main(
+            [
+                "bench",
+                points_file,
+                "--eps",
+                "0.2",
+                "--minpts-sweep",
+                "5",
+                "--algorithms",
+                "fdbscan",
+                "--save",
+                path,
+            ]
+        )
+        assert "records written" in capsys.readouterr().out
+        main(
+            [
+                "bench",
+                points_file,
+                "--eps",
+                "0.2",
+                "--minpts-sweep",
+                "5",
+                "--algorithms",
+                "fdbscan",
+                "--compare",
+                path,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "comparison vs" in out
+        assert "no regressions" in out

@@ -1,0 +1,153 @@
+"""Tests for the dataset generators: determinism, shapes, and the
+calibrated density regimes the figure reproductions rely on."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import dense_fraction_estimate
+from repro.datasets import (
+    DATASETS,
+    gaussian_blobs,
+    hacc_cosmology,
+    load_dataset,
+    ngsim_trajectories,
+    noisy_rings,
+    paper_params,
+    portotaxi_traces,
+    road_network_3d,
+    uniform_box,
+)
+
+
+ALL_GENERATORS = [
+    ngsim_trajectories,
+    portotaxi_traces,
+    road_network_3d,
+    hacc_cosmology,
+]
+
+
+class TestGeneratorContracts:
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_shape_and_dtype(self, gen):
+        X = gen(500, seed=0)
+        assert X.ndim == 2
+        assert X.shape[0] == 500
+        assert X.dtype == np.float64
+        assert np.isfinite(X).all()
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_deterministic_in_seed(self, gen):
+        np.testing.assert_array_equal(gen(200, seed=7), gen(200, seed=7))
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_seed_changes_data(self, gen):
+        assert not np.array_equal(gen(200, seed=1), gen(200, seed=2))
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_rejects_nonpositive_n(self, gen):
+        with pytest.raises(ValueError):
+            gen(0)
+
+    def test_dimensions(self):
+        assert ngsim_trajectories(10).shape[1] == 2
+        assert portotaxi_traces(10).shape[1] == 2
+        assert road_network_3d(10).shape[1] == 2
+        assert hacc_cosmology(10).shape[1] == 3
+
+    def test_hacc_periodic_box(self):
+        X = hacc_cosmology(2000, seed=0, box_size=5.0)
+        assert (X >= 0).all() and (X < 5.0).all()
+
+
+class TestRegistry:
+    def test_all_registered_load(self):
+        for name in DATASETS:
+            X = load_dataset(name, 100, seed=0)
+            assert X.shape == (100, DATASETS[name].dim)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("mnist", 10)
+        with pytest.raises(ValueError, match="unknown dataset"):
+            paper_params("mnist")
+
+    def test_specs_carry_sweeps(self):
+        for name, spec in DATASETS.items():
+            assert spec.minpts_sweep_eps is not None
+            assert len(spec.minpts_sweep_values) >= 4
+            assert spec.eps_sweep_minpts is not None
+            assert len(spec.eps_sweep_values) >= 4
+
+
+class TestDensityRegimes:
+    """The calibrated facts from Section 5 that the figures depend on."""
+
+    def test_ngsim_overly_dense(self):
+        X = load_dataset("ngsim", 16384, seed=1)
+        spec = paper_params("ngsim")
+        frac = dense_fraction_estimate(X, spec.minpts_sweep_eps, max(spec.minpts_sweep_values))
+        assert frac > 0.95  # ">95% of points in dense cells even for the largest minpts"
+
+    def test_portotaxi_dense(self):
+        X = load_dataset("portotaxi", 16384, seed=1)
+        frac = dense_fraction_estimate(X, 0.01, 50)
+        assert frac > 0.85
+
+    def test_road3d_dense_at_study_settings(self):
+        X = load_dataset("road3d", 16384, seed=1)
+        frac = dense_fraction_estimate(X, 0.08, 100)
+        assert frac > 0.7
+
+    def test_hacc_occupancy_ladder(self):
+        # Section 5.2: ~13% at minpts=5, <2% at minpts=50, none above 100.
+        X = load_dataset("hacc", 100_000, seed=1)
+        f5 = dense_fraction_estimate(X, 0.042, 5)
+        f50 = dense_fraction_estimate(X, 0.042, 50)
+        f300 = dense_fraction_estimate(X, 0.042, 300)
+        assert 0.08 < f5 < 0.25
+        assert f50 < 0.02
+        assert f300 == 0.0
+
+    def test_hacc_eps_one_mostly_dense(self):
+        # Section 5.2: ~91% of points in dense cells at eps = 1.0.
+        X = load_dataset("hacc", 100_000, seed=1)
+        assert dense_fraction_estimate(X, 1.0, 5) > 0.85
+
+    def test_hacc_grid_is_huge_but_sparse(self):
+        from repro.grid import build_grid
+        from repro.grid.grid import compact_cells
+
+        X = load_dataset("hacc", 50_000, seed=1)
+        grid = build_grid(X, 0.042)
+        coords = grid.cell_coords(X)
+        _, n_cells, _, _, _ = compact_cells(grid, coords)
+        assert grid.total_cells > 10**6
+        assert n_cells < grid.total_cells / 100  # overwhelmingly empty
+
+
+class TestSyntheticHelpers:
+    def test_blobs_shape(self):
+        X = gaussian_blobs(100, centers=3, dim=3, seed=0)
+        assert X.shape == (100, 3)
+
+    def test_blobs_noise_fraction(self):
+        X = gaussian_blobs(100, centers=1, std=0.01, seed=0, noise_fraction=0.5)
+        # half the points scattered: spread far beyond the cluster std
+        assert X.std() > 0.05
+
+    def test_blobs_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_blobs(0)
+        with pytest.raises(ValueError):
+            gaussian_blobs(10, centers=0)
+
+    def test_uniform_box(self):
+        X = uniform_box(50, dim=2, box=3.0, seed=0)
+        assert (X >= 0).all() and (X <= 3.0).all()
+
+    def test_rings_radii(self):
+        X = noisy_rings(600, rings=2, radius_step=1.0, noise=0.01, seed=0)
+        r = np.linalg.norm(X, axis=1)
+        # radii concentrate around 1 and 2
+        assert ((np.abs(r - 1) < 0.1) | (np.abs(r - 2) < 0.1)).all()

@@ -1,0 +1,49 @@
+"""Tests for the DBSCAN* variant (border points removed)."""
+
+import numpy as np
+import pytest
+
+from repro import dbscan, dbscan_star
+from repro.metrics.equivalence import partitions_equal
+
+
+class TestDbscanStar:
+    def test_no_border_points(self, blobs_2d):
+        res = dbscan_star(blobs_2d, 0.3, 5)
+        assert res.n_border == 0
+        # clustered <=> core
+        np.testing.assert_array_equal(res.labels >= 0, res.is_core)
+
+    def test_core_partition_matches_plain_dbscan(self, blobs_2d):
+        plain = dbscan(blobs_2d, 0.3, 5, algorithm="fdbscan")
+        star = dbscan_star(blobs_2d, 0.3, 5, algorithm="fdbscan")
+        np.testing.assert_array_equal(plain.is_core, star.is_core)
+        assert partitions_equal(plain.labels, star.labels, plain.is_core)
+        assert plain.n_clusters == star.n_clusters
+
+    def test_borders_become_noise(self, blobs_2d):
+        plain = dbscan(blobs_2d, 0.3, 5, algorithm="fdbscan")
+        star = dbscan_star(blobs_2d, 0.3, 5, algorithm="fdbscan")
+        border = (plain.labels >= 0) & ~plain.is_core
+        assert (star.labels[border] == -1).all()
+        assert star.info["demoted_border_points"] == int(border.sum())
+
+    @pytest.mark.parametrize("algorithm", ["fdbscan", "densebox", "gdbscan"])
+    def test_composes_with_registry(self, blobs_2d, algorithm):
+        res = dbscan_star(blobs_2d, 0.3, 5, algorithm=algorithm)
+        assert res.info["variant"] == "dbscan*"
+        assert res.n_border == 0
+
+    def test_cluster_ids_consecutive(self, blobs_2d):
+        res = dbscan_star(blobs_2d, 0.3, 5)
+        kept = res.labels[res.labels >= 0]
+        if kept.size:
+            np.testing.assert_array_equal(
+                np.unique(kept), np.arange(res.n_clusters)
+            )
+
+    def test_minpts2_identical_to_plain(self, blobs_2d):
+        # With minpts=2 there are no border points to demote.
+        plain = dbscan(blobs_2d, 0.25, 2, algorithm="fdbscan")
+        star = dbscan_star(blobs_2d, 0.25, 2, algorithm="fdbscan")
+        np.testing.assert_array_equal(plain.labels, star.labels)

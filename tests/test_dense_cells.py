@@ -1,0 +1,114 @@
+"""Tests for the dense-cell decomposition and the mixed primitive set."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.device import Device
+from repro.grid.dense_cells import decompose
+
+
+def _clustered(seed=0, n=400):
+    rng = np.random.default_rng(seed)
+    return np.concatenate(
+        [rng.normal(0, 0.02, size=(n // 2, 2)), rng.uniform(0, 4, size=(n // 2, 2))]
+    )
+
+
+class TestDecompose:
+    def test_partition_dense_vs_isolated(self):
+        X = _clustered()
+        deco = decompose(X, eps=0.1, minpts=10)
+        assert deco.n_dense_points + deco.n_isolated == X.shape[0]
+        assert not np.intersect1d(
+            np.flatnonzero(deco.is_dense_point), deco.isolated_idx
+        ).size
+
+    def test_dense_cells_have_at_least_minpts(self):
+        X = _clustered(1)
+        minpts = 12
+        deco = decompose(X, eps=0.15, minpts=minpts)
+        assert (deco.cell_counts[deco.dense_cells] >= minpts).all()
+        non_dense = np.setdiff1d(np.arange(deco.n_cells), deco.dense_cells)
+        assert (deco.cell_counts[non_dense] < minpts).all()
+
+    def test_dense_box_bounds_members_and_diameter(self):
+        X = _clustered(2)
+        eps = 0.2
+        deco = decompose(X, eps=eps, minpts=8)
+        for rank in range(deco.n_dense):
+            starts, cnts = deco.dense_members(np.array([rank]))
+            members = deco.members[starts[0] : starts[0] + cnts[0]]
+            pts = X[members]
+            lo = deco.prim_lo[deco.n_isolated + rank]
+            hi = deco.prim_hi[deco.n_isolated + rank]
+            assert (pts >= lo - 1e-12).all() and (pts <= hi + 1e-12).all()
+            # tight-box diameter still bounded by eps
+            assert np.linalg.norm(hi - lo) <= eps + 1e-9
+
+    def test_primitive_layout(self):
+        X = _clustered(3)
+        deco = decompose(X, eps=0.12, minpts=10)
+        n_iso, n_dense = deco.n_isolated, deco.n_dense
+        assert deco.prim_lo.shape[0] == n_iso + n_dense
+        assert not deco.prim_is_box[:n_iso].any()
+        assert deco.prim_is_box[n_iso:].all()
+        # point prims carry dataset indices, box prims dense ranks
+        np.testing.assert_array_equal(deco.prim_point[:n_iso], deco.isolated_idx)
+        np.testing.assert_array_equal(
+            deco.prim_point[n_iso:], np.arange(n_dense)
+        )
+        # point prims are degenerate boxes at the right coordinates
+        np.testing.assert_array_equal(deco.prim_lo[:n_iso], X[deco.isolated_idx])
+        np.testing.assert_array_equal(deco.prim_hi[:n_iso], X[deco.isolated_idx])
+
+    def test_dense_rank_of_cell_inverse(self):
+        X = _clustered(4)
+        deco = decompose(X, eps=0.1, minpts=6)
+        for rank, cell in enumerate(deco.dense_cells):
+            assert deco.dense_rank_of_cell[cell] == rank
+        non_dense = np.setdiff1d(np.arange(deco.n_cells), deco.dense_cells)
+        assert (deco.dense_rank_of_cell[non_dense] == -1).all()
+
+    def test_minpts_one_absorbs_everything(self):
+        X = _clustered(5)
+        deco = decompose(X, eps=0.1, minpts=1)
+        assert deco.n_isolated == 0
+        assert deco.dense_fraction() == 1.0
+
+    def test_huge_minpts_absorbs_nothing(self):
+        X = _clustered(6)
+        deco = decompose(X, eps=0.1, minpts=10**6)
+        assert deco.n_dense == 0
+        assert deco.dense_fraction() == 0.0
+        assert not deco.prim_is_box.any()
+
+    def test_device_accounting(self):
+        dev = Device()
+        X = _clustered(7)
+        deco = decompose(X, eps=0.1, minpts=10, device=dev)
+        assert dev.counters.dense_cell_points == deco.n_dense_points
+        assert dev.memory.live_by_tag["grid"] == deco.nbytes()
+        assert any(l.name == "dense_decompose" for l in dev.launches)
+
+    def test_all_duplicate_points(self):
+        X = np.ones((30, 2))
+        deco = decompose(X, eps=0.5, minpts=5)
+        assert deco.n_dense == 1
+        assert deco.n_isolated == 0
+        rank = np.array([0])
+        starts, cnts = deco.dense_members(rank)
+        assert cnts[0] == 30
+
+    @given(st.integers(0, 5000), st.floats(0.05, 0.5), st.integers(1, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_dense_classification_property(self, seed, eps, minpts):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(0, 1, size=(rng.integers(1, 200), 2))
+        deco = decompose(X, eps=eps, minpts=minpts)
+        # every dense point's cell population >= minpts; isolated < minpts
+        pops = deco.cell_counts[deco.cell_of_point]
+        np.testing.assert_array_equal(deco.is_dense_point, pops >= minpts)
+        # members CSR is a permutation of all points
+        assert sorted(deco.members.tolist()) == list(range(X.shape[0]))

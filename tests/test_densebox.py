@@ -1,0 +1,159 @@
+"""Algorithm-level tests for FDBSCAN-DenseBox against the oracle, plus the
+dense-cell-specific behaviours of Section 4.2."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sequential_dbscan import sequential_dbscan
+from repro.core.densebox import fdbscan_densebox
+from repro.core.fdbscan import fdbscan
+from repro.device.device import Device
+from repro.metrics.equivalence import assert_dbscan_equivalent
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("minpts", [3, 5, 10])
+    @pytest.mark.parametrize("eps", [0.15, 0.3, 0.6])
+    def test_blobs_2d(self, blobs_2d, eps, minpts):
+        a = fdbscan_densebox(blobs_2d, eps, minpts)
+        b = sequential_dbscan(blobs_2d, eps, minpts)
+        assert_dbscan_equivalent(a, b, blobs_2d, eps)
+
+    @pytest.mark.parametrize("minpts", [4, 8])
+    def test_blobs_3d(self, blobs_3d, minpts):
+        a = fdbscan_densebox(blobs_3d, 0.5, minpts)
+        b = sequential_dbscan(blobs_3d, 0.5, minpts)
+        assert_dbscan_equivalent(a, b, blobs_3d, 0.5)
+
+    def test_1d_data(self, rng):
+        X = rng.uniform(0, 10, size=(300, 1))
+        a = fdbscan_densebox(X, 0.05, 4)
+        b = sequential_dbscan(X, 0.05, 4)
+        assert_dbscan_equivalent(a, b, X, 0.05)
+
+    @pytest.mark.parametrize("use_mask", [True, False])
+    @pytest.mark.parametrize("early_exit", [True, False])
+    def test_optimisation_switches_do_not_change_output(
+        self, blobs_2d, use_mask, early_exit
+    ):
+        a = fdbscan_densebox(blobs_2d, 0.3, 6, use_mask=use_mask, early_exit=early_exit)
+        b = sequential_dbscan(blobs_2d, 0.3, 6)
+        assert_dbscan_equivalent(a, b, blobs_2d, 0.3)
+
+    def test_dense_regime_matches_fdbscan(self, rng):
+        # Nearly all points in dense cells: the regime the algorithm is for.
+        X = np.concatenate(
+            [rng.normal(0, 0.01, size=(400, 2)), rng.normal(1, 0.01, size=(400, 2))]
+        )
+        a = fdbscan_densebox(X, 0.1, 20)
+        b = fdbscan(X, 0.1, 20)
+        assert_dbscan_equivalent(a, b, X, 0.1)
+        assert a.info["dense_fraction"] > 0.9
+
+    def test_sparse_regime_no_dense_cells(self, rng):
+        X = rng.uniform(0, 50, size=(400, 2))
+        a = fdbscan_densebox(X, 0.5, 10)
+        b = sequential_dbscan(X, 0.5, 10)
+        assert_dbscan_equivalent(a, b, X, 0.5)
+        assert a.info["dense_fraction"] == 0.0
+
+
+class TestDenseCellSemantics:
+    def test_dense_cell_points_are_core(self, rng):
+        X = rng.normal(0, 0.005, size=(100, 2))  # one tight clump
+        res = fdbscan_densebox(X, 0.1, 10)
+        assert res.info["dense_fraction"] == 1.0
+        assert res.is_core.all()
+        assert res.n_clusters == 1
+
+    def test_two_dense_cells_far_apart_stay_separate(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 0.005, size=(50, 2))
+        b = rng.normal(10, 0.005, size=(50, 2))
+        X = np.concatenate([a, b])
+        res = fdbscan_densebox(X, 0.1, 10)
+        assert res.n_clusters == 2
+
+    def test_two_adjacent_dense_cells_merge(self):
+        # Two clumps closer than eps must union through the box path.
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.0, 0.003, size=(50, 2))
+        b = rng.normal(0.05, 0.003, size=(50, 2))
+        X = np.concatenate([a, b])
+        res = fdbscan_densebox(X, 0.1, 10)
+        assert res.n_clusters == 1
+
+    def test_isolated_core_point_unions_with_dense_cell(self):
+        rng = np.random.default_rng(2)
+        clump = rng.normal(0.0, 0.002, size=(60, 2))
+        # a chain of sparse points leading away from the clump
+        chain = np.column_stack([0.05 + 0.04 * np.arange(6), np.zeros(6)])
+        X = np.concatenate([clump, chain])
+        res = fdbscan_densebox(X, 0.06, 3)
+        oracle = sequential_dbscan(X, 0.06, 3)
+        assert_dbscan_equivalent(res, oracle, X, 0.06)
+        assert res.n_clusters == 1
+
+    def test_border_point_attaches_to_dense_cell(self):
+        # 100 clump points on a line segment [0, 0.04] (one grid cell at
+        # eps = 0.08), plus a lone point whose eps-ball only reaches the
+        # clump's last few points: dense cell + genuine border point.
+        clump = np.column_stack([np.linspace(0, 0.04, 100), np.zeros(100)])
+        lone = np.array([[0.119, 0.0]])
+        X = np.concatenate([clump, lone])
+        res = fdbscan_densebox(X, 0.08, 90)
+        assert res.info["dense_fraction"] > 0.9
+        assert not res.is_core[-1]
+        assert res.labels[-1] == res.labels[0]
+        oracle = sequential_dbscan(X, 0.08, 90)
+        assert_dbscan_equivalent(res, oracle, X, 0.08)
+
+    def test_minpts_2(self, blobs_2d):
+        a = fdbscan_densebox(blobs_2d, 0.25, 2)
+        b = sequential_dbscan(blobs_2d, 0.25, 2)
+        assert_dbscan_equivalent(a, b, blobs_2d, 0.25)
+
+    def test_minpts_1(self, blobs_2d):
+        res = fdbscan_densebox(blobs_2d, 0.2, 1)
+        assert res.is_core.all()
+        assert res.n_noise == 0
+        oracle = sequential_dbscan(blobs_2d, 0.2, 1)
+        assert_dbscan_equivalent(res, oracle, blobs_2d, 0.2)
+
+    def test_all_duplicates(self):
+        X = np.ones((30, 2))
+        res = fdbscan_densebox(X, 0.5, 5)
+        assert res.n_clusters == 1
+        assert res.is_core.all()
+
+    def test_single_point(self):
+        res = fdbscan_densebox(np.zeros((1, 3)), 0.1, 1)
+        assert res.n_clusters == 1
+
+
+class TestDiagnostics:
+    def test_info_fields(self, blobs_2d):
+        res = fdbscan_densebox(blobs_2d, 0.3, 5)
+        for key in ("dense_fraction", "n_dense_cells", "total_cells", "t_build"):
+            assert key in res.info
+
+    def test_dense_processing_reduces_distance_evals(self, rng):
+        # The whole point of Section 4.2: in dense regimes the per-point
+        # distance work collapses.
+        X = np.concatenate(
+            [rng.normal(0, 0.01, size=(500, 2)), rng.normal(2, 0.01, size=(500, 2))]
+        )
+        dev_f, dev_d = Device(), Device()
+        fdbscan(X, 0.2, 50, device=dev_f)
+        fdbscan_densebox(X, 0.2, 50, device=dev_d)
+        assert dev_d.counters.distance_evals < dev_f.counters.distance_evals / 5
+
+    def test_counts_without_early_exit_exposed(self, blobs_2d):
+        res = fdbscan_densebox(blobs_2d, 0.3, 5, early_exit=False)
+        assert "isolated_core_counts" in res.info
+
+    def test_validation_shared_with_fdbscan(self, blobs_2d):
+        with pytest.raises(ValueError):
+            fdbscan_densebox(blobs_2d, -0.5, 5)
+        with pytest.raises(ValueError):
+            fdbscan_densebox(blobs_2d, 0.3, 0)

@@ -1,0 +1,113 @@
+"""Tests for the deterministic atomic emulations."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.atomics import (
+    atomic_add,
+    atomic_cas_batch,
+    atomic_max_scatter,
+    atomic_min_scatter,
+)
+from repro.device.counters import KernelCounters
+
+
+class TestAtomicCas:
+    def test_single_success(self):
+        target = np.arange(5)
+        ok = atomic_cas_batch(target, np.array([2]), np.array([2]), np.array([9]))
+        assert ok.tolist() == [True]
+        assert target[2] == 9
+
+    def test_expected_mismatch_fails(self):
+        target = np.arange(5)
+        ok = atomic_cas_batch(target, np.array([2]), np.array([7]), np.array([9]))
+        assert ok.tolist() == [False]
+        assert target[2] == 2
+
+    def test_first_writer_wins_on_duplicate_address(self):
+        # Two requests race on address 3; batch order decides.
+        target = np.arange(5)
+        ok = atomic_cas_batch(
+            target, np.array([3, 3]), np.array([3, 3]), np.array([100, 200])
+        )
+        assert ok.tolist() == [True, False]
+        assert target[3] == 100
+
+    def test_loser_sees_winner_value(self):
+        # Second request expects the *original* value and must fail even
+        # though its expected matches what the winner also expected.
+        target = np.zeros(1, dtype=np.int64)
+        ok = atomic_cas_batch(
+            target, np.array([0, 0]), np.array([0, 0]), np.array([5, 6])
+        )
+        assert ok.tolist() == [True, False]
+        assert target[0] == 5
+
+    def test_scalar_broadcast(self):
+        target = np.zeros(4, dtype=np.int64)
+        ok = atomic_cas_batch(target, np.array([1, 2]), 0, 7)
+        assert ok.all()
+        np.testing.assert_array_equal(target, [0, 7, 7, 0])
+
+    def test_empty_batch(self):
+        target = np.arange(3)
+        ok = atomic_cas_batch(target, np.array([], dtype=np.int64), 0, 1)
+        assert ok.shape == (0,)
+        np.testing.assert_array_equal(target, [0, 1, 2])
+
+    def test_counters_recorded(self):
+        counters = KernelCounters()
+        target = np.arange(4)
+        atomic_cas_batch(
+            target, np.array([0, 0, 1]), np.array([0, 0, 9]), 5, counters=counters
+        )
+        assert counters.cas_attempts == 3
+        assert counters.cas_successes == 1
+
+    @given(
+        st.lists(st.integers(0, 7), min_size=0, max_size=20),
+        st.integers(0, 10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_exactly_one_winner_per_address(self, addresses, seed):
+        rng = np.random.default_rng(seed)
+        target = np.arange(8)
+        idx = np.array(addresses, dtype=np.int64)
+        desired = rng.integers(100, 200, size=idx.shape[0])
+        ok = atomic_cas_batch(target, idx, idx, desired)
+        for addr in set(addresses):
+            winners = ok[idx == addr]
+            assert winners.sum() == 1
+            first = np.flatnonzero(idx == addr)[0]
+            assert target[addr] == desired[first]
+
+
+class TestScatterAtomics:
+    def test_atomic_min(self):
+        target = np.array([10, 10, 10])
+        atomic_min_scatter(target, np.array([0, 0, 2]), np.array([5, 7, 20]))
+        np.testing.assert_array_equal(target, [5, 10, 10])
+
+    def test_atomic_max(self):
+        target = np.array([0, 0])
+        atomic_max_scatter(target, np.array([1, 1]), np.array([3, 9]))
+        np.testing.assert_array_equal(target, [0, 9])
+
+    def test_atomic_add_accumulates_duplicates(self):
+        target = np.zeros(3, dtype=np.int64)
+        atomic_add(target, np.array([1, 1, 1, 0]), 1)
+        np.testing.assert_array_equal(target, [1, 3, 0])
+
+    def test_order_independence_of_min(self):
+        # atomicMin commutes: any permutation yields the same result.
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, 5, size=30)
+        vals = rng.integers(-100, 100, size=30)
+        a = np.full(5, 1000)
+        b = np.full(5, 1000)
+        atomic_min_scatter(a, idx, vals)
+        perm = rng.permutation(30)
+        atomic_min_scatter(b, idx[perm], vals[perm])
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,140 @@
+"""Tests for the device-memory ledger, including the OOM failure mode."""
+
+import numpy as np
+import pytest
+
+from repro.device.memory import DeviceMemoryError, MemoryTracker
+
+
+class TestBasicAccounting:
+    def test_allocate_free_roundtrip(self):
+        mem = MemoryTracker()
+        mem.allocate(100, "a")
+        assert mem.live_bytes == 100
+        mem.free(100, "a")
+        assert mem.live_bytes == 0
+        assert mem.peak_bytes == 100
+
+    def test_peak_is_high_watermark(self):
+        mem = MemoryTracker()
+        mem.allocate(50, "a")
+        mem.free(50, "a")
+        mem.allocate(30, "b")
+        assert mem.peak_bytes == 50
+        assert mem.live_bytes == 30
+
+    def test_per_tag_peaks(self):
+        mem = MemoryTracker()
+        mem.allocate(10, "tree")
+        mem.allocate(20, "labels")
+        mem.free(10, "tree")
+        mem.allocate(5, "tree")
+        report = mem.report()
+        assert report["peak_by_tag"]["tree"] == 10
+        assert report["peak_by_tag"]["labels"] == 20
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            MemoryTracker().allocate(-1)
+
+    def test_overfree_rejected(self):
+        mem = MemoryTracker()
+        mem.allocate(10, "a")
+        with pytest.raises(ValueError, match="freeing"):
+            mem.free(11, "a")
+
+    def test_free_wrong_tag_rejected(self):
+        mem = MemoryTracker()
+        mem.allocate(10, "a")
+        with pytest.raises(ValueError, match="freeing"):
+            mem.free(10, "b")
+
+    def test_reset(self):
+        mem = MemoryTracker(capacity_bytes=100)
+        mem.allocate(40, "x")
+        mem.reset()
+        assert mem.live_bytes == 0
+        assert mem.peak_bytes == 0
+        assert mem.capacity_bytes == 100
+
+
+class TestCapacity:
+    def test_oom_raised_at_cap(self):
+        mem = MemoryTracker(capacity_bytes=100)
+        mem.allocate(60, "a")
+        with pytest.raises(DeviceMemoryError) as exc:
+            mem.allocate(41, "b")
+        assert exc.value.requested == 41
+        assert exc.value.live == 60
+        assert exc.value.capacity == 100
+        assert exc.value.tag == "b"
+
+    def test_ledger_unchanged_after_oom(self):
+        mem = MemoryTracker(capacity_bytes=100)
+        mem.allocate(60, "a")
+        with pytest.raises(DeviceMemoryError):
+            mem.allocate(50, "b")
+        assert mem.live_bytes == 60
+        assert "b" not in mem.live_by_tag
+
+    def test_exact_fit_allowed(self):
+        mem = MemoryTracker(capacity_bytes=100)
+        mem.allocate(100, "a")  # no raise
+        assert mem.live_bytes == 100
+
+    def test_oom_is_a_memory_error(self):
+        # Callers catching MemoryError must catch the device OOM too.
+        assert issubclass(DeviceMemoryError, MemoryError)
+
+
+class TestScopedAndArrays:
+    def test_scoped_releases_on_exit(self):
+        mem = MemoryTracker()
+        with mem.scoped(64, "tmp"):
+            assert mem.live_bytes == 64
+        assert mem.live_bytes == 0
+
+    def test_scoped_releases_on_exception(self):
+        mem = MemoryTracker()
+        with pytest.raises(RuntimeError):
+            with mem.scoped(64, "tmp"):
+                raise RuntimeError("boom")
+        assert mem.live_bytes == 0
+
+    def test_array_allocation(self):
+        mem = MemoryTracker()
+        arr = mem.array((10, 3), np.float64, "pts")
+        assert arr.shape == (10, 3)
+        assert mem.live_bytes == arr.nbytes
+        mem.free_array(arr, "pts")
+        assert mem.live_bytes == 0
+
+    def test_track_existing_array(self):
+        mem = MemoryTracker()
+        arr = np.ones(16, dtype=np.int64)
+        out = mem.track_array(arr, "x")
+        assert out is arr
+        assert mem.live_bytes == 128
+
+
+class TestTransientAllocations:
+    def test_transient_exempt_from_cap(self):
+        mem = MemoryTracker(capacity_bytes=100)
+        mem.allocate(90, "persistent")
+        # scratch beyond the cap is allowed: it has no device counterpart
+        mem.allocate(500, "frontier", transient=True)
+        assert mem.live_bytes == 590
+        mem.free(500, "frontier")
+        assert mem.live_bytes == 90
+
+    def test_transient_still_recorded_in_peaks(self):
+        mem = MemoryTracker(capacity_bytes=100)
+        mem.allocate(500, "frontier", transient=True)
+        mem.free(500, "frontier")
+        assert mem.peak_by_tag["frontier"] == 500
+
+    def test_persistent_still_capped(self):
+        mem = MemoryTracker(capacity_bytes=100)
+        mem.allocate(500, "frontier", transient=True)
+        with pytest.raises(DeviceMemoryError):
+            mem.allocate(101, "tree")

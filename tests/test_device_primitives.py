@@ -1,0 +1,195 @@
+"""Unit and property tests for the Thrust-level parallel primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.device.primitives import (
+    concatenated_ranges,
+    exclusive_scan,
+    histogram_by_key,
+    inclusive_scan,
+    run_length_encode,
+    segment_ids_from_counts,
+    segmented_reduce,
+    sort_by_key,
+    stream_compact,
+)
+
+int_arrays = hnp.arrays(
+    dtype=np.int64, shape=st.integers(0, 60), elements=st.integers(-50, 50)
+)
+
+
+class TestScans:
+    def test_exclusive_scan_basic(self):
+        np.testing.assert_array_equal(
+            exclusive_scan(np.array([3, 1, 4, 1, 5])), [0, 3, 4, 8, 9]
+        )
+
+    def test_exclusive_scan_empty(self):
+        assert exclusive_scan(np.array([], dtype=np.int64)).shape == (0,)
+
+    def test_inclusive_scan_basic(self):
+        np.testing.assert_array_equal(
+            inclusive_scan(np.array([3, 1, 4])), [3, 4, 8]
+        )
+
+    def test_exclusive_scan_widens_small_ints(self):
+        # int8 inputs must not overflow the running sum.
+        values = np.full(100, 100, dtype=np.int8)
+        assert exclusive_scan(values)[-1] == 99 * 100
+
+    def test_scan_float(self):
+        out = exclusive_scan(np.array([0.5, 0.25]))
+        np.testing.assert_allclose(out, [0.0, 0.5])
+
+    @given(int_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_exclusive_inclusive_relation(self, values):
+        ex = exclusive_scan(values)
+        inc = inclusive_scan(values)
+        np.testing.assert_array_equal(inc, ex + values)
+
+
+class TestSortByKey:
+    def test_values_follow_keys(self):
+        keys = np.array([3, 1, 2])
+        vals = np.array([30, 10, 20])
+        sk, sv, order = sort_by_key(keys, vals)
+        np.testing.assert_array_equal(sk, [1, 2, 3])
+        np.testing.assert_array_equal(sv, [10, 20, 30])
+        np.testing.assert_array_equal(order, [1, 2, 0])
+
+    def test_stability(self):
+        keys = np.array([1, 0, 1, 0])
+        vals = np.array([0, 1, 2, 3])
+        _, sv, _ = sort_by_key(keys, vals)
+        np.testing.assert_array_equal(sv, [1, 3, 0, 2])
+
+    def test_no_values(self):
+        sk, order = sort_by_key(np.array([2, 1]))
+        np.testing.assert_array_equal(sk, [1, 2])
+        np.testing.assert_array_equal(order, [1, 0])
+
+    @given(int_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_permutation_property(self, keys):
+        sk, order = sort_by_key(keys)
+        assert sorted(order.tolist()) == list(range(keys.shape[0]))
+        np.testing.assert_array_equal(sk, keys[order])
+        assert np.all(np.diff(sk) >= 0)
+
+
+class TestStreamCompact:
+    def test_single(self):
+        out = stream_compact(np.array([True, False, True]), np.array([1, 2, 3]))
+        np.testing.assert_array_equal(out, [1, 3])
+
+    def test_multiple(self):
+        a, b = stream_compact(
+            np.array([False, True]), np.array([1, 2]), np.array([3.0, 4.0])
+        )
+        np.testing.assert_array_equal(a, [2])
+        np.testing.assert_array_equal(b, [4.0])
+
+
+class TestRunLengthEncode:
+    def test_basic(self):
+        keys = np.array([2, 2, 5, 7, 7, 7])
+        uk, starts, lengths = run_length_encode(keys)
+        np.testing.assert_array_equal(uk, [2, 5, 7])
+        np.testing.assert_array_equal(starts, [0, 2, 3])
+        np.testing.assert_array_equal(lengths, [2, 1, 3])
+
+    def test_empty(self):
+        uk, starts, lengths = run_length_encode(np.array([], dtype=np.int64))
+        assert uk.size == starts.size == lengths.size == 0
+
+    @given(int_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_reconstruction(self, keys):
+        keys = np.sort(keys)
+        uk, starts, lengths = run_length_encode(keys)
+        assert lengths.sum() == keys.shape[0]
+        np.testing.assert_array_equal(np.repeat(uk, lengths), keys)
+
+
+class TestSegmentedReduce:
+    def test_sum(self):
+        out = segmented_reduce(np.array([1, 2, 3, 4]), np.array([0, 1, 0, 1]), 3)
+        np.testing.assert_array_equal(out, [4, 6, 0])
+
+    def test_min_max(self):
+        vals = np.array([5.0, -1.0, 2.0])
+        seg = np.array([1, 1, 0])
+        np.testing.assert_array_equal(segmented_reduce(vals, seg, 2, "min"), [2.0, -1.0])
+        np.testing.assert_array_equal(segmented_reduce(vals, seg, 2, "max"), [2.0, 5.0])
+
+    def test_empty_segment_identities(self):
+        out_min = segmented_reduce(np.array([1.0]), np.array([0]), 2, "min")
+        assert out_min[1] == np.inf
+        out_max = segmented_reduce(np.array([1.0]), np.array([0]), 2, "max")
+        assert out_max[1] == -np.inf
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            segmented_reduce(np.array([1]), np.array([0]), 1, "mean")
+
+
+class TestConcatenatedRanges:
+    def test_basic(self):
+        out = concatenated_ranges(np.array([10, 20]), np.array([3, 2]))
+        np.testing.assert_array_equal(out, [10, 11, 12, 20, 21])
+
+    def test_zero_counts(self):
+        out = concatenated_ranges(np.array([5, 9, 7]), np.array([0, 2, 0]))
+        np.testing.assert_array_equal(out, [9, 10])
+
+    def test_empty(self):
+        assert concatenated_ranges(np.array([], dtype=np.int64), np.array([], dtype=np.int64)).size == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            concatenated_ranges(np.array([0]), np.array([-1]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            concatenated_ranges(np.array([0, 1]), np.array([1]))
+
+    @given(
+        hnp.arrays(dtype=np.int64, shape=st.integers(0, 20), elements=st.integers(0, 9))
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_python_loop(self, counts):
+        starts = np.cumsum(counts) - counts
+        expected = [s + k for s, c in zip(starts, counts) for k in range(c)]
+        np.testing.assert_array_equal(concatenated_ranges(starts, counts), expected)
+
+
+class TestSegmentIds:
+    def test_basic(self):
+        np.testing.assert_array_equal(
+            segment_ids_from_counts(np.array([2, 0, 3])), [0, 0, 2, 2, 2]
+        )
+
+    def test_empty(self):
+        assert segment_ids_from_counts(np.array([], dtype=np.int64)).size == 0
+
+
+class TestHistogram:
+    def test_basic(self):
+        np.testing.assert_array_equal(
+            histogram_by_key(np.array([0, 2, 2, 1]), 4), [1, 1, 2, 0]
+        )
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            histogram_by_key(np.array([4]), 4)
+        with pytest.raises(ValueError, match="out of range"):
+            histogram_by_key(np.array([-1]), 4)
+
+    def test_empty(self):
+        np.testing.assert_array_equal(histogram_by_key(np.array([], dtype=np.int64), 3), [0, 0, 0])

@@ -1,0 +1,132 @@
+"""Randomised differential tests: every algorithm against the oracle on
+generated inputs, plus the minpts=2 equivalence with graph components."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import dbscan
+from repro.baselines import brute_dbscan, sequential_dbscan
+from repro.metrics.equivalence import assert_dbscan_equivalent
+
+PARALLEL_ALGORITHMS = ["fdbscan", "densebox", "gdbscan", "cuda-dclust", "dsdbscan"]
+
+
+def _random_dataset(seed, d=2):
+    """Mixed-density data: clumps + filaments + uniform noise."""
+    rng = np.random.default_rng(seed)
+    parts = []
+    for _ in range(rng.integers(1, 4)):
+        center = rng.uniform(0, 3, size=d)
+        parts.append(center + rng.normal(0, rng.uniform(0.01, 0.15), size=(rng.integers(5, 60), d)))
+    t = rng.uniform(0, 1, size=(rng.integers(5, 40), 1))
+    a, b = rng.uniform(0, 3, size=(2, d))
+    parts.append(a + t * (b - a) + rng.normal(0, 0.01, size=(t.shape[0], d)))
+    parts.append(rng.uniform(-1, 4, size=(rng.integers(5, 40), d)))
+    return np.concatenate(parts)
+
+
+class TestRandomisedDifferential:
+    @pytest.mark.parametrize("algorithm", PARALLEL_ALGORITHMS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_mixed_density_inputs(self, algorithm, seed, d):
+        X = _random_dataset(seed, d)
+        eps = 0.2
+        minpts = 5
+        base = sequential_dbscan(X, eps, minpts)
+        res = dbscan(X, eps, minpts, algorithm=algorithm)
+        assert_dbscan_equivalent(base, res, X, eps)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        eps=st.floats(0.05, 0.8),
+        minpts=st.integers(1, 12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fdbscan_hypothesis(self, seed, eps, minpts):
+        X = _random_dataset(seed)
+        base = sequential_dbscan(X, eps, minpts)
+        res = dbscan(X, eps, minpts, algorithm="fdbscan")
+        assert_dbscan_equivalent(base, res, X, eps)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        eps=st.floats(0.05, 0.8),
+        minpts=st.integers(1, 12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_densebox_hypothesis(self, seed, eps, minpts):
+        X = _random_dataset(seed)
+        base = sequential_dbscan(X, eps, minpts)
+        res = dbscan(X, eps, minpts, algorithm="densebox")
+        assert_dbscan_equivalent(base, res, X, eps)
+
+    @given(seed=st.integers(0, 10_000), eps=st.floats(0.05, 0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_two_oracles_agree(self, seed, eps):
+        # sequential BFS vs dense-matrix propagation: independent
+        # implementations must agree with each other too.
+        X = _random_dataset(seed)[:120]
+        a = sequential_dbscan(X, eps, 5)
+        b = brute_dbscan(X, eps, 5)
+        assert_dbscan_equivalent(a, b, X, eps)
+
+
+class TestFriendsOfFriends:
+    """minpts=2 is exactly connected components of the eps-graph
+    (Section 2.1) — checked against networkx."""
+
+    @pytest.mark.parametrize("algorithm", ["fdbscan", "densebox"])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_matches_networkx_components(self, algorithm, seed):
+        X = _random_dataset(seed)
+        eps = 0.15
+        res = dbscan(X, eps, 2, algorithm=algorithm)
+
+        diff = X[:, None, :] - X[None, :, :]
+        adj = np.einsum("ijk,ijk->ij", diff, diff) <= eps * eps
+        np.fill_diagonal(adj, False)
+        G = nx.from_numpy_array(adj)
+        components = [c for c in nx.connected_components(G) if len(c) > 1]
+
+        assert res.n_clusters == len(components)
+        # each component maps to exactly one cluster label
+        for comp in components:
+            labels = {int(res.labels[i]) for i in comp}
+            assert len(labels) == 1
+            assert labels.pop() >= 0
+        singletons = [c for c in nx.connected_components(G) if len(c) == 1]
+        for comp in singletons:
+            assert res.labels[comp.pop()] == -1
+
+    def test_no_border_points_at_minpts_2(self):
+        X = _random_dataset(3)
+        for algorithm in ("fdbscan", "densebox", "gdbscan"):
+            res = dbscan(X, 0.2, 2, algorithm=algorithm)
+            assert res.n_border == 0, algorithm
+
+
+class TestCrossAlgorithmConsistency:
+    @given(seed=st.integers(0, 10_000), minpts=st.integers(2, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_fdbscan_vs_densebox(self, seed, minpts):
+        # The paper's two algorithms must agree everywhere, including
+        # regimes where dense cells dominate or vanish.
+        X = _random_dataset(seed)
+        eps = 0.25
+        a = dbscan(X, eps, minpts, algorithm="fdbscan")
+        b = dbscan(X, eps, minpts, algorithm="densebox")
+        assert_dbscan_equivalent(a, b, X, eps)
+
+    def test_cluster_count_invariant_to_point_order(self):
+        X = _random_dataset(11)
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(X.shape[0])
+        a = dbscan(X, 0.2, 5, algorithm="fdbscan")
+        b = dbscan(X[perm], 0.2, 5, algorithm="fdbscan")
+        assert a.n_clusters == b.n_clusters
+        assert a.n_noise == b.n_noise
+        np.testing.assert_array_equal(a.is_core[perm], b.is_core)

@@ -1,0 +1,181 @@
+"""Tests for the distributed extension: RCB partitioning, ghost halos,
+the simulated communicator and the three-phase driver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.sequential_dbscan import sequential_dbscan
+from repro.distributed import (
+    SimulatedComm,
+    distributed_dbscan,
+    rcb_partition,
+    select_ghosts,
+)
+from repro.metrics.equivalence import assert_dbscan_equivalent
+
+
+class TestRcbPartition:
+    def test_every_point_assigned_once(self, blobs_2d):
+        part = rcb_partition(blobs_2d, 4)
+        assert part.rank_of_point.shape == (blobs_2d.shape[0],)
+        assert part.counts().sum() == blobs_2d.shape[0]
+
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 5, 8])
+    def test_balance(self, blobs_2d, n_ranks):
+        part = rcb_partition(blobs_2d, n_ranks)
+        counts = part.counts()
+        assert counts.min() >= 0.5 * blobs_2d.shape[0] / n_ranks
+
+    def test_points_inside_their_boxes(self, blobs_2d):
+        part = rcb_partition(blobs_2d, 6)
+        for r in range(6):
+            pts = blobs_2d[part.owned(r)]
+            assert (pts >= part.box_lo[r] - 1e-9).all()
+            assert (pts <= part.box_hi[r] + 1e-9).all()
+
+    def test_boxes_tile_the_domain(self, blobs_2d):
+        # total volume of rank boxes equals the root box volume
+        part = rcb_partition(blobs_2d, 8)
+        volumes = np.prod(part.box_hi - part.box_lo, axis=1)
+        root = np.prod(blobs_2d.max(0) - blobs_2d.min(0))
+        assert volumes.sum() == pytest.approx(root)
+
+    def test_single_rank(self, blobs_2d):
+        part = rcb_partition(blobs_2d, 1)
+        assert (part.rank_of_point == 0).all()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError, match="n_ranks"):
+            rcb_partition(np.zeros((3, 2)), 0)
+        with pytest.raises(ValueError, match="non-empty"):
+            rcb_partition(np.zeros((0, 2)), 2)
+
+    def test_duplicate_points_split_cleanly(self):
+        X = np.ones((40, 2))
+        part = rcb_partition(X, 4)
+        assert part.counts().sum() == 40
+
+
+class TestGhosts:
+    def test_ghosts_are_remote(self, blobs_2d):
+        part = rcb_partition(blobs_2d, 4)
+        halo = select_ghosts(blobs_2d, part, 0.3)
+        for r in range(4):
+            assert not np.any(part.rank_of_point[halo.ghosts[r]] == r)
+
+    def test_ghosts_cover_owned_neighborhoods(self, blobs_2d):
+        # every eps-neighbour of an owned point is local (owned or ghost)
+        eps = 0.3
+        part = rcb_partition(blobs_2d, 4)
+        halo = select_ghosts(blobs_2d, part, eps)
+        diff = blobs_2d[:, None] - blobs_2d[None, :]
+        adj = np.einsum("ijk,ijk->ij", diff, diff) <= eps * eps
+        for r in range(4):
+            local = set(part.owned(r).tolist()) | set(halo.ghosts[r].tolist())
+            for i in part.owned(r):
+                for j in np.flatnonzero(adj[i]):
+                    assert int(j) in local
+
+    def test_zero_eps_minimal_halo(self, blobs_2d):
+        part = rcb_partition(blobs_2d, 4)
+        halo = select_ghosts(blobs_2d, part, 1e-12)
+        # essentially only points on the cut planes
+        assert halo.total_ghosts() < blobs_2d.shape[0] / 4
+
+    def test_halo_grows_with_eps(self, blobs_2d):
+        part = rcb_partition(blobs_2d, 4)
+        small = select_ghosts(blobs_2d, part, 0.05).total_ghosts()
+        big = select_ghosts(blobs_2d, part, 1.0).total_ghosts()
+        assert big > small
+
+    def test_invalid_eps(self, blobs_2d):
+        part = rcb_partition(blobs_2d, 2)
+        with pytest.raises(ValueError, match="eps"):
+            select_ghosts(blobs_2d, part, -1.0)
+
+
+class TestComm:
+    def test_accounting(self):
+        comm = SimulatedComm(3)
+        comm.exchange("ghosts", [np.zeros(10), np.zeros(5), np.zeros(0)])
+        assert comm.stats.messages == 3
+        assert comm.stats.bytes_sent == 15 * 8
+        assert comm.stats.by_phase["ghosts"] == 15 * 8
+
+    def test_payload_count_checked(self):
+        comm = SimulatedComm(2)
+        with pytest.raises(ValueError, match="payloads"):
+            comm.exchange("x", [np.zeros(1)])
+
+    def test_invalid_ranks(self):
+        with pytest.raises(ValueError, match="n_ranks"):
+            SimulatedComm(0)
+
+
+class TestDriver:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 4, 7])
+    @pytest.mark.parametrize("minpts", [2, 5])
+    def test_equivalent_to_single_device(self, blobs_2d, n_ranks, minpts):
+        dist = distributed_dbscan(blobs_2d, 0.3, minpts, n_ranks=n_ranks)
+        single = sequential_dbscan(blobs_2d, 0.3, minpts)
+        assert_dbscan_equivalent(dist, single, blobs_2d, 0.3)
+
+    def test_3d(self, blobs_3d):
+        dist = distributed_dbscan(blobs_3d, 0.5, 5, n_ranks=5)
+        single = sequential_dbscan(blobs_3d, 0.5, 5)
+        assert_dbscan_equivalent(dist, single, blobs_3d, 0.5)
+
+    def test_minpts_1(self, blobs_2d):
+        dist = distributed_dbscan(blobs_2d, 0.2, 1, n_ranks=3)
+        single = sequential_dbscan(blobs_2d, 0.2, 1)
+        assert_dbscan_equivalent(dist, single, blobs_2d, 0.2)
+
+    def test_cluster_spanning_all_ranks(self):
+        # A single filament crossing every cut: clusters must merge across
+        # every rank boundary.
+        t = np.linspace(0, 10, 400)
+        X = np.column_stack([t, np.zeros_like(t)])
+        dist = distributed_dbscan(X, 0.1, 3, n_ranks=6)
+        assert dist.n_clusters == 1
+
+    def test_border_on_rank_boundary_no_bridging(self):
+        # Two clusters separated across a cut with a shared border point in
+        # the middle: they must not merge through it, on any rank count.
+        left = np.column_stack([np.linspace(0.0, 0.4, 50), np.zeros(50)])
+        right = np.column_stack([np.linspace(1.0, 1.4, 50), np.zeros(50)])
+        bridge = np.array([[0.7, 0.0]])
+        X = np.concatenate([left, right, bridge])
+        for n_ranks in (1, 2, 4):
+            res = distributed_dbscan(X, 0.32, 10, n_ranks=n_ranks)
+            assert res.n_clusters == 2, n_ranks
+            assert res.labels[-1] >= 0  # the border point joined one side
+            single = sequential_dbscan(X, 0.32, 10)
+            assert_dbscan_equivalent(res, single, X, 0.32)
+
+    def test_info_reports_decomposition_and_comm(self, blobs_2d):
+        res = distributed_dbscan(blobs_2d, 0.3, 5, n_ranks=4)
+        assert len(res.info["owned_per_rank"]) == 4
+        assert len(res.info["ghosts_per_rank"]) == 4
+        assert res.info["comm_bytes"] > 0
+        assert set(res.info["comm_by_phase"]) >= {"ghosts", "merge_core_groups"}
+
+    def test_comm_volume_grows_with_eps(self, blobs_2d):
+        small = distributed_dbscan(blobs_2d, 0.05, 5, n_ranks=4)
+        big = distributed_dbscan(blobs_2d, 1.0, 5, n_ranks=4)
+        assert big.info["comm_by_phase"]["ghosts"] > small.info["comm_by_phase"]["ghosts"]
+
+    @given(st.integers(0, 5000), st.integers(1, 6), st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_equivalence_property(self, seed, n_ranks, minpts):
+        rng = np.random.default_rng(seed)
+        X = np.concatenate(
+            [
+                rng.normal(0, 0.1, size=(rng.integers(10, 80), 2)),
+                rng.uniform(-1, 2, size=(rng.integers(10, 80), 2)),
+            ]
+        )
+        dist = distributed_dbscan(X, 0.25, minpts, n_ranks=n_ranks)
+        single = sequential_dbscan(X, 0.25, minpts)
+        assert_dbscan_equivalent(dist, single, X, 0.25)

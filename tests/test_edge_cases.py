@@ -1,0 +1,153 @@
+"""Degenerate-input and failure-injection tests across the public API."""
+
+import numpy as np
+import pytest
+
+from repro import dbscan
+from repro.baselines import sequential_dbscan
+from repro.device.device import Device
+from repro.device.memory import DeviceMemoryError
+from repro.metrics.equivalence import assert_dbscan_equivalent
+
+TREE_ALGOS = ["fdbscan", "densebox"]
+ALL_ALGOS = TREE_ALGOS + ["gdbscan", "cuda-dclust", "dsdbscan", "sequential", "brute"]
+
+
+class TestDegenerateGeometry:
+    @pytest.mark.parametrize("algorithm", ALL_ALGOS)
+    def test_single_point(self, algorithm):
+        res = dbscan(np.array([[1.0, 2.0]]), 0.5, 1, algorithm=algorithm)
+        assert res.labels.shape == (1,)
+
+    @pytest.mark.parametrize("algorithm", TREE_ALGOS)
+    def test_two_identical_points(self, algorithm):
+        X = np.array([[3.0, 3.0], [3.0, 3.0]])
+        res = dbscan(X, 0.1, 2, algorithm=algorithm)
+        np.testing.assert_array_equal(res.labels, [0, 0])
+
+    @pytest.mark.parametrize("algorithm", TREE_ALGOS)
+    def test_all_identical_points(self, algorithm):
+        X = np.full((64, 3), 7.5)
+        res = dbscan(X, 1e-6, 64, algorithm=algorithm)
+        assert res.n_clusters == 1
+        assert res.is_core.all()
+
+    @pytest.mark.parametrize("algorithm", TREE_ALGOS)
+    def test_collinear_points(self, algorithm):
+        X = np.column_stack([np.linspace(0, 1, 101), np.zeros(101)])
+        base = sequential_dbscan(X, 0.015, 3)
+        res = dbscan(X, 0.015, 3, algorithm=algorithm)
+        assert_dbscan_equivalent(base, res, X, 0.015)
+
+    @pytest.mark.parametrize("algorithm", TREE_ALGOS)
+    def test_axis_aligned_plane_in_3d(self, algorithm):
+        rng = np.random.default_rng(0)
+        X = np.column_stack([rng.uniform(0, 1, 200), rng.uniform(0, 1, 200), np.zeros(200)])
+        base = sequential_dbscan(X, 0.1, 4)
+        res = dbscan(X, 0.1, 4, algorithm=algorithm)
+        assert_dbscan_equivalent(base, res, X, 0.1)
+
+    @pytest.mark.parametrize("algorithm", TREE_ALGOS)
+    def test_extreme_coordinates(self, algorithm):
+        # Large magnitudes must survive Morton quantisation.
+        rng = np.random.default_rng(1)
+        X = rng.normal(0, 1, size=(100, 2)) * 1e6 + 1e9
+        base = sequential_dbscan(X, 2e5, 3)
+        res = dbscan(X, 2e5, 3, algorithm=algorithm)
+        assert_dbscan_equivalent(base, res, X, 2e5)
+
+    @pytest.mark.parametrize("algorithm", TREE_ALGOS)
+    def test_tiny_coordinates(self, algorithm):
+        rng = np.random.default_rng(2)
+        X = rng.normal(0, 1e-9, size=(100, 2))
+        base = sequential_dbscan(X, 1e-9, 3)
+        res = dbscan(X, 1e-9, 3, algorithm=algorithm)
+        assert_dbscan_equivalent(base, res, X, 1e-9)
+
+    @pytest.mark.parametrize("algorithm", TREE_ALGOS)
+    def test_eps_smaller_than_any_gap(self, algorithm):
+        X = np.arange(20, dtype=np.float64).reshape(-1, 1) * 10
+        res = dbscan(X, 0.001, 2, algorithm=algorithm)
+        assert res.n_clusters == 0
+        assert res.n_noise == 20
+
+    @pytest.mark.parametrize("algorithm", TREE_ALGOS)
+    def test_boundary_distance_exactly_eps(self, algorithm):
+        # dist == eps must count as a neighbour (<= convention).
+        X = np.array([[0.0, 0.0], [1.0, 0.0]])
+        res = dbscan(X, 1.0, 2, algorithm=algorithm)
+        assert res.n_clusters == 1
+
+
+class TestParameterEdges:
+    @pytest.mark.parametrize("algorithm", TREE_ALGOS)
+    def test_minpts_equals_n(self, algorithm, blobs_2d):
+        n = blobs_2d.shape[0]
+        res = dbscan(blobs_2d, 10_000.0, n, algorithm=algorithm)
+        assert res.n_clusters == 1
+        assert res.is_core.all()
+
+    @pytest.mark.parametrize("algorithm", TREE_ALGOS)
+    def test_minpts_exceeds_n(self, algorithm, blobs_2d):
+        res = dbscan(blobs_2d, 10_000.0, blobs_2d.shape[0] + 1, algorithm=algorithm)
+        assert res.n_clusters == 0
+
+    def test_float_like_integer_minpts_accepted(self, blobs_2d):
+        res = dbscan(blobs_2d, 0.3, 5.0, algorithm="fdbscan")
+        assert res.n_clusters >= 1
+
+    def test_list_input_accepted(self):
+        res = dbscan([[0.0, 0.0], [0.05, 0.0], [0.1, 0.0]], 0.1, 2)
+        assert res.labels.shape == (3,)
+
+    def test_float32_input_accepted(self, blobs_2d):
+        res32 = dbscan(blobs_2d.astype(np.float32), 0.3, 5, algorithm="fdbscan")
+        assert res32.labels.shape == (blobs_2d.shape[0],)
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGOS)
+    def test_invalid_inputs_rejected_uniformly(self, algorithm):
+        with pytest.raises(ValueError):
+            dbscan(np.zeros((0, 2)), 0.1, 2, algorithm=algorithm)
+        with pytest.raises(ValueError):
+            dbscan(np.array([[np.inf, 0.0]]), 0.1, 2, algorithm=algorithm)
+        with pytest.raises(ValueError):
+            dbscan(np.zeros((3, 2)), -1.0, 2, algorithm=algorithm)
+        with pytest.raises(ValueError):
+            dbscan(np.zeros((3, 2)), 0.1, 0, algorithm=algorithm)
+
+
+class TestFailureInjection:
+    def test_tree_algorithms_oom_when_tree_cannot_fit(self, blobs_2d):
+        dev = Device(capacity_bytes=100)
+        with pytest.raises(DeviceMemoryError):
+            dbscan(blobs_2d, 0.3, 5, algorithm="fdbscan", device=dev)
+
+    def test_device_state_consistent_after_oom(self, blobs_2d):
+        dev = Device(capacity_bytes=100)
+        with pytest.raises(DeviceMemoryError):
+            dbscan(blobs_2d, 0.3, 5, algorithm="fdbscan", device=dev)
+        # ledger never exceeded the cap
+        assert dev.memory.peak_bytes <= 100
+
+    def test_rerun_after_oom_with_bigger_device(self, blobs_2d):
+        dev = Device(capacity_bytes=100)
+        with pytest.raises(DeviceMemoryError):
+            dbscan(blobs_2d, 0.3, 5, algorithm="fdbscan", device=dev)
+        big = Device()
+        res = dbscan(blobs_2d, 0.3, 5, algorithm="fdbscan", device=big)
+        assert res.n_clusters >= 1
+
+
+class TestResultsAreFresh:
+    @pytest.mark.parametrize("algorithm", TREE_ALGOS)
+    def test_input_not_mutated(self, algorithm, blobs_2d):
+        snapshot = blobs_2d.copy()
+        dbscan(blobs_2d, 0.3, 5, algorithm=algorithm)
+        np.testing.assert_array_equal(blobs_2d, snapshot)
+
+    @pytest.mark.parametrize("algorithm", TREE_ALGOS)
+    def test_repeat_runs_identical(self, algorithm, blobs_2d):
+        a = dbscan(blobs_2d, 0.3, 5, algorithm=algorithm)
+        b = dbscan(blobs_2d, 0.3, 5, algorithm=algorithm)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.is_core, b.is_core)

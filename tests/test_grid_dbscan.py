@@ -1,0 +1,138 @@
+"""Tests for the grid/binary-search baseline (the rejected Section-4.2
+alternative) — oracle equivalence plus its design-specific behaviours."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.grid_dbscan import _chunks_by_load, _neighbor_offsets, grid_dbscan
+from repro.baselines.sequential_dbscan import sequential_dbscan
+from repro.device.device import Device
+from repro.grid.grid import RegularGrid
+from repro.metrics.equivalence import assert_dbscan_equivalent
+
+
+class TestNeighborOffsets:
+    @pytest.mark.parametrize("dim,expected_side", [(1, 3), (2, 5), (3, 5)])
+    def test_offset_volume(self, dim, expected_side):
+        offsets = _neighbor_offsets(dim)
+        assert offsets.shape == (expected_side**dim, dim)
+
+    def test_covers_eps_reach(self):
+        # max per-axis cell distance of an eps-neighbour is ceil(sqrt(d))
+        for d in (1, 2, 3):
+            radius = int(np.ceil(np.sqrt(d)))
+            offsets = _neighbor_offsets(d)
+            assert offsets.min() == -radius
+            assert offsets.max() == radius
+
+    def test_includes_self(self):
+        offsets = _neighbor_offsets(2)
+        assert (offsets == 0).all(axis=1).any()
+
+
+class TestChunksByLoad:
+    def test_respects_limit_roughly(self):
+        loads = np.array([5, 5, 5, 5])
+        slices = list(_chunks_by_load(loads, 10))
+        assert [s.stop - s.start for s in slices] == [2, 2]
+
+    def test_single_huge_item_alone(self):
+        loads = np.array([100, 1, 1])
+        slices = list(_chunks_by_load(loads, 10))
+        assert slices[0] == slice(0, 1)
+
+    def test_covers_everything_once(self):
+        rng = np.random.default_rng(0)
+        loads = rng.integers(0, 50, size=37)
+        covered = []
+        for s in _chunks_by_load(loads, 60):
+            covered.extend(range(s.start, s.stop))
+        assert covered == list(range(37))
+
+    def test_empty(self):
+        assert list(_chunks_by_load(np.zeros(0, dtype=np.int64), 10)) == []
+
+
+class TestGridDbscan:
+    @pytest.mark.parametrize("minpts", [1, 2, 3, 5, 10, 40])
+    def test_matches_oracle_blobs(self, blobs_2d, minpts):
+        a = grid_dbscan(blobs_2d, 0.3, minpts)
+        b = sequential_dbscan(blobs_2d, 0.3, minpts)
+        assert_dbscan_equivalent(a, b, blobs_2d, 0.3)
+
+    @pytest.mark.parametrize("eps", [0.2, 0.5])
+    def test_matches_oracle_3d(self, blobs_3d, eps):
+        a = grid_dbscan(blobs_3d, eps, 5)
+        b = sequential_dbscan(blobs_3d, eps, 5)
+        assert_dbscan_equivalent(a, b, blobs_3d, eps)
+
+    def test_1d(self, rng):
+        X = rng.uniform(0, 5, size=(200, 1))
+        a = grid_dbscan(X, 0.05, 3)
+        b = sequential_dbscan(X, 0.05, 3)
+        assert_dbscan_equivalent(a, b, X, 0.05)
+
+    @given(st.integers(0, 5000), st.floats(0.05, 0.7), st.integers(1, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_oracle_property(self, seed, eps, minpts):
+        rng = np.random.default_rng(seed)
+        X = np.concatenate(
+            [
+                rng.normal(0, 0.1, size=(rng.integers(5, 60), 2)),
+                rng.uniform(-1, 2, size=(rng.integers(5, 60), 2)),
+            ]
+        )
+        a = grid_dbscan(X, eps, minpts)
+        b = sequential_dbscan(X, eps, minpts)
+        assert_dbscan_equivalent(a, b, X, eps)
+
+    def test_dense_shortcuts_cut_distance_work(self, rng):
+        # Two tight clumps: nearly all pairs resolve through dense-cell
+        # logic without per-pair distance tests.
+        X = np.concatenate(
+            [rng.normal(0, 0.01, size=(300, 2)), rng.normal(2, 0.01, size=(300, 2))]
+        )
+        dev = Device()
+        res = grid_dbscan(X, 0.2, 20, device=dev)
+        assert res.n_clusters == 2
+        # far fewer than the ~2 * (300^2) pairwise tests a naive grid does
+        assert dev.counters.distance_evals < 300 * 300
+
+    def test_probe_counters_recorded(self, blobs_2d):
+        dev = Device()
+        grid_dbscan(blobs_2d, 0.3, 5, device=dev)
+        assert dev.counters.extra["cell_probes"] > 0
+        assert dev.counters.extra["cell_probe_hits"] > 0
+        # most probes miss on scattered data
+        assert dev.counters.extra["cell_probe_hits"] < dev.counters.extra["cell_probes"]
+
+    def test_huge_virtual_grid_rejected(self):
+        # This is the design's documented limitation (the tree needs no
+        # flat cell id).
+        X = np.array([[0.0, 0.0, 0.0], [1e9, 1e9, 1e9]])
+        with pytest.raises(OverflowError, match="flat int64"):
+            grid_dbscan(X, 1e-3, 2)
+
+    def test_single_point(self):
+        res = grid_dbscan(np.zeros((1, 2)), 0.1, 1)
+        assert res.n_clusters == 1
+
+    def test_all_duplicates(self):
+        X = np.ones((25, 2))
+        res = grid_dbscan(X, 0.5, 10)
+        assert res.n_clusters == 1
+        assert res.is_core.all()
+
+    def test_via_registry(self, blobs_2d):
+        from repro import dbscan
+
+        res = dbscan(blobs_2d, 0.3, 5, algorithm="grid")
+        base = sequential_dbscan(blobs_2d, 0.3, 5)
+        assert_dbscan_equivalent(base, res, blobs_2d, 0.3)
+
+    def test_info_fields(self, blobs_2d):
+        res = grid_dbscan(blobs_2d, 0.3, 5)
+        for key in ("n_cells", "dense_fraction", "t_total"):
+            assert key in res.info

@@ -1,0 +1,71 @@
+"""Integration matrix: every registry algorithm on every evaluation
+dataset stand-in (small samples), all DBSCAN-equivalent to the oracle —
+the full-system smoke the figure benchmarks rely on."""
+
+import numpy as np
+import pytest
+
+from repro import dbscan
+from repro.baselines.sequential_dbscan import sequential_dbscan
+from repro.datasets import load_dataset, paper_params
+from repro.metrics.equivalence import assert_dbscan_equivalent
+
+#: (dataset, n, eps, minpts) — small samples at in-regime parameters.
+CASES = [
+    ("ngsim", 1500, 0.005, 30),
+    ("portotaxi", 1500, 0.005, 15),
+    ("road3d", 1500, 0.08, 10),
+    ("hacc", 1500, 0.15, 5),
+]
+
+ALGORITHMS = ["fdbscan", "densebox", "gdbscan", "cuda-dclust", "dsdbscan", "grid"]
+
+
+@pytest.mark.parametrize("name,n,eps,minpts", CASES, ids=lambda v: str(v))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_algorithm_dataset_matrix(name, n, eps, minpts, algorithm):
+    X = load_dataset(name, n, seed=5)
+    base = sequential_dbscan(X, eps, minpts)
+    res = dbscan(X, eps, minpts, algorithm=algorithm)
+    assert_dbscan_equivalent(base, res, X, eps)
+
+
+@pytest.mark.parametrize("name,n,eps,minpts", CASES, ids=lambda v: str(v))
+def test_distributed_on_every_dataset(name, n, eps, minpts):
+    from repro.distributed import distributed_dbscan
+
+    X = load_dataset(name, n, seed=5)
+    base = sequential_dbscan(X, eps, minpts)
+    res = distributed_dbscan(X, eps, minpts, n_ranks=3)
+    assert_dbscan_equivalent(base, res, X, eps)
+
+
+@pytest.mark.parametrize("name", ["ngsim", "portotaxi", "road3d", "hacc"])
+def test_minpts2_fof_on_every_dataset(name):
+    X = load_dataset(name, 1200, seed=6)
+    spec = paper_params(name)
+    eps = spec.minpts_sweep_eps
+    base = sequential_dbscan(X, eps, 2)
+    for algorithm in ("fdbscan", "densebox"):
+        res = dbscan(X, eps, 2, algorithm=algorithm)
+        assert_dbscan_equivalent(base, res, X, eps)
+
+
+def test_auto_on_every_dataset():
+    for name, n, eps, minpts in CASES:
+        X = load_dataset(name, n, seed=7)
+        base = sequential_dbscan(X, eps, minpts)
+        res = dbscan(X, eps, minpts, algorithm="auto")
+        assert_dbscan_equivalent(base, res, X, eps)
+
+
+def test_hacc_periodic_box_clustering():
+    # The HACC stand-in lives in a periodic cube: the periodic wrapper must
+    # accept it end to end.
+    from repro.core.periodic import periodic_dbscan
+    from repro.datasets.hacc import BOX_SIZE
+
+    X = load_dataset("hacc", 2000, seed=8)
+    res = periodic_dbscan(X, 0.15, 5, box_size=BOX_SIZE, algorithm="fdbscan")
+    assert res.labels.shape == (2000,)
+    assert res.n_clusters > 0

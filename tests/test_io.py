@@ -1,0 +1,79 @@
+"""Tests for dataset IO and subsampling."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import load_points, save_points, subsample
+
+
+class TestSubsample:
+    def test_without_replacement(self, blobs_2d):
+        sample = subsample(blobs_2d, 100, seed=3)
+        assert sample.shape == (100, 2)
+        # all rows come from the original set, no duplicates
+        as_tuples = {tuple(row) for row in sample}
+        assert len(as_tuples) == 100
+
+    def test_deterministic(self, blobs_2d):
+        np.testing.assert_array_equal(
+            subsample(blobs_2d, 50, seed=1), subsample(blobs_2d, 50, seed=1)
+        )
+
+    def test_seed_varies(self, blobs_2d):
+        assert not np.array_equal(
+            subsample(blobs_2d, 50, seed=1), subsample(blobs_2d, 50, seed=2)
+        )
+
+    def test_full_sample_is_permutation(self, blobs_2d):
+        sample = subsample(blobs_2d, blobs_2d.shape[0], seed=0)
+        np.testing.assert_array_equal(
+            np.sort(sample, axis=0), np.sort(blobs_2d, axis=0)
+        )
+
+    def test_oversample_rejected(self, blobs_2d):
+        with pytest.raises(ValueError, match="cannot draw"):
+            subsample(blobs_2d, blobs_2d.shape[0] + 1)
+
+    def test_nonpositive_rejected(self, blobs_2d):
+        with pytest.raises(ValueError, match="positive"):
+            subsample(blobs_2d, 0)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("ext", [".npy", ".csv", ".txt"])
+    def test_self_describing_formats(self, tmp_path, blobs_2d, ext):
+        path = str(tmp_path / f"pts{ext}")
+        save_points(path, blobs_2d)
+        back = load_points(path)
+        np.testing.assert_allclose(back, blobs_2d, rtol=1e-15)
+
+    def test_raw_binary_roundtrip(self, tmp_path, blobs_3d):
+        path = str(tmp_path / "pts.bin")
+        save_points(path, blobs_3d)
+        back = load_points(path, dim=3)
+        np.testing.assert_array_equal(back, blobs_3d)
+
+    def test_raw_binary_needs_dim(self, tmp_path, blobs_2d):
+        path = str(tmp_path / "pts.bin")
+        save_points(path, blobs_2d)
+        with pytest.raises(ValueError, match="dim"):
+            load_points(path)
+
+    def test_raw_binary_bad_size(self, tmp_path):
+        path = str(tmp_path / "pts.bin")
+        np.arange(7, dtype=np.float64).tofile(path)
+        with pytest.raises(ValueError, match="divisible"):
+            load_points(path, dim=2)
+
+    def test_unknown_extension(self, tmp_path, blobs_2d):
+        with pytest.raises(ValueError, match="unsupported"):
+            save_points(str(tmp_path / "pts.parquet"), blobs_2d)
+        with pytest.raises(ValueError, match="unsupported"):
+            load_points(str(tmp_path / "pts.parquet"))
+
+    def test_loaded_points_validated(self, tmp_path):
+        path = str(tmp_path / "bad.csv")
+        with open(path, "w") as fh:
+            fh.write("0.0,nan\n")
+        with pytest.raises(ValueError, match="non-finite"):
+            load_points(path)

@@ -1,0 +1,93 @@
+"""Tests for label conventions, relabeling and finalisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.labels import DBSCANResult, finalize_clusters, relabel_consecutive
+from repro.unionfind.ecl import union_batch
+
+
+class TestRelabel:
+    def test_consecutive_from_arbitrary_reps(self):
+        raw = np.array([7, 7, 3, 3, 9])
+        mask = np.ones(5, dtype=bool)
+        labels, k = relabel_consecutive(raw, mask)
+        assert k == 3
+        np.testing.assert_array_equal(labels, [1, 1, 0, 0, 2])
+
+    def test_unclustered_become_noise(self):
+        raw = np.array([0, 1, 2])
+        mask = np.array([True, False, True])
+        labels, k = relabel_consecutive(raw, mask)
+        assert k == 2
+        np.testing.assert_array_equal(labels, [0, -1, 1])
+
+    def test_all_noise(self):
+        labels, k = relabel_consecutive(np.arange(4), np.zeros(4, dtype=bool))
+        assert k == 0
+        np.testing.assert_array_equal(labels, [-1, -1, -1, -1])
+
+    def test_numbering_by_smallest_representative(self):
+        raw = np.array([5, 2, 5, 2])
+        labels, _ = relabel_consecutive(raw, np.ones(4, dtype=bool))
+        # rep 2 < rep 5, so rep-2 cluster gets id 0
+        np.testing.assert_array_equal(labels, [1, 0, 1, 0])
+
+
+class TestFinalize:
+    def test_core_border_noise_split(self):
+        # 0-1-2 a core chain; 3 border attached to 0's tree; 4 noise
+        parents = np.arange(5)
+        union_batch(parents, np.array([0, 1]), np.array([1, 2]))
+        parents[3] = 0  # CAS attachment
+        is_core = np.array([True, True, True, False, False])
+        labels, core, k = finalize_clusters(parents, is_core)
+        assert k == 1
+        np.testing.assert_array_equal(labels, [0, 0, 0, 0, -1])
+        np.testing.assert_array_equal(core, is_core)
+
+    def test_minpts2_mode_singletons_are_noise(self):
+        parents = np.arange(5)
+        union_batch(parents, np.array([0]), np.array([1]))
+        labels, core, k = finalize_clusters(parents, None)
+        assert k == 1
+        np.testing.assert_array_equal(labels, [0, 0, -1, -1, -1])
+        np.testing.assert_array_equal(core, [True, True, False, False, False])
+
+    def test_singleton_core_cluster_kept(self):
+        # minpts=1 style: a core point alone forms a cluster.
+        parents = np.arange(2)
+        is_core = np.array([True, False])
+        labels, _, k = finalize_clusters(parents, is_core)
+        assert k == 1
+        np.testing.assert_array_equal(labels, [0, -1])
+
+    def test_parents_flattened_in_place(self):
+        parents = np.arange(4)
+        union_batch(parents, np.array([0, 1, 2]), np.array([1, 2, 3]))
+        finalize_clusters(parents, np.ones(4, dtype=bool))
+        np.testing.assert_array_equal(parents[parents], parents)
+
+
+class TestResult:
+    def _result(self):
+        return DBSCANResult(
+            labels=np.array([0, 0, 1, -1, 1, 1]),
+            is_core=np.array([True, False, True, False, True, False]),
+            n_clusters=2,
+        )
+
+    def test_counts(self):
+        r = self._result()
+        assert r.n_noise == 1
+        assert r.n_border == 2
+
+    def test_cluster_sizes(self):
+        np.testing.assert_array_equal(self._result().cluster_sizes(), [2, 3])
+
+    def test_empty_clusters(self):
+        r = DBSCANResult(
+            labels=np.array([-1, -1]), is_core=np.zeros(2, dtype=bool), n_clusters=0
+        )
+        assert r.cluster_sizes().shape == (0,)
+        assert r.n_noise == 2

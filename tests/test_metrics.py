@@ -1,0 +1,120 @@
+"""Tests for the equivalence relation itself and the summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.labels import DBSCANResult
+from repro.metrics.equivalence import (
+    ClusteringMismatch,
+    assert_dbscan_equivalent,
+    dbscan_equivalent,
+    partitions_equal,
+)
+from repro.metrics.stats import clustering_summary
+
+
+def _result(labels, core):
+    labels = np.asarray(labels)
+    k = len(set(labels[labels >= 0].tolist()))
+    return DBSCANResult(labels=labels, is_core=np.asarray(core, dtype=bool), n_clusters=k)
+
+
+class TestPartitionsEqual:
+    def test_identical(self):
+        mask = np.ones(4, dtype=bool)
+        assert partitions_equal(np.array([0, 0, 1, 1]), np.array([0, 0, 1, 1]), mask)
+
+    def test_permuted_ids(self):
+        mask = np.ones(4, dtype=bool)
+        assert partitions_equal(np.array([0, 0, 1, 1]), np.array([5, 5, 2, 2]), mask)
+
+    def test_split_detected(self):
+        mask = np.ones(4, dtype=bool)
+        assert not partitions_equal(np.array([0, 0, 0, 0]), np.array([0, 0, 1, 1]), mask)
+
+    def test_merge_detected(self):
+        mask = np.ones(4, dtype=bool)
+        assert not partitions_equal(np.array([0, 0, 1, 1]), np.array([0, 0, 0, 0]), mask)
+
+    def test_mask_restricts(self):
+        mask = np.array([True, True, False, False])
+        assert partitions_equal(np.array([0, 0, 1, 2]), np.array([4, 4, 9, 9]), mask)
+
+    def test_empty_mask(self):
+        assert partitions_equal(np.array([0]), np.array([1]), np.array([False]))
+
+
+class TestEquivalence:
+    def test_identical_results(self):
+        a = _result([0, 0, -1], [True, True, False])
+        assert dbscan_equivalent(a, a)
+
+    def test_permuted_cluster_ids_ok(self):
+        a = _result([0, 0, 1, 1], [True] * 4)
+        b = _result([1, 1, 0, 0], [True] * 4)
+        assert dbscan_equivalent(a, b)
+
+    def test_core_mismatch_detected(self):
+        a = _result([0, 0], [True, True])
+        b = _result([0, 0], [True, False])
+        with pytest.raises(ClusteringMismatch, match="core masks"):
+            assert_dbscan_equivalent(a, b)
+
+    def test_noise_mismatch_detected(self):
+        a = _result([0, -1], [True, False])
+        b = _result([0, 0], [True, False])
+        with pytest.raises(ClusteringMismatch, match="noise masks"):
+            assert_dbscan_equivalent(a, b)
+
+    def test_cluster_count_mismatch(self):
+        a = _result([0, 0, 1, 1], [True] * 4)
+        b = _result([0, 0, 0, 0], [True] * 4)
+        with pytest.raises(ClusteringMismatch, match="cluster counts"):
+            assert_dbscan_equivalent(a, b)
+
+    def test_size_mismatch(self):
+        a = _result([0], [True])
+        b = _result([0, 0], [True, True])
+        with pytest.raises(ClusteringMismatch, match="point counts"):
+            assert_dbscan_equivalent(a, b)
+
+    def test_border_may_differ_between_adjacent_clusters(self):
+        # Two clusters, a border point that legally belongs to either.
+        X = np.array([[0.0, 0.0], [0.1, 0.0], [1.0, 0.0], [1.1, 0.0], [0.55, 0.0]])
+        core = [True, True, True, True, False]
+        a = _result([0, 0, 1, 1, 0], core)
+        b = _result([0, 0, 1, 1, 1], core)
+        assert_dbscan_equivalent(a, b, X, eps=0.5)
+
+    def test_illegal_border_assignment_detected(self):
+        X = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 0.0], [5.1, 0.0], [0.3, 0.0]])
+        core = [True, True, True, True, False]
+        bad = _result([0, 0, 1, 1, 1], core)  # border glued to the far cluster
+        good = _result([0, 0, 1, 1, 0], core)
+        with pytest.raises(ClusteringMismatch, match="border"):
+            assert_dbscan_equivalent(good, bad, X, eps=0.5)
+
+    def test_x_without_eps_rejected(self):
+        a = _result([0], [True])
+        with pytest.raises(ValueError, match="eps"):
+            assert_dbscan_equivalent(a, a, np.zeros((1, 2)), None)
+
+
+class TestSummary:
+    def test_fields(self):
+        r = _result([0, 0, 1, -1], [True, False, True, False])
+        s = clustering_summary(r)
+        assert s["n_points"] == 4
+        assert s["n_clusters"] == 2
+        assert s["n_core"] == 2
+        assert s["n_border"] == 1
+        assert s["n_noise"] == 1
+        assert s["noise_fraction"] == pytest.approx(0.25)
+        assert s["largest_cluster"] == 2
+        assert s["smallest_cluster"] == 1
+
+    def test_all_noise(self):
+        r = _result([-1, -1], [False, False])
+        s = clustering_summary(r)
+        assert s["largest_cluster"] == 0
+        assert s["noise_fraction"] == 1.0

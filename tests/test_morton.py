@@ -1,0 +1,120 @@
+"""Unit and property tests for Morton codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bvh.morton import (
+    bits_per_axis,
+    compact_bits_2d,
+    compact_bits_3d,
+    expand_bits_2d,
+    expand_bits_3d,
+    morton_codes,
+    normalize_to_grid,
+)
+
+
+class TestBitSpreading:
+    def test_expand_2d_small_values(self):
+        # bit i of input lands at bit 2i
+        x = np.array([0b1011], dtype=np.uint64)
+        out = expand_bits_2d(x)[0]
+        assert out == 0b1000101
+
+    def test_expand_3d_small_values(self):
+        x = np.array([0b101], dtype=np.uint64)
+        out = expand_bits_3d(x)[0]
+        assert out == 0b1000001
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_compact_inverts_expand_2d(self, v):
+        x = np.array([v], dtype=np.uint64)
+        assert compact_bits_2d(expand_bits_2d(x))[0] == v
+
+    @given(st.integers(0, 2**21 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_compact_inverts_expand_3d(self, v):
+        x = np.array([v], dtype=np.uint64)
+        assert compact_bits_3d(expand_bits_3d(x))[0] == v
+
+    def test_expanded_bits_do_not_collide(self):
+        # Interleaving x and y<<1 must be injective.
+        rng = np.random.default_rng(0)
+        xs = rng.integers(0, 2**31, size=500, dtype=np.uint64)
+        ys = rng.integers(0, 2**31, size=500, dtype=np.uint64)
+        codes = expand_bits_2d(xs) | (expand_bits_2d(ys) << np.uint64(1))
+        back_x = compact_bits_2d(codes)
+        back_y = compact_bits_2d(codes >> np.uint64(1))
+        np.testing.assert_array_equal(back_x, xs)
+        np.testing.assert_array_equal(back_y, ys)
+
+
+class TestNormalize:
+    def test_corners_map_to_extremes(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        grid = normalize_to_grid(pts, np.zeros(2), np.ones(2), bits=8)
+        np.testing.assert_array_equal(grid[0], [0, 0])
+        np.testing.assert_array_equal(grid[1], [255, 255])
+
+    def test_degenerate_axis_maps_to_zero(self):
+        pts = np.array([[0.5, 2.0], [0.7, 2.0]])
+        grid = normalize_to_grid(pts, pts.min(0), pts.max(0), bits=8)
+        assert grid[0, 1] == grid[1, 1] == 0
+
+
+class TestMortonCodes:
+    def test_supported_dims(self):
+        for d in (1, 2, 3):
+            assert bits_per_axis(d) > 0
+        with pytest.raises(ValueError, match="dim"):
+            bits_per_axis(4)
+
+    def test_codes_nonnegative_int64(self):
+        rng = np.random.default_rng(1)
+        for d in (1, 2, 3):
+            codes = morton_codes(rng.uniform(-5, 5, size=(200, d)))
+            assert codes.dtype == np.int64
+            assert (codes >= 0).all()
+
+    def test_empty_input(self):
+        assert morton_codes(np.zeros((0, 2))).shape == (0,)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError, match="finite"):
+            morton_codes(np.array([[np.nan, 0.0]]))
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError, match="must be"):
+            morton_codes(np.zeros(5))
+
+    def test_identical_points_identical_codes(self):
+        pts = np.ones((4, 2))
+        codes = morton_codes(pts, lo=np.zeros(2), hi=np.full(2, 2.0))
+        assert np.unique(codes).size == 1
+
+    def test_monotone_along_single_axis(self):
+        # With other coordinates fixed at the scene minimum, codes must be
+        # non-decreasing in each coordinate (Z-order property).
+        for d in (1, 2, 3):
+            for axis in range(d):
+                pts = np.zeros((100, d))
+                pts[:, axis] = np.linspace(0, 1, 100)
+                codes = morton_codes(pts, lo=np.zeros(d), hi=np.ones(d))
+                assert np.all(np.diff(codes) >= 0), (d, axis)
+
+    @given(st.integers(0, 10_000), st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_locality_order_vs_lexicographic_quadrant(self, seed, d):
+        # The high bit of the code is the high bit of the last axis:
+        # points in the upper half of the last axis sort after points in
+        # the lower half when all other axes stay in the lower half.
+        rng = np.random.default_rng(seed)
+        low = rng.uniform(0.0, 0.49, size=(20, d))
+        high = low.copy()
+        high[:, -1] += 0.5
+        both = np.concatenate([low, high])
+        codes = morton_codes(both, lo=np.zeros(d), hi=np.ones(d))
+        assert codes[:20].max() < codes[20:].min()

@@ -1,0 +1,85 @@
+"""Tests for the amortised multi-minpts sweep (Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro import dbscan_minpts_sweep, fdbscan
+from repro.device.device import Device
+from repro.metrics.equivalence import assert_dbscan_equivalent
+
+
+class TestSweepCorrectness:
+    @pytest.mark.parametrize("values", [[5], [3, 5, 10], [1, 2, 5], [2], [40, 3]])
+    def test_matches_individual_runs(self, blobs_2d, values):
+        sweep = dbscan_minpts_sweep(blobs_2d, 0.3, values)
+        assert set(sweep) == set(values)
+        for mp in values:
+            single = fdbscan(blobs_2d, 0.3, mp)
+            assert_dbscan_equivalent(sweep[mp], single, blobs_2d, 0.3)
+
+    def test_duplicate_values_collapse(self, blobs_2d):
+        sweep = dbscan_minpts_sweep(blobs_2d, 0.3, [5, 5, 5])
+        assert list(sweep) == [5]
+
+    def test_3d(self, blobs_3d):
+        sweep = dbscan_minpts_sweep(blobs_3d, 0.5, [4, 8])
+        for mp in (4, 8):
+            assert_dbscan_equivalent(sweep[mp], fdbscan(blobs_3d, 0.5, mp), blobs_3d, 0.5)
+
+    def test_empty_values_rejected(self, blobs_2d):
+        with pytest.raises(ValueError, match="non-empty"):
+            dbscan_minpts_sweep(blobs_2d, 0.3, [])
+
+    def test_invalid_value_rejected(self, blobs_2d):
+        with pytest.raises(ValueError):
+            dbscan_minpts_sweep(blobs_2d, 0.3, [5, 0])
+
+    def test_results_monotone_in_minpts(self, blobs_2d):
+        # raising minpts can only shrink the core set
+        sweep = dbscan_minpts_sweep(blobs_2d, 0.3, [3, 6, 12])
+        c3 = sweep[3].is_core
+        c6 = sweep[6].is_core
+        c12 = sweep[12].is_core
+        assert (c6 <= c3).all()
+        assert (c12 <= c6).all()
+
+
+class TestAmortisation:
+    def test_index_built_once(self, blobs_2d):
+        dev = Device()
+        dbscan_minpts_sweep(blobs_2d, 0.3, [3, 5, 10], device=dev)
+        assert sum(1 for l in dev.launches if l.name == "bvh_build") == 1
+
+    def test_one_count_pass_many_mains(self, blobs_2d):
+        dev = Device()
+        dbscan_minpts_sweep(blobs_2d, 0.3, [3, 5, 10], device=dev)
+        counts = sum(1 for l in dev.launches if l.name == "bvh_count")
+        mains = sum(1 for l in dev.launches if l.name.startswith("sweep_main"))
+        assert counts == 1
+        assert mains == 3
+
+    def test_no_count_pass_for_low_minpts_only(self, blobs_2d):
+        dev = Device()
+        dbscan_minpts_sweep(blobs_2d, 0.3, [1, 2], device=dev)
+        assert not any(l.name == "bvh_count" for l in dev.launches)
+
+    def test_shared_timings_reported(self, blobs_2d):
+        sweep = dbscan_minpts_sweep(blobs_2d, 0.3, [3, 9])
+        t_counts = {sweep[mp].info["t_count"] for mp in (3, 9)}
+        assert len(t_counts) == 1  # literally the same shared pass
+
+    def test_sweep_cheaper_than_independent_runs(self, rng):
+        # The paper's amortisation argument (Section 3.2): when the sweep
+        # has several minpts values comparable to |N(x)|, early exit saves
+        # little per run, so one shared full count (plus one shared tree
+        # build) beats re-counting for every value.
+        X = np.concatenate(
+            [rng.normal(0, 0.02, size=(400, 2)), rng.normal(1, 0.02, size=(400, 2))]
+        )
+        values = [150, 200, 250, 300, 350]
+        dev_sweep = Device()
+        dbscan_minpts_sweep(X, 0.3, values, device=dev_sweep)
+        dev_indiv = Device()
+        for mp in values:
+            fdbscan(X, 0.3, mp, device=dev_indiv)
+        assert dev_sweep.counters.nodes_visited < dev_indiv.counters.nodes_visited

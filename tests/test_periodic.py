@@ -1,0 +1,172 @@
+"""Tests for periodic-boundary DBSCAN against a min-image brute oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.periodic import periodic_dbscan, periodic_images
+from repro.metrics.equivalence import partitions_equal
+
+
+def _periodic_brute(X, eps, minpts, box):
+    """Min-image-convention DBSCAN oracle (core partition + noise)."""
+    n, d = X.shape
+    box = np.broadcast_to(np.asarray(box, dtype=np.float64), (d,))
+    diff = np.abs(X[:, None, :] - X[None, :, :])
+    diff = np.minimum(diff, box - diff)
+    adj = np.einsum("ijk,ijk->ij", diff, diff) <= eps * eps
+    core = adj.sum(axis=1) >= minpts
+    # components of core-core subgraph
+    comp = np.arange(n)
+    comp[~core] = -1
+    core_adj = adj & core[None, :] & core[:, None]
+    while True:
+        padded = np.where(core_adj, comp[None, :], np.iinfo(np.int64).max)
+        new = np.minimum(comp, padded.min(axis=1))
+        new[~core] = -1
+        if np.array_equal(new, comp):
+            break
+        comp = new
+    border_adj = adj & core[None, :] & ~core[:, None]
+    has = border_adj.any(axis=1)
+    first = np.argmax(border_adj, axis=1)
+    comp[has & ~core] = comp[first[has & ~core]]
+    return comp, core
+
+
+class TestPeriodicImages:
+    def test_interior_points_make_no_images(self):
+        X = np.full((10, 2), 0.5)
+        images, source = periodic_images(X, 1.0, 0.1)
+        assert images.shape == (0, 2)
+        assert source.shape == (0,)
+
+    def test_face_point_one_image(self):
+        X = np.array([[0.05, 0.5]])
+        images, source = periodic_images(X, 1.0, 0.1)
+        assert images.shape == (1, 2)
+        np.testing.assert_allclose(images[0], [1.05, 0.5])
+        assert source[0] == 0
+
+    def test_corner_point_three_images_2d(self):
+        X = np.array([[0.05, 0.05]])
+        images, _ = periodic_images(X, 1.0, 0.1)
+        assert images.shape == (3, 2)
+        got = {tuple(np.round(i, 6)) for i in images}
+        assert got == {(1.05, 0.05), (0.05, 1.05), (1.05, 1.05)}
+
+    def test_corner_point_seven_images_3d(self):
+        X = np.array([[0.02, 0.02, 0.98]])
+        images, _ = periodic_images(X, 1.0, 0.05)
+        assert images.shape == (7, 3)
+
+    def test_eps_too_large_rejected(self):
+        with pytest.raises(ValueError, match="too large"):
+            periodic_images(np.full((3, 2), 0.5), 1.0, 0.5)
+
+    def test_out_of_box_rejected(self):
+        with pytest.raises(ValueError, match="lie in"):
+            periodic_images(np.array([[1.0, 0.5]]), 1.0, 0.1)
+
+    def test_anisotropic_box(self):
+        X = np.array([[0.05, 1.5]])
+        images, _ = periodic_images(X, np.array([1.0, 4.0]), 0.1)
+        assert images.shape == (1, 2)  # near x-low face only
+
+
+class TestPeriodicDbscan:
+    def test_cluster_wrapping_one_face(self):
+        # A clump straddling the x boundary: one cluster under the
+        # periodic metric, two under the plain metric.
+        rng = np.random.default_rng(0)
+        X = np.concatenate(
+            [
+                np.column_stack([rng.uniform(0, 0.03, 40), rng.uniform(0.4, 0.6, 40)]),
+                np.column_stack([rng.uniform(0.97, 1.0, 40), rng.uniform(0.4, 0.6, 40)]),
+            ]
+        )
+        from repro import dbscan
+
+        plain = dbscan(X, 0.08, 5, algorithm="fdbscan")
+        wrapped = periodic_dbscan(X, 0.08, 5, box_size=1.0, algorithm="fdbscan")
+        assert plain.n_clusters == 2
+        assert wrapped.n_clusters == 1
+
+    def test_cluster_wrapping_corner(self):
+        rng = np.random.default_rng(1)
+        quadrant = rng.uniform(0, 0.04, size=(30, 2))
+        X = np.concatenate(
+            [
+                quadrant,
+                1.0 - rng.uniform(0, 0.04, size=(30, 2)),
+                np.column_stack([rng.uniform(0, 0.04, 30), 1.0 - rng.uniform(0, 0.04, 30)]),
+                np.column_stack([1.0 - rng.uniform(0, 0.04, 30), rng.uniform(0, 0.04, 30)]),
+            ]
+        )
+        res = periodic_dbscan(X, 0.12, 5, box_size=1.0)
+        assert res.n_clusters == 1
+
+    @pytest.mark.parametrize("minpts", [2, 5, 10])
+    def test_matches_min_image_oracle(self, minpts):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 1, size=(250, 2))
+        eps = 0.08
+        res = periodic_dbscan(X, eps, minpts, box_size=1.0, algorithm="fdbscan")
+        comp, core = _periodic_brute(X, eps, minpts, 1.0)
+        np.testing.assert_array_equal(res.is_core, core)
+        np.testing.assert_array_equal(res.labels == -1, comp == -1)
+        assert partitions_equal(res.labels, comp, core)
+
+    def test_3d_oracle(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 2, size=(200, 3))
+        res = periodic_dbscan(X, 0.3, 4, box_size=2.0, algorithm="densebox")
+        comp, core = _periodic_brute(X, 0.3, 4, 2.0)
+        np.testing.assert_array_equal(res.is_core, core)
+        np.testing.assert_array_equal(res.labels == -1, comp == -1)
+        assert partitions_equal(res.labels, comp, core)
+
+    def test_interior_data_matches_plain_dbscan(self, rng):
+        # Data far from every face: periodic == plain.
+        from repro import dbscan
+        from repro.metrics import assert_dbscan_equivalent
+
+        X = 0.4 + 0.2 * rng.random((200, 2))
+        plain = dbscan(X, 0.03, 5, algorithm="fdbscan")
+        wrapped = periodic_dbscan(X, 0.03, 5, box_size=1.0, algorithm="fdbscan")
+        assert_dbscan_equivalent(plain, wrapped, X, 0.03)
+
+    def test_no_bridging_through_wrapped_border(self):
+        # Two dense walls near opposite faces plus a mid-gap border point:
+        # under the periodic metric the walls are within reach of the
+        # border point's images but not of each other.
+        left = np.column_stack([np.full(30, 0.104), np.linspace(0.4, 0.6, 30)])
+        right = np.column_stack([np.full(30, 0.896), np.linspace(0.4, 0.6, 30)])
+        lone = np.array([[0.0, 0.5]])  # 0.104 from left, 0.104 from right (wrapped)
+        X = np.concatenate([left, right, lone])
+        res = periodic_dbscan(X, 0.105, 10, box_size=1.0)
+        comp, core = _periodic_brute(X, 0.105, 10, 1.0)
+        np.testing.assert_array_equal(res.is_core, core)
+        assert not res.is_core[-1]
+        assert res.n_clusters == 2  # the lone border point joins one side
+        assert res.labels[-1] >= 0
+
+    def test_info_fields(self, rng):
+        X = rng.uniform(0, 1, size=(100, 2))
+        res = periodic_dbscan(X, 0.05, 3, box_size=1.0)
+        assert res.info["variant"] == "periodic"
+        assert res.info["n"] == 100
+        assert res.info["n_images"] >= 0
+
+    @given(st.integers(0, 3000), st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_oracle_property(self, seed, minpts):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(0, 1, size=(rng.integers(20, 150), 2))
+        eps = 0.09
+        res = periodic_dbscan(X, eps, minpts, box_size=1.0, algorithm="fdbscan")
+        comp, core = _periodic_brute(X, eps, minpts, 1.0)
+        np.testing.assert_array_equal(res.is_core, core)
+        np.testing.assert_array_equal(res.labels == -1, comp == -1)
+        assert partitions_equal(res.labels, comp, core)

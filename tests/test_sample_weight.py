@@ -1,0 +1,129 @@
+"""Tests for weighted-density DBSCAN (``sample_weight``).
+
+The defining property: with integer weights, weighted clustering of a
+point set equals unweighted clustering of the multiset where each point
+is repeated ``weight`` times.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DBSCAN, dbscan
+from repro.baselines.sequential_dbscan import sequential_dbscan
+from repro.metrics.equivalence import assert_dbscan_equivalent, partitions_equal
+
+WEIGHTED_ALGOS = ["fdbscan", "densebox", "sequential"]
+
+
+def _weighted_case(seed, n=120):
+    rng = np.random.default_rng(seed)
+    X = np.concatenate(
+        [rng.normal(0, 0.1, size=(n // 2, 2)), rng.uniform(-1, 2, size=(n // 2, 2))]
+    )
+    w = rng.integers(1, 5, size=n).astype(np.float64)
+    return X, w
+
+
+class TestWeightedEquivalence:
+    @pytest.mark.parametrize("algorithm", ["fdbscan", "densebox"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_weighted_oracle(self, algorithm, seed):
+        X, w = _weighted_case(seed)
+        base = sequential_dbscan(X, 0.25, 8, sample_weight=w)
+        res = dbscan(X, 0.25, 8, algorithm=algorithm, sample_weight=w)
+        assert_dbscan_equivalent(base, res, X, 0.25)
+
+    @pytest.mark.parametrize("algorithm", WEIGHTED_ALGOS)
+    def test_integer_weights_equal_repetition(self, algorithm):
+        # weighted run on X == unweighted run on X-with-repeats, compared
+        # on the original points
+        rng = np.random.default_rng(7)
+        X = np.concatenate(
+            [rng.normal(0, 0.08, size=(50, 2)), rng.uniform(-1, 1, size=(40, 2))]
+        )
+        w = rng.integers(1, 4, size=90)
+        weighted = dbscan(X, 0.2, 6, algorithm=algorithm, sample_weight=w.astype(float))
+        # replicate: first copy of each point occupies the original row order
+        reps = np.repeat(np.arange(90), w)
+        expanded = dbscan(X[reps], 0.2, 6, algorithm="sequential")
+        first_copy = np.searchsorted(reps, np.arange(90))
+        np.testing.assert_array_equal(
+            weighted.is_core, expanded.is_core[first_copy]
+        )
+        np.testing.assert_array_equal(
+            weighted.labels == -1, expanded.labels[first_copy] == -1
+        )
+        assert partitions_equal(
+            weighted.labels, expanded.labels[first_copy], weighted.is_core
+        )
+
+    def test_unit_weights_equal_unweighted(self):
+        X, _ = _weighted_case(3)
+        plain = dbscan(X, 0.25, 8, algorithm="fdbscan")
+        weighted = dbscan(
+            X, 0.25, 8, algorithm="fdbscan", sample_weight=np.ones(X.shape[0])
+        )
+        np.testing.assert_array_equal(plain.labels, weighted.labels)
+        np.testing.assert_array_equal(plain.is_core, weighted.is_core)
+
+    def test_heavy_point_is_its_own_cluster_seed(self):
+        # one point with weight >= minpts is core on its own
+        X = np.array([[0.0, 0.0], [10.0, 10.0]])
+        w = np.array([5.0, 1.0])
+        res = dbscan(X, 0.5, 5, algorithm="fdbscan", sample_weight=w)
+        assert res.is_core[0]
+        assert not res.is_core[1]
+        assert res.labels[0] == 0
+        assert res.labels[1] == -1
+
+    def test_fractional_weights(self):
+        # 3 points of weight 0.5 within eps: total 1.5 < 2 -> noise;
+        # adding weight makes them core.
+        X = np.array([[0.0, 0.0], [0.01, 0.0], [0.02, 0.0]])
+        light = dbscan(X, 0.1, 2, algorithm="fdbscan", sample_weight=np.full(3, 0.5))
+        assert light.n_clusters == 0
+        heavy = dbscan(X, 0.1, 2, algorithm="fdbscan", sample_weight=np.full(3, 0.7))
+        assert heavy.n_clusters == 1
+
+    @pytest.mark.parametrize("algorithm", ["fdbscan", "densebox"])
+    def test_early_exit_invariant(self, algorithm):
+        X, w = _weighted_case(11)
+        a = dbscan(X, 0.25, 8, algorithm=algorithm, sample_weight=w, early_exit=True)
+        b = dbscan(X, 0.25, 8, algorithm=algorithm, sample_weight=w, early_exit=False)
+        np.testing.assert_array_equal(a.is_core, b.is_core)
+        np.testing.assert_array_equal(a.labels == -1, b.labels == -1)
+
+    @given(st.integers(0, 3000), st.integers(2, 12))
+    @settings(max_examples=15, deadline=None)
+    def test_weighted_property(self, seed, minpts):
+        X, w = _weighted_case(seed, n=80)
+        base = sequential_dbscan(X, 0.3, minpts, sample_weight=w)
+        for algorithm in ("fdbscan", "densebox"):
+            res = dbscan(X, 0.3, minpts, algorithm=algorithm, sample_weight=w)
+            assert_dbscan_equivalent(base, res, X, 0.3)
+
+
+class TestWeightValidation:
+    def test_wrong_shape(self):
+        X = np.zeros((3, 2))
+        with pytest.raises(ValueError, match="sample_weight"):
+            dbscan(X + np.arange(3)[:, None], 0.1, 2, algorithm="fdbscan",
+                   sample_weight=np.ones(4))
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, np.nan, np.inf])
+    def test_bad_values(self, bad):
+        X = np.random.default_rng(0).uniform(size=(5, 2))
+        w = np.ones(5)
+        w[2] = bad
+        with pytest.raises(ValueError, match="positive and finite"):
+            dbscan(X, 0.1, 2, algorithm="fdbscan", sample_weight=w)
+
+
+class TestEstimatorWeights:
+    def test_fit_accepts_sample_weight(self):
+        X = np.array([[0.0, 0.0], [0.02, 0.0], [5.0, 5.0]])
+        model = DBSCAN(eps=0.1, min_samples=3, algorithm="fdbscan")
+        labels = model.fit_predict(X, sample_weight=np.array([2.0, 1.0, 1.0]))
+        np.testing.assert_array_equal(labels, [0, 0, -1])

@@ -1,0 +1,193 @@
+"""Tests for both union-find implementations, including the differential
+property that the ECL batched structure matches the sequential oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.counters import KernelCounters
+from repro.device.device import Device
+from repro.unionfind.ecl import EclUnionFind, find_roots, finalize_labels, union_batch
+from repro.unionfind.sequential import SequentialUnionFind
+
+
+def _partition(labels):
+    """Canonical partition: frozenset of frozensets."""
+    groups = {}
+    for i, l in enumerate(np.asarray(labels).tolist()):
+        groups.setdefault(l, set()).add(i)
+    return frozenset(frozenset(g) for g in groups.values())
+
+
+class TestSequential:
+    def test_initial_singletons(self):
+        uf = SequentialUnionFind(4)
+        assert uf.n_sets() == 4
+        assert not uf.connected(0, 1)
+
+    def test_union_and_find(self):
+        uf = SequentialUnionFind(5)
+        assert uf.union(0, 1)
+        assert not uf.union(1, 0)  # already joined
+        assert uf.connected(0, 1)
+        assert uf.n_sets() == 4
+
+    def test_transitivity(self):
+        uf = SequentialUnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+
+    def test_labels_flat(self):
+        uf = SequentialUnionFind(5)
+        uf.union(0, 4)
+        uf.union(4, 2)
+        labels = uf.labels()
+        assert labels[0] == labels[2] == labels[4]
+        assert labels[1] != labels[0]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            SequentialUnionFind(-1)
+
+
+class TestEclKernels:
+    def test_find_roots_initial(self):
+        parents = np.arange(6)
+        roots = find_roots(parents, np.arange(6))
+        np.testing.assert_array_equal(roots, np.arange(6))
+
+    def test_union_batch_basic(self):
+        parents = np.arange(4)
+        union_batch(parents, np.array([0, 2]), np.array([1, 3]))
+        r = find_roots(parents, np.arange(4))
+        assert r[0] == r[1]
+        assert r[2] == r[3]
+        assert r[0] != r[2]
+
+    def test_union_batch_chain_in_one_call(self):
+        # A long chain presented as one batch must fully merge.
+        n = 64
+        parents = np.arange(n)
+        union_batch(parents, np.arange(n - 1), np.arange(1, n))
+        roots = find_roots(parents, np.arange(n))
+        assert np.unique(roots).size == 1
+
+    def test_union_batch_idempotent_and_self_edges(self):
+        parents = np.arange(4)
+        union_batch(parents, np.array([1, 1, 2]), np.array([1, 2, 1]))
+        roots = find_roots(parents, np.arange(4))
+        assert roots[1] == roots[2]
+        assert roots[0] != roots[1]
+
+    def test_union_empty_batch(self):
+        parents = np.arange(3)
+        assert union_batch(parents, np.zeros(0, np.int64), np.zeros(0, np.int64)) == 0
+
+    def test_union_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            union_batch(np.arange(3), np.array([0]), np.array([1, 2]))
+
+    def test_roots_are_smallest_member(self):
+        # Hook-to-smaller means every representative is its set's minimum.
+        rng = np.random.default_rng(0)
+        parents = np.arange(50)
+        a = rng.integers(0, 50, 80)
+        b = rng.integers(0, 50, 80)
+        union_batch(parents, a, b)
+        finalize_labels(parents)
+        for root in np.unique(parents):
+            members = np.flatnonzero(parents == root)
+            assert root == members.min()
+
+    def test_finalize_flattens(self):
+        parents = np.arange(10)
+        union_batch(parents, np.arange(9), np.full(9, 9))
+        finalize_labels(parents)
+        np.testing.assert_array_equal(parents, np.zeros(10, dtype=np.int64))
+        # invariant: parents[parents] == parents
+        np.testing.assert_array_equal(parents[parents], parents)
+
+    def test_pointer_jumping_shortens_paths(self):
+        # A manually built chain: find compresses it.
+        parents = np.array([0, 0, 1, 2, 3])
+        find_roots(parents, np.array([4]))
+        # After intermediate jumping, 4's path must be shorter than 4 hops.
+        hops = 0
+        x = 4
+        while parents[x] != x:
+            x = parents[x]
+            hops += 1
+        assert hops < 4
+
+    def test_find_counters(self):
+        c = KernelCounters()
+        parents = np.array([0, 0, 1])
+        find_roots(parents, np.array([2]), counters=c)
+        assert c.find_steps > 0
+
+
+class TestEclWrapper:
+    def test_lifecycle(self):
+        dev = Device()
+        uf = EclUnionFind(8, device=dev)
+        assert uf.n_sets() == 8
+        uf.union(np.array([0, 1]), np.array([1, 2]))
+        assert uf.n_sets() == 6
+        labels = uf.finalize()
+        assert labels[0] == labels[1] == labels[2] == 0
+        assert dev.memory.live_by_tag["labels"] == 8 * 8
+        assert dev.counters.union_ops == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            EclUnionFind(-2)
+
+    def test_zero_elements(self):
+        uf = EclUnionFind(0)
+        assert uf.n == 0
+        assert uf.n_sets() == 0
+        uf.finalize()
+
+
+class TestDifferential:
+    @given(
+        st.integers(1, 60),
+        st.lists(st.tuples(st.integers(0, 59), st.integers(0, 59)), max_size=120),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ecl_matches_sequential_partition(self, n, edges, seed):
+        edges = [(a % n, b % n) for a, b in edges]
+        seq = SequentialUnionFind(n)
+        for a, b in edges:
+            seq.union(a, b)
+        ecl = EclUnionFind(n)
+        if edges:
+            rng = np.random.default_rng(seed)
+            arr = np.array(edges, dtype=np.int64)
+            # split the edge list into random batches to exercise the
+            # cross-batch behaviour
+            n_batches = rng.integers(1, 4)
+            for chunk in np.array_split(arr[rng.permutation(arr.shape[0])], n_batches):
+                if chunk.size:
+                    ecl.union(chunk[:, 0], chunk[:, 1])
+        assert _partition(ecl.finalize()) == _partition(seq.labels())
+
+    @given(st.integers(2, 100), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_forest_always_acyclic(self, n, seed):
+        rng = np.random.default_rng(seed)
+        parents = np.arange(n)
+        for _ in range(3):
+            a = rng.integers(0, n, size=n)
+            b = rng.integers(0, n, size=n)
+            union_batch(parents, a, b)
+            # acyclicity: walking up from every node terminates (bounded by n)
+            for start in range(n):
+                x, hops = start, 0
+                while parents[x] != x:
+                    x = parents[x]
+                    hops += 1
+                    assert hops <= n

@@ -1,0 +1,73 @@
+"""Direct tests for the shared input-validation contract."""
+
+import numpy as np
+import pytest
+
+from repro.core.validation import MAX_TREE_DIM, validate_params, validate_points
+
+
+class TestValidatePoints:
+    def test_returns_contiguous_float64(self):
+        X = np.asfortranarray(np.arange(12, dtype=np.float32).reshape(6, 2))
+        out = validate_points(X)
+        assert out.dtype == np.float64
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_accepts_lists(self):
+        out = validate_points([[0, 1], [2, 3]])
+        assert out.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            validate_points(np.zeros(5))
+
+    def test_rejects_3d_array(self):
+        with pytest.raises(ValueError, match="2-D"):
+            validate_points(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty_rows(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            validate_points(np.zeros((0, 3)))
+
+    def test_rejects_zero_features(self):
+        with pytest.raises(ValueError, match="feature"):
+            validate_points(np.zeros((3, 0)))
+
+    def test_tree_dim_cap(self):
+        with pytest.raises(ValueError, match=f"d <= {MAX_TREE_DIM}"):
+            validate_points(np.zeros((3, MAX_TREE_DIM + 1)))
+
+    def test_dim_cap_liftable(self):
+        out = validate_points(np.zeros((3, 7)), max_dim=None)
+        assert out.shape == (3, 7)
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_nonfinite(self, bad):
+        X = np.zeros((2, 2))
+        X[1, 1] = bad
+        with pytest.raises(ValueError, match="non-finite"):
+            validate_points(X)
+
+
+class TestValidateParams:
+    def test_canonical_types(self):
+        eps, minpts = validate_params(np.float32(0.5), np.int32(3))
+        assert isinstance(eps, float)
+        assert isinstance(minpts, int)
+
+    def test_integral_float_minpts_ok(self):
+        assert validate_params(1.0, 4.0) == (1.0, 4)
+
+    def test_fractional_minpts_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            validate_params(1.0, 4.5)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, np.nan, np.inf])
+    def test_bad_eps(self, bad):
+        with pytest.raises(ValueError, match="eps"):
+            validate_params(bad, 3)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_bad_minpts(self, bad):
+        with pytest.raises(ValueError, match="min_samples"):
+            validate_params(0.5, bad)
