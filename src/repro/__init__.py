@@ -36,6 +36,7 @@ Package map
 
 from repro.core import (
     DBSCAN,
+    DBSCANIndex,
     DBSCANResult,
     choose_algorithm,
     dbscan,
@@ -53,6 +54,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DBSCAN",
+    "DBSCANIndex",
     "DBSCANResult",
     "Device",
     "__version__",

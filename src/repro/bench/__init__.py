@@ -17,13 +17,20 @@
 
 from repro.bench.harness import RunRecord, run_once, run_sweep
 from repro.bench.history import compare_records, load_records, save_records
-from repro.bench.report import ascii_density, ascii_loglog, format_records, format_series
+from repro.bench.report import (
+    ascii_density,
+    ascii_loglog,
+    format_kernel_profile,
+    format_records,
+    format_series,
+)
 
 __all__ = [
     "RunRecord",
     "ascii_density",
     "ascii_loglog",
     "compare_records",
+    "format_kernel_profile",
     "format_records",
     "format_series",
     "load_records",

@@ -3,15 +3,29 @@
 Each cell of a paper figure is one :func:`run_once` call: a fresh
 :class:`~repro.device.Device` (optionally memory-capped), one clustering
 run, and a :class:`RunRecord` with everything the figures plot — wall
-seconds — plus what the paper discusses around them: work counters,
-dense-cell fraction, peak device bytes, OOM status.
+seconds — plus what the paper discusses around them: work counters, the
+per-kernel time breakdown, dense-cell fraction, peak device bytes, OOM
+status.  Counters, the kernel profile and peak bytes are captured on
+*every* exit path — an ``"oom"`` or ``"error"`` cell (the paper's
+G-DBSCAN failures, Figure 4(h)) reports the work it performed up to the
+failure, which is exactly what makes those failures diagnosable.
 
 :func:`run_sweep` drives a whole panel (one x-axis series per algorithm),
-with two benchmark-hygiene features:
+with three benchmark-hygiene features:
 
-- a per-cell ``time_budget``: when an algorithm exceeds it, its larger
-  cells are skipped and reported as ``"skipped"`` — the honest equivalent
-  of the paper's missing points for codes that stop scaling;
+- **index reuse** (on by default): the spatial index over each distinct
+  point set is built once — live, on the first tree-algorithm cell that
+  needs it — and reused by every other cell via
+  :class:`~repro.core.index.DBSCANIndex`.  Reusing cells replay the
+  recorded build cost onto their fresh per-cell device, so counters,
+  kernel profiles and memory peaks stay comparable to cold runs while the
+  sweep's wall time drops by the redundant builds;
+- a per-cell ``time_budget``: when an algorithm's *successful* cell
+  exceeds it, its later cells are skipped and reported as ``"skipped"``
+  (naming the cell that tripped the budget) — the honest equivalent of
+  the paper's missing points for codes that stop scaling.  Failed cells
+  (``"oom"``/``"error"``) never trip the budget: a transient failure must
+  not permanently drop an algorithm from the rest of the sweep;
 - OOM capture: a :class:`~repro.device.DeviceMemoryError` marks the cell
   ``"oom"`` (the paper's G-DBSCAN failures on PortoTaxi, Figure 4(h)).
 """
@@ -25,6 +39,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.api import dbscan
+from repro.core.index import DBSCANIndex
 from repro.device.device import Device
 from repro.device.memory import DeviceMemoryError
 
@@ -45,6 +60,8 @@ class RunRecord:
     dense_fraction: float = float("nan")
     peak_bytes: int = 0
     counters: dict = field(default_factory=dict)
+    kernels: dict = field(default_factory=dict)
+    reused_index: bool = False
     detail: str = ""
 
     def as_row(self) -> dict:
@@ -65,8 +82,15 @@ class RunRecord:
 
 
 #: Algorithms that accept the tree-specific options (use_mask,
-#: early_exit, chunk_size) routed via ``tree_kwargs``.
+#: early_exit, chunk_size) and a prebuilt ``index=``.
 TREE_ALGORITHMS = {"auto", "fdbscan", "fdbscan-densebox", "densebox"}
+
+
+def _capture_device(rec: RunRecord, dev: Device) -> None:
+    """Copy the device's accounting into the record (every exit path)."""
+    rec.peak_bytes = dev.memory.peak_bytes
+    rec.counters = dev.counters.snapshot()
+    rec.kernels = dev.profile()
 
 
 def run_once(
@@ -77,13 +101,16 @@ def run_once(
     dataset: str = "?",
     capacity_bytes: int | None = None,
     tree_kwargs: dict | None = None,
+    index: DBSCANIndex | None = None,
     **kwargs,
 ) -> RunRecord:
     """Execute one benchmark cell on a fresh device.
 
-    ``tree_kwargs`` (e.g. ``{"chunk_size": 4096, "use_mask": False}``) are
+    ``tree_kwargs`` (e.g. ``{"chunk_size": 4096, "use_mask": False}``) and
+    ``index`` (a prebuilt :class:`~repro.core.index.DBSCANIndex`) are
     forwarded only to the tree-based algorithms; ``kwargs`` go to every
-    algorithm.
+    algorithm.  The record's ``counters`` / ``kernels`` / ``peak_bytes``
+    are captured on the ``"oom"`` and ``"error"`` paths too.
     """
     rec = RunRecord(
         algorithm=algorithm,
@@ -93,8 +120,11 @@ def run_once(
         min_samples=int(min_samples),
     )
     dev = Device(name=f"bench-{algorithm}", capacity_bytes=capacity_bytes)
-    if tree_kwargs and algorithm.lower() in TREE_ALGORITHMS:
+    is_tree = algorithm.lower() in TREE_ALGORITHMS
+    if tree_kwargs and is_tree:
         kwargs = {**kwargs, **tree_kwargs}
+    if index is not None and is_tree:
+        kwargs = {**kwargs, "index": index}
     start = time.perf_counter()
     try:
         result = dbscan(X, eps, min_samples, algorithm=algorithm, device=dev, **kwargs)
@@ -102,20 +132,20 @@ def run_once(
         rec.seconds = time.perf_counter() - start
         rec.status = "oom"
         rec.detail = str(exc)
-        rec.peak_bytes = dev.memory.peak_bytes
+        _capture_device(rec, dev)
         return rec
     except Exception as exc:  # noqa: BLE001 - a failing cell must not kill a sweep
         rec.seconds = time.perf_counter() - start
         rec.status = "error"
         rec.detail = f"{type(exc).__name__}: {exc}"
-        rec.peak_bytes = dev.memory.peak_bytes
+        _capture_device(rec, dev)
         return rec
     rec.seconds = time.perf_counter() - start
     rec.n_clusters = result.n_clusters
     rec.n_noise = result.n_noise
     rec.dense_fraction = result.info.get("dense_fraction", float("nan"))
-    rec.peak_bytes = dev.memory.peak_bytes
-    rec.counters = dev.counters.snapshot()
+    rec.reused_index = bool(result.info.get("index_reused", False))
+    _capture_device(rec, dev)
     return rec
 
 
@@ -127,6 +157,7 @@ def run_sweep(
     time_budget: float | None = None,
     capacity_bytes: int | None = None,
     tree_kwargs: dict | None = None,
+    reuse_index: bool = True,
     **kwargs,
 ) -> list[RunRecord]:
     """Run a figure panel: every algorithm over every cell.
@@ -143,15 +174,36 @@ def run_sweep(
     data_for:
         Maps a cell to its point set (cache inside for shared data).
     time_budget:
-        Per-cell wall-second budget; once an algorithm's cell exceeds it,
-        its remaining cells are reported as ``"skipped"``.
+        Per-cell wall-second budget; once one of an algorithm's ``"ok"``
+        cells exceeds it, its remaining cells are reported as
+        ``"skipped"`` with a ``detail`` naming the tripping cell.  Cells
+        that fail (``"oom"``/``"error"``) do not count toward the budget.
     capacity_bytes:
         Device memory cap applied to every cell.
+    reuse_index:
+        Share one :class:`~repro.core.index.DBSCANIndex` per distinct
+        point set (matched by content fingerprint) across all cells and
+        tree algorithms.  The points BVH is then built exactly once per
+        point set; reusing cells replay its recorded cost so their
+        accounting matches a cold run's.  Disable for cold-per-cell
+        measurements.
     """
     records: list[RunRecord] = []
-    over_budget: set[str] = set()
+    over_budget: dict[str, str] = {}
+    indexes: dict[str, DBSCANIndex] = {}
+    any_tree = any(a.lower() in TREE_ALGORITHMS for a in algorithms)
     for cell in cells:
         X = data_for(cell)
+        index: DBSCANIndex | None = None
+        if reuse_index and any_tree:
+            try:
+                candidate = DBSCANIndex(X)
+            except ValueError:
+                # points the tree algorithms reject (e.g. d > 3): run the
+                # cells cold so each reports its own "error" record
+                index = None
+            else:
+                index = indexes.setdefault(candidate.fingerprint, candidate)
         for algorithm in algorithms:
             if algorithm in over_budget:
                 records.append(
@@ -162,7 +214,7 @@ def run_sweep(
                         eps=float(cell["eps"]),
                         min_samples=int(cell["min_samples"]),
                         status="skipped",
-                        detail="previous cell exceeded time budget",
+                        detail=over_budget[algorithm],
                     )
                 )
                 continue
@@ -174,9 +226,17 @@ def run_sweep(
                 dataset=dataset,
                 capacity_bytes=capacity_bytes,
                 tree_kwargs=tree_kwargs,
+                index=index,
                 **kwargs,
             )
             records.append(rec)
-            if time_budget is not None and rec.seconds > time_budget:
-                over_budget.add(algorithm)
+            if (
+                time_budget is not None
+                and rec.status == "ok"
+                and rec.seconds > time_budget
+            ):
+                over_budget[algorithm] = (
+                    f"cell (n={rec.n}, eps={rec.eps:g}, minpts={rec.min_samples}) "
+                    f"exceeded time budget ({rec.seconds:.3g}s > {time_budget:g}s)"
+                )
     return records

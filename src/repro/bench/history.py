@@ -46,6 +46,17 @@ def save_records(path: str, records: list[RunRecord], meta: dict | None = None) 
                 else r.dense_fraction,
                 "peak_bytes": r.peak_bytes,
                 "counters": {k: int(v) for k, v in r.counters.items()},
+                "kernels": {
+                    name: {
+                        "launches": int(row["launches"]),
+                        "replayed": int(row["replayed"]),
+                        "seconds": float(row["seconds"]),
+                        "threads": int(row["threads"]),
+                        "steps": int(row["steps"]),
+                    }
+                    for name, row in r.kernels.items()
+                },
+                "reused_index": bool(r.reused_index),
                 "detail": r.detail,
             }
             for r in records
@@ -78,6 +89,8 @@ def load_records(path: str) -> tuple[list[RunRecord], dict]:
                 else row["dense_fraction"],
                 peak_bytes=int(row["peak_bytes"]),
                 counters=dict(row["counters"]),
+                kernels={k: dict(v) for k, v in row.get("kernels", {}).items()},
+                reused_index=bool(row.get("reused_index", False)),
                 detail=row.get("detail", ""),
             )
         )

@@ -44,6 +44,59 @@ def format_records(records: Sequence[RunRecord], columns: Sequence[str] | None =
     return "\n".join(lines)
 
 
+def format_kernel_profile(records_or_profile, title: str = "") -> str:
+    """Per-kernel time breakdown table.
+
+    Accepts either a :meth:`repro.device.Device.profile` dict or a
+    sequence of :class:`RunRecord` (whose per-cell ``kernels`` profiles
+    are summed).  One row per kernel name — launches, how many of those
+    were replayed from a reused index, wall seconds with the share of the
+    total, and cumulative threads/steps — sorted by seconds, hottest
+    first.  This is the text analogue of an ``nvprof``/``nsys`` summary:
+    it answers *where the time goes* (the paper's construction-vs-search
+    split) rather than just how long the whole run took.
+    """
+    profile: dict[str, dict] = {}
+    if isinstance(records_or_profile, dict):
+        for name, row in records_or_profile.items():
+            profile[name] = dict(row)
+    else:
+        for rec in records_or_profile:
+            for name, row in rec.kernels.items():
+                agg = profile.setdefault(
+                    name,
+                    {"launches": 0, "replayed": 0, "seconds": 0.0, "threads": 0, "steps": 0},
+                )
+                for field in agg:
+                    agg[field] += row[field]
+    if not profile:
+        return f"{title}: (no kernel launches)" if title else "(no kernel launches)"
+    total = sum(row["seconds"] for row in profile.values()) or 1.0
+    columns = ["kernel", "launches", "replayed", "seconds", "share", "threads", "steps"]
+    cells = [
+        [
+            name,
+            _fmt(row["launches"]),
+            _fmt(row["replayed"]),
+            _fmt(row["seconds"]),
+            f"{100.0 * row['seconds'] / total:.1f}%",
+            _fmt(row["threads"]),
+            _fmt(row["steps"]),
+        ]
+        for name, row in sorted(
+            profile.items(), key=lambda item: item[1]["seconds"], reverse=True
+        )
+    ]
+    widths = [max(len(c), *(len(cell[i]) for cell in cells)) for i, c in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.rjust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines += ["  ".join(cell[i].rjust(widths[i]) for i in range(len(columns))) for cell in cells]
+    return "\n".join(lines)
+
+
 #: Density ramp for :func:`ascii_density` (space = empty, @ = densest).
 _DENSITY_RAMP = " .:-=+*#%@"
 

@@ -214,8 +214,23 @@ def count_within(
 
     With ``stop_at`` set, a query's traversal terminates early once its
     count reaches ``stop_at`` — the paper's core-point determination
-    shortcut (Section 3.2): counts are then only exact below ``stop_at``;
-    values ``>= stop_at`` mean "at least this many".
+    shortcut (Section 3.2).  The early-exit contract, for unweighted and
+    weighted counts alike:
+
+    - a returned count ``< stop_at`` is **exact** — the query's traversal
+      ran to completion;
+    - a returned count ``>= stop_at`` means **at least this many**: the
+      query stopped as soon as its running total reached ``stop_at``, so
+      the value is a lower bound whose exact magnitude depends on
+      traversal order.  Reaching ``stop_at`` exactly terminates too
+      (``counts >= stop_at``, not ``>``) — a weighted query whose
+      neighbourhood weights sum to exactly ``stop_at`` still short-cuts,
+      and the threshold test ``counts >= stop_at`` downstream is
+      unaffected.
+
+    ``stop_at`` may be fractional when ``leaf_weights`` is given (weights
+    are arbitrary positive floats, so any finite threshold is meaningful);
+    it must be positive and finite either way.
 
     ``leaf_weights`` (indexed by *sorted leaf position*) turns the count
     into a weighted sum — the weighted-density generalisation where each
@@ -245,8 +260,8 @@ def count_within(
 
     finished_fn = None
     if stop_at is not None:
-        if stop_at <= 0:
-            raise ValueError(f"stop_at must be positive; got {stop_at}")
+        if not np.isfinite(stop_at) or stop_at <= 0:
+            raise ValueError(f"stop_at must be positive and finite; got {stop_at}")
 
         def finished_fn() -> np.ndarray:
             return counts >= stop_at

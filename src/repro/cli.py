@@ -30,7 +30,7 @@ import sys
 import numpy as np
 
 from repro.bench.harness import run_sweep
-from repro.bench.report import format_records, format_series
+from repro.bench.report import format_kernel_profile, format_records, format_series
 from repro.core.api import dbscan
 from repro.datasets.io import load_points, subsample
 from repro.datasets.registry import DATASETS, load_dataset
@@ -66,6 +66,8 @@ def _cmd_cluster(args) -> int:
             if isinstance(value, int) and value:
                 print(f"{key:>18} : {value:,}")
         print(f"{'peak_bytes':>18} : {device.memory.peak_bytes:,}")
+    if args.profile:
+        print(format_kernel_profile(device.profile(), title="-- kernel profile --"))
     if args.labels_out:
         np.save(args.labels_out, result.labels)
         print(f"labels written to {args.labels_out}")
@@ -93,10 +95,13 @@ def _cmd_bench(args) -> int:
         dataset=args.dataset or args.input,
         time_budget=args.time_budget,
         capacity_bytes=args.memory_cap,
+        reuse_index=not args.no_reuse_index,
     )
     print(format_series(records, x_key=x_key, title="seconds"))
     print()
     print(format_records(records))
+    print()
+    print(format_kernel_profile(records, title="-- kernel profile (all cells) --"))
     if args.save:
         from repro.bench.history import save_records
 
@@ -146,6 +151,9 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--counters", action="store_true", help="print device work counters"
     )
+    cluster.add_argument(
+        "--profile", action="store_true", help="print the per-kernel time breakdown"
+    )
     cluster.set_defaults(func=_cmd_cluster)
 
     bench = sub.add_parser("bench", help="run a parameter sweep")
@@ -157,7 +165,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithms", default="fdbscan,fdbscan-densebox", help="comma-separated names"
     )
     bench.add_argument("--time-budget", type=float, help="per-cell seconds budget")
-    bench.add_argument("--save", help="write the records to this JSON file")
+    bench.add_argument(
+        "--no-reuse-index",
+        action="store_true",
+        help="rebuild the spatial index cold in every cell (default: build once "
+        "per point set and replay its cost)",
+    )
+    bench.add_argument(
+        "--save",
+        nargs="?",
+        const="BENCH_sweep.json",
+        help="write the records to this JSON file (default: BENCH_sweep.json)",
+    )
     bench.add_argument(
         "--compare", help="diff against a JSON file written by --save"
     )

@@ -9,6 +9,7 @@
 - :mod:`repro.core.dbscan_star` — the DBSCAN* variant (Section 6);
 - :mod:`repro.core.multi_minpts` — amortised multi-minpts sweeps (Section 3.2);
 - :mod:`repro.core.periodic` — periodic-boundary DBSCAN (cosmology boxes);
+- :mod:`repro.core.index` — the reusable spatial index for parameter sweeps;
 - :mod:`repro.core.labels` — label conventions and finalisation.
 """
 
@@ -16,12 +17,14 @@ from repro.core.api import DBSCAN, choose_algorithm, dbscan, dense_fraction_esti
 from repro.core.dbscan_star import dbscan_star
 from repro.core.densebox import fdbscan_densebox
 from repro.core.fdbscan import fdbscan
+from repro.core.index import DBSCANIndex
 from repro.core.multi_minpts import dbscan_minpts_sweep
 from repro.core.periodic import periodic_dbscan
 from repro.core.labels import DBSCANResult
 
 __all__ = [
     "DBSCAN",
+    "DBSCANIndex",
     "DBSCANResult",
     "choose_algorithm",
     "dbscan",

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.densebox import fdbscan_densebox
 from repro.core.fdbscan import fdbscan
+from repro.core.index import DBSCANIndex
 from repro.core.labels import DBSCANResult
 from repro.core.validation import validate_params, validate_points
 from repro.device.device import Device
@@ -85,6 +86,7 @@ def dbscan(
     min_samples: int,
     algorithm: str = "auto",
     device: Device | None = None,
+    index: DBSCANIndex | None = None,
     **kwargs,
 ) -> DBSCANResult:
     """Cluster ``X`` with DBSCAN.
@@ -104,6 +106,13 @@ def dbscan(
     device:
         Optional :class:`~repro.device.Device` for work counters, kernel
         timings and memory capping.
+    index:
+        Optional prebuilt :class:`~repro.core.index.DBSCANIndex` over
+        ``X`` — only the tree-based algorithms (``"auto"``, ``"fdbscan"``,
+        ``"fdbscan-densebox"``) accept one; passing it to a baseline
+        raises.  The index each tree run used (built on the fly if none
+        was given) is returned in ``result.info["index"]`` for reuse
+        across parameter sweeps.
     kwargs:
         Forwarded to the implementation (e.g. ``use_mask`` / ``early_exit``
         for the tree algorithms).
@@ -126,9 +135,9 @@ def dbscan(
     if name == "auto":
         name = choose_algorithm(X, eps, min_samples)
     if name == "fdbscan":
-        return fdbscan(X, eps, min_samples, device=device, **kwargs)
+        return fdbscan(X, eps, min_samples, device=device, index=index, **kwargs)
     if name in ("fdbscan-densebox", "densebox"):
-        return fdbscan_densebox(X, eps, min_samples, device=device, **kwargs)
+        return fdbscan_densebox(X, eps, min_samples, device=device, index=index, **kwargs)
     try:
         impl = _baseline(name)
     except KeyError:
@@ -136,6 +145,11 @@ def dbscan(
             f"unknown algorithm {algorithm!r}; expected one of: auto, fdbscan, "
             "fdbscan-densebox, gdbscan, cuda-dclust, dsdbscan, grid, sequential, brute"
         ) from None
+    if index is not None:
+        raise ValueError(
+            f"algorithm {algorithm!r} does not use a spatial index; "
+            "index= is only valid for the tree-based algorithms"
+        )
     return impl(X, eps, min_samples, device=device, **kwargs)
 
 

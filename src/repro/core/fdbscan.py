@@ -24,10 +24,9 @@ import time
 
 import numpy as np
 
-from repro.bvh.aabb import boxes_from_points
-from repro.bvh.builder import build_bvh
 from repro.bvh.traversal import DEFAULT_CHUNK_SIZE, count_within, for_each_leaf_hit
 from repro.core.framework import resolve_pairs
+from repro.core.index import DBSCANIndex
 from repro.core.labels import DBSCANResult, finalize_clusters
 from repro.core.validation import validate_params, validate_points, validate_weights
 from repro.device.device import Device, default_device
@@ -43,6 +42,7 @@ def fdbscan(
     early_exit: bool = True,
     chunk_size: int | None = None,
     sample_weight=None,
+    index: DBSCANIndex | None = None,
 ) -> DBSCANResult:
     """Cluster ``X`` with FDBSCAN.
 
@@ -76,13 +76,21 @@ def fdbscan(
         ``min_samples`` — the sklearn-compatible weighted-density
         semantics.  With integer weights this is exactly clustering the
         multiset with each point repeated ``weight`` times.
+    index:
+        Optional prebuilt :class:`~repro.core.index.DBSCANIndex` over
+        ``X`` (fingerprint-checked).  With a warm index the tree build is
+        skipped and its recorded cost replayed onto ``device`` instead,
+        so counters and memory peaks stay comparable to a cold run; the
+        index used (built here if none was given) is returned in
+        ``info["index"]`` for reuse.
 
     Returns
     -------
     :class:`~repro.core.labels.DBSCANResult`
         ``info`` carries phase wall-times (``t_build``, ``t_preprocess``,
-        ``t_main``, ``t_finalize``) and, when ``early_exit`` is off, the
-        exact neighbour counts.
+        ``t_main``, ``t_finalize``), the reusable ``index`` (plus
+        ``index_reused``), and, when ``early_exit`` is off, the exact
+        neighbour counts.
     """
     X = validate_points(X)
     eps, minpts = validate_params(eps, min_samples)
@@ -93,10 +101,15 @@ def fdbscan(
     info: dict = {"algorithm": "fdbscan", "n": n, "eps": eps, "min_samples": minpts}
 
     t0 = time.perf_counter()
-    lo, hi = boxes_from_points(X)
-    tree = build_bvh(lo, hi, device=dev)
+    if index is None:
+        index = DBSCANIndex(X)
+    else:
+        index.check_points(X)
+    tree, reused = index.points_tree(dev)
     t1 = time.perf_counter()
     info["t_build"] = t1 - t0
+    info["index"] = index
+    info["index_reused"] = reused
 
     # --- preprocessing phase: core-point determination --------------------
     is_core: np.ndarray | None

@@ -1,0 +1,227 @@
+"""Reusable spatial index for parameter sweeps.
+
+The paper's cost model makes BVH construction a fixed prefix of every
+run: the tree depends only on the *points*, never on ``eps`` or
+``minpts``.  Yet a naive figure sweep (Section 5: eps panels in Figures
+4/7, minpts panels in Figures 4/6) rebuilds that identical tree for every
+cell.  :class:`DBSCANIndex` factors the construction out — the follow-up
+ArborX work makes exactly this index-reuse a first-class primitive, and
+"Theoretically-Efficient and Practical Parallel DBSCAN" (Wang et al.)
+likewise separates index construction from the per-parameter clustering
+phases.
+
+An index wraps:
+
+- the **points BVH** (tree + sorted order), shared by every FDBSCAN run
+  over the same point set regardless of parameters;
+- an optional bounded cache of **dense-cell decompositions** for
+  FDBSCAN-DenseBox, keyed by ``(eps, minpts, weights)`` — the DenseBox
+  mixed tree *does* depend on the parameters, so entries are only shared
+  by runs with equal keys (e.g. the same cell swept by two algorithm
+  aliases, or repeated calls while tuning);
+- a **content fingerprint** of the validated points, so a stale index can
+  never be silently applied to different data.
+
+Accounting contract
+-------------------
+Each component is built *live* on the device of the first run that needs
+it, under :meth:`~repro.device.device.Device.recording`; every later run
+**replays** the recorded cost onto its own device
+(:meth:`~repro.device.device.Device.replay`).  A warm run therefore skips
+the build's wall time — that is the speedup — while its counters, kernel
+trace (spans flagged ``replayed=True``) and memory peak remain comparable
+to a cold run's.  Under a memory cap, replaying raises the same
+:class:`~repro.device.memory.DeviceMemoryError` a cold build would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bvh.aabb import boxes_from_points
+from repro.bvh.builder import build_bvh
+from repro.bvh.tree import BVH
+from repro.core.validation import validate_points
+from repro.device.device import Device, ReplayableCost, default_device
+from repro.grid.dense_cells import DenseDecomposition, decompose
+
+#: Default bound on cached DenseBox decompositions per index (FIFO
+#: eviction).  Each entry holds a mixed tree plus the grid CSR arrays, so
+#: the cache is kept small; sweeps revisit at most a handful of identical
+#: (eps, minpts) keys.
+DEFAULT_MAX_DENSE_ENTRIES = 4
+
+
+def points_fingerprint(X: np.ndarray) -> str:
+    """Content hash of a validated point set (shape + raw float64 bytes)."""
+    X = np.ascontiguousarray(X, dtype=np.float64)
+    digest = hashlib.sha1()
+    digest.update(repr(X.shape).encode())
+    digest.update(X.tobytes())
+    return digest.hexdigest()
+
+
+def _weights_key(weights: np.ndarray | None) -> str:
+    if weights is None:
+        return "unweighted"
+    weights = np.ascontiguousarray(weights, dtype=np.float64)
+    return hashlib.sha1(weights.tobytes()).hexdigest()
+
+
+@dataclass
+class _PointsEntry:
+    tree: BVH
+    cost: ReplayableCost
+
+
+@dataclass
+class _DenseEntry:
+    deco: DenseDecomposition
+    tree: BVH
+    cost: ReplayableCost
+
+
+class DBSCANIndex:
+    """Prebuilt spatial index over one point set.
+
+    Build one per dataset and pass it as ``index=`` to
+    :func:`~repro.core.api.dbscan`,
+    :func:`~repro.core.fdbscan.fdbscan` or
+    :func:`~repro.core.densebox.fdbscan_densebox`; every run also returns
+    the index it used in ``result.info["index"]``, so the first (cold)
+    call can seed reuse for the rest of a sweep::
+
+        index = None
+        for eps in eps_values:
+            res = dbscan(X, eps, minpts, algorithm="fdbscan", index=index)
+            index = res.info["index"]       # built on the first iteration
+
+    Components are built lazily on first use; see the module docstring
+    for the cost-replay accounting contract.
+
+    Parameters
+    ----------
+    X:
+        ``(n, d)`` points, validated exactly as the clustering entry
+        points validate them.
+    max_dense_entries:
+        Bound on the cached DenseBox decompositions (FIFO eviction).
+    """
+
+    def __init__(self, X: np.ndarray, max_dense_entries: int = DEFAULT_MAX_DENSE_ENTRIES):
+        X = validate_points(X)
+        self._X = X
+        self.n, self.dim = X.shape
+        self.fingerprint = points_fingerprint(X)
+        self.max_dense_entries = int(max_dense_entries)
+        self._points: _PointsEntry | None = None
+        self._dense: "OrderedDict[tuple, _DenseEntry]" = OrderedDict()
+
+    # -- compatibility ---------------------------------------------------------
+
+    def check_points(self, X: np.ndarray) -> None:
+        """Raise ``ValueError`` unless ``X`` is the indexed point set.
+
+        The check hashes the validated input — O(n), negligible next to
+        clustering — so a stale index can never silently produce labels
+        for the wrong data.
+        """
+        X = validate_points(X)
+        if X.shape != (self.n, self.dim):
+            raise ValueError(
+                f"index was built over shape {(self.n, self.dim)}; got {X.shape}"
+            )
+        if points_fingerprint(X) != self.fingerprint:
+            raise ValueError(
+                "index fingerprint mismatch: the given points differ from the "
+                "ones this DBSCANIndex was built over"
+            )
+
+    # -- component accessors ---------------------------------------------------
+
+    @property
+    def has_points_tree(self) -> bool:
+        return self._points is not None
+
+    def points_tree(self, device: Device | None = None) -> tuple[BVH, bool]:
+        """The BVH over the raw points (FDBSCAN's index).
+
+        Returns ``(tree, reused)``.  The first call builds the tree live
+        on ``device`` and records its cost; later calls replay that cost
+        onto the given device and return the cached tree.
+        """
+        dev = default_device(device)
+        if self._points is not None:
+            dev.replay(self._points.cost)
+            return self._points.tree, True
+        with dev.recording() as cost:
+            lo, hi = boxes_from_points(self._X)
+            tree = build_bvh(lo, hi, device=dev)
+        self._points = _PointsEntry(tree=tree, cost=cost)
+        return tree, False
+
+    def dense_decomposition(
+        self,
+        eps: float,
+        minpts: int,
+        device: Device | None = None,
+        sample_weight: np.ndarray | None = None,
+    ) -> tuple[DenseDecomposition, BVH, bool]:
+        """The dense-cell decomposition + mixed tree (DenseBox's index).
+
+        Returns ``(decomposition, tree, reused)``.  Entries are keyed by
+        ``(eps, minpts, weights)`` because the dense-cell set — and hence
+        the mixed primitive set the tree is built over — depends on all
+        three; at most :attr:`max_dense_entries` are kept (FIFO).
+        """
+        dev = default_device(device)
+        key = (float(eps), int(minpts), _weights_key(sample_weight))
+        entry = self._dense.get(key)
+        if entry is not None:
+            self._dense.move_to_end(key)
+            dev.replay(entry.cost)
+            return entry.deco, entry.tree, True
+        with dev.recording() as cost:
+            deco = decompose(self._X, eps, minpts, device=dev, sample_weight=sample_weight)
+            tree = build_bvh(deco.prim_lo, deco.prim_hi, device=dev)
+        self._dense[key] = _DenseEntry(deco=deco, tree=tree, cost=cost)
+        while len(self._dense) > self.max_dense_entries:
+            self._dense.popitem(last=False)
+        return deco, tree, False
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def n_dense_entries(self) -> int:
+        return len(self._dense)
+
+    def build_seconds(self) -> dict[str, float]:
+        """Recorded build wall-seconds per component (cold costs a warm
+        run skipped; keys: ``"points"`` and one ``"dense eps=.. minpts=.."``
+        per cached decomposition)."""
+        out: dict[str, float] = {}
+        if self._points is not None:
+            out["points"] = self._points.cost.seconds
+        for (eps, minpts, _w), entry in self._dense.items():
+            out[f"dense eps={eps:g} minpts={minpts}"] = entry.cost.seconds
+        return out
+
+    def nbytes(self) -> int:
+        """Host-side footprint of the cached structures."""
+        total = 0
+        if self._points is not None:
+            total += self._points.tree.nbytes()
+        for entry in self._dense.values():
+            total += entry.tree.nbytes() + entry.deco.nbytes()
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        built = "built" if self._points is not None else "unbuilt"
+        return (
+            f"DBSCANIndex(n={self.n}, dim={self.dim}, points_tree={built}, "
+            f"dense_entries={len(self._dense)}, fp={self.fingerprint[:10]})"
+        )

@@ -35,7 +35,13 @@ from repro.device.atomics import (
     atomic_min_scatter,
 )
 from repro.device.counters import KernelCounters
-from repro.device.device import Device, KernelLaunch, default_device, get_default_device
+from repro.device.device import (
+    Device,
+    KernelLaunch,
+    ReplayableCost,
+    default_device,
+    get_default_device,
+)
 from repro.device.memory import DeviceMemoryError, MemoryTracker
 from repro.device.primitives import (
     concatenated_ranges,
@@ -55,6 +61,7 @@ __all__ = [
     "KernelCounters",
     "KernelLaunch",
     "MemoryTracker",
+    "ReplayableCost",
     "atomic_add",
     "atomic_cas_batch",
     "atomic_max_scatter",

@@ -7,10 +7,20 @@ reproduction reports alongside wall-clock time:
   (:class:`~repro.device.counters.KernelCounters`);
 - :attr:`Device.memory`   — the device-memory ledger
   (:class:`~repro.device.memory.MemoryTracker`), optionally capped;
-- kernel-launch records  — every batched kernel the algorithms execute is
-  wrapped in :meth:`Device.kernel`, which records the launch, its logical
-  thread count, and its wall-clock duration, giving a per-phase timing
-  breakdown equivalent to ``nvprof``.
+- the **kernel trace**   — every batched kernel the algorithms execute is
+  wrapped in :meth:`Device.kernel`, which records a per-launch span (name,
+  logical thread count, wavefront steps, wall seconds, counter deltas)
+  into a bounded ring, giving a per-phase timing breakdown equivalent to
+  ``nvprof`` (:meth:`Device.profile`, :meth:`Device.trace_snapshot`).
+
+The trace additionally supports **build-cost replay**: a block of work
+(e.g. one BVH construction) recorded with :meth:`Device.recording` can be
+re-accounted on a *different* device with :meth:`Device.replay`.  This is
+what lets a benchmark sweep reuse a prebuilt spatial index on a fresh
+per-cell device while keeping that cell's counters, trace and memory peak
+comparable to a cold run: the reused build's launches appear in the trace
+flagged ``replayed=True`` and its counters/bytes are added exactly once
+per cell.
 
 Algorithms accept ``device=None`` and fall back to a shared default device
 (:func:`get_default_device`), so casual callers never see this machinery.
@@ -19,26 +29,57 @@ Algorithms accept ``device=None`` and fall back to a shared default device
 from __future__ import annotations
 
 import time
+from collections import deque
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.device.counters import KernelCounters
 from repro.device.memory import MemoryTracker
 
+#: Default capacity of the kernel-trace ring.  Old launches are evicted
+#: first; :attr:`Device.trace_dropped` reports how many were lost.
+DEFAULT_TRACE_MAXLEN = 4096
+
 
 @dataclass
 class KernelLaunch:
-    """Record of one batched kernel execution."""
+    """Record of one batched kernel execution (a trace span).
+
+    ``counters`` holds the counter *deltas* observed while the kernel body
+    ran (``frontier_peak``, a high-watermark, is reported as its value at
+    span end).  Spans of nested :meth:`Device.kernel` blocks overlap: the
+    outer span's deltas include the inner's.  ``replayed`` marks spans
+    re-accounted from a recorded build (see :meth:`Device.replay`) rather
+    than executed live; their ``seconds`` are the original execution's.
+    """
 
     name: str
     threads: int
     seconds: float
     steps: int = 0
+    t_start: float = 0.0
+    counters: dict = field(default_factory=dict)
+    replayed: bool = False
+
+
+@dataclass
+class ReplayableCost:
+    """A recorded block of device work that can be re-accounted later.
+
+    Produced by :meth:`Device.recording`; consumed by
+    :meth:`Device.replay`.  Holds the block's launches, counter deltas,
+    *net* memory growth per tag, and wall seconds.
+    """
+
+    launches: list[KernelLaunch] = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+    mem_by_tag: dict = field(default_factory=dict)
+    seconds: float = 0.0
 
 
 @dataclass
 class Device:
-    """A simulated GPU: counters + memory ledger + launch log.
+    """A simulated GPU: counters + memory ledger + kernel trace.
 
     Parameters
     ----------
@@ -47,43 +88,164 @@ class Device:
     capacity_bytes:
         Device memory cap forwarded to :class:`MemoryTracker`; ``None``
         (default) disables OOM simulation.
+    trace_maxlen:
+        Kernel-trace ring capacity (oldest launches evicted first).
     """
 
     name: str = "sim-gpu0"
     capacity_bytes: int | None = None
     counters: KernelCounters = field(default_factory=KernelCounters)
     memory: MemoryTracker = field(init=False)
-    launches: list[KernelLaunch] = field(default_factory=list)
+    trace_maxlen: int = DEFAULT_TRACE_MAXLEN
+    launches: "deque[KernelLaunch]" = field(init=False)
+    launches_total: int = field(init=False, default=0)
+    _epoch: float = field(init=False, default=0.0)
 
     def __post_init__(self):
         self.memory = MemoryTracker(self.capacity_bytes)
+        self.launches = deque(maxlen=self.trace_maxlen)
+        self._epoch = time.perf_counter()
 
     @contextmanager
     def kernel(self, name: str, threads: int):
         """Context manager wrapping one batched kernel launch.
 
         ``threads`` is the logical thread count (one per query/point/edge,
-        as the paper's kernels assign).  The block's wall time and the
-        launch are recorded; the yielded :class:`KernelLaunch` lets the
-        kernel body report how many wavefront steps it took (a divergence
-        proxy: fewer steps for the same work means better convergence of
-        the batched traversal).
+        as the paper's kernels assign).  The block's wall time, counter
+        deltas and the launch are recorded as a trace span; the yielded
+        :class:`KernelLaunch` lets the kernel body report how many
+        wavefront steps it took (a divergence proxy: fewer steps for the
+        same work means better convergence of the batched traversal).
         """
-        launch = KernelLaunch(name=name, threads=int(threads), seconds=0.0)
-        self.counters.add("kernel_launches", 1)
         start = time.perf_counter()
+        launch = KernelLaunch(
+            name=name, threads=int(threads), seconds=0.0, t_start=start - self._epoch
+        )
+        self.counters.add("kernel_launches", 1)
+        before = self.counters.snapshot()
         try:
             yield launch
         finally:
             launch.seconds = time.perf_counter() - start
             self.counters.add("thread_steps", launch.steps)
+            launch.counters = self.counters.diff(before)
             self.launches.append(launch)
+            self.launches_total += 1
+
+    # -- recording / replay ----------------------------------------------------
+
+    @contextmanager
+    def recording(self):
+        """Record the device work of a block into a :class:`ReplayableCost`.
+
+        Captures the launches appended, the counter deltas, the *net*
+        per-tag memory growth and the wall seconds of the block.  The cost
+        can then be re-accounted on another device with :meth:`replay` —
+        the mechanism behind reusable-index benchmarking (the reused
+        build's cost is charged to every run that shares it, keeping
+        fresh-device runs comparable to cold ones).
+
+        The yielded cost is filled in when the block exits, including on
+        exception (so a failed build is never silently half-recorded —
+        but callers should discard the cost in that case).
+        """
+        cost = ReplayableCost()
+        before_counters = self.counters.snapshot()
+        before_total = self.launches_total
+        before_tags = dict(self.memory.live_by_tag)
+        start = time.perf_counter()
+        try:
+            yield cost
+        finally:
+            cost.seconds = time.perf_counter() - start
+            cost.counters = self.counters.diff(before_counters)
+            new = self.launches_total - before_total
+            recorded = list(self.launches)[-new:] if new else []
+            cost.launches = [replace(l, counters=dict(l.counters)) for l in recorded]
+            cost.mem_by_tag = {
+                tag: held - before_tags.get(tag, 0)
+                for tag, held in self.memory.live_by_tag.items()
+                if held - before_tags.get(tag, 0) > 0
+            }
+
+    def replay(self, cost: ReplayableCost) -> None:
+        """Re-account a recorded block of work on this device.
+
+        Counter deltas are added (``frontier_peak``, a high-watermark, is
+        merged with :meth:`~KernelCounters.observe_peak`), the recorded
+        launches are appended to the trace flagged ``replayed=True`` with
+        their original durations, and the net memory growth is allocated
+        tag by tag — which raises
+        :class:`~repro.device.memory.DeviceMemoryError` under a capacity
+        cap exactly as the live build would have (counters are applied
+        first, mirroring a cold run where the build work precedes the
+        failing allocation).
+        """
+        for key, value in cost.counters.items():
+            if key == "frontier_peak":
+                self.counters.observe_peak(key, value)
+            else:
+                self.counters.add(key, value)
+        now = time.perf_counter() - self._epoch
+        for launch in cost.launches:
+            self.launches.append(
+                replace(launch, counters=dict(launch.counters), t_start=now, replayed=True)
+            )
+            self.launches_total += 1
+        for tag, nbytes in cost.mem_by_tag.items():
+            self.memory.allocate(nbytes, tag)
+
+    # -- trace views -----------------------------------------------------------
+
+    @property
+    def trace_dropped(self) -> int:
+        """Launches evicted from the bounded trace ring."""
+        return self.launches_total - len(self.launches)
+
+    def trace_snapshot(self) -> list[dict]:
+        """The trace ring as a list of plain span dicts (oldest first)."""
+        return [
+            {
+                "name": l.name,
+                "threads": l.threads,
+                "steps": l.steps,
+                "seconds": l.seconds,
+                "t_start": l.t_start,
+                "replayed": l.replayed,
+                "counters": dict(l.counters),
+            }
+            for l in self.launches
+        ]
+
+    def profile(self) -> dict:
+        """Per-kernel aggregation of the trace (the ``nvprof`` summary view).
+
+        Returns ``{name: {"launches", "replayed", "seconds", "threads",
+        "steps"}}`` where ``replayed`` counts the launches re-accounted
+        from a recorded build (their seconds are included — that is what
+        keeps warm-index runs comparable to cold ones).
+        """
+        out: dict[str, dict] = {}
+        for l in self.launches:
+            entry = out.setdefault(
+                l.name,
+                {"launches": 0, "replayed": 0, "seconds": 0.0, "threads": 0, "steps": 0},
+            )
+            entry["launches"] += 1
+            entry["seconds"] += l.seconds
+            entry["threads"] += l.threads
+            entry["steps"] += l.steps
+            if l.replayed:
+                entry["replayed"] += 1
+        return out
 
     def reset(self) -> None:
-        """Clear counters, memory accounting and the launch log."""
+        """Clear counters, memory accounting and the kernel trace."""
         self.counters.reset()
         self.memory.reset()
         self.launches.clear()
+        self.launches_total = 0
+        self._epoch = time.perf_counter()
 
     def phase_seconds(self) -> dict[str, float]:
         """Total wall seconds per kernel name (the ``nvprof`` style view)."""
@@ -93,12 +255,14 @@ class Device:
         return out
 
     def report(self) -> dict:
-        """Combined run report: counters, memory, per-kernel seconds."""
+        """Combined run report: counters, memory, per-kernel profile."""
         return {
             "device": self.name,
             "counters": self.counters.snapshot(),
             "memory": self.memory.report(),
             "kernels": self.phase_seconds(),
+            "profile": self.profile(),
+            "trace_dropped": self.trace_dropped,
         }
 
 

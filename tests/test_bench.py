@@ -4,8 +4,17 @@ import numpy as np
 import pytest
 
 from repro.bench.harness import RunRecord, run_once, run_sweep
-from repro.bench.report import format_records, format_series
+from repro.bench.report import format_kernel_profile, format_records, format_series
 from repro.datasets import gaussian_blobs
+
+
+def _live_builds(records, kernel="bvh_build"):
+    """Live (non-replayed) launches of ``kernel`` across a sweep's records."""
+    return sum(
+        r.kernels.get(kernel, {}).get("launches", 0)
+        - r.kernels.get(kernel, {}).get("replayed", 0)
+        for r in records
+    )
 
 
 @pytest.fixture(scope="module")
@@ -38,6 +47,27 @@ class TestRunOnce:
         row = run_once("fdbscan", small_blobs, 0.2, 5).as_row()
         assert {"algorithm", "seconds", "status", "clusters"} <= set(row)
 
+    def test_kernels_profile_captured(self, small_blobs):
+        rec = run_once("fdbscan", small_blobs, 0.2, 5)
+        assert rec.kernels["bvh_build"]["launches"] == 1
+        assert rec.kernels["fdbscan_main"]["seconds"] >= 0
+
+    def test_oom_captures_counters_and_kernels(self):
+        # an "oom" cell must still report the work done up to the failure
+        rng = np.random.default_rng(0)
+        X = rng.normal(0, 0.01, size=(400, 2))
+        rec = run_once("gdbscan", X, 0.5, 5, capacity_bytes=1000)
+        assert rec.status == "oom"
+        assert rec.counters  # lost before the fix
+        assert isinstance(rec.kernels, dict)
+        assert rec.peak_bytes >= 0
+
+    def test_error_captures_counters(self):
+        rng = np.random.default_rng(0)
+        rec = run_once("fdbscan", rng.normal(size=(20, 5)), 0.5, 3)
+        assert rec.status == "error"
+        assert isinstance(rec.counters, dict)
+
 
 class TestRunSweep:
     def test_full_grid(self, small_blobs):
@@ -57,6 +87,35 @@ class TestRunSweep:
         assert records[0].status == "ok"
         assert all(r.status == "skipped" for r in records[1:])
 
+    def test_skip_detail_names_tripping_cell(self, small_blobs):
+        cells = [{"eps": 0.2, "min_samples": m} for m in (3, 4)]
+        records = run_sweep(
+            ["fdbscan"], cells, lambda c: small_blobs, time_budget=0.0
+        )
+        detail = records[1].detail
+        assert f"n={small_blobs.shape[0]}" in detail
+        assert "eps=0.2" in detail and "minpts=3" in detail
+        assert "time budget" in detail
+
+    def test_failed_cells_do_not_trip_budget(self):
+        # an error cell takes "forever" relative to a 0-second budget, but
+        # only successful cells may drop an algorithm from the sweep
+        rng = np.random.default_rng(0)
+        X5 = rng.normal(size=(30, 5))  # 5-D: tree algorithms error out
+        cells = [{"eps": 0.5, "min_samples": 3}, {"eps": 0.6, "min_samples": 3}]
+        records = run_sweep(["fdbscan"], cells, lambda c: X5, time_budget=0.0)
+        assert [r.status for r in records] == ["error", "error"]
+
+    def test_oom_cells_do_not_trip_budget(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(0, 0.01, size=(300, 2))
+        cells = [{"eps": 0.5, "min_samples": 5}, {"eps": 0.4, "min_samples": 5}]
+        records = run_sweep(
+            ["gdbscan"], cells, lambda c: X, time_budget=0.0, capacity_bytes=1000
+        )
+        # both cells actually ran (and OOMed); neither was skipped
+        assert [r.status for r in records] == ["oom", "oom"]
+
     def test_oom_does_not_abort_sweep(self):
         # G-DBSCAN's persistent adjacency graph busts the cap; FDBSCAN with
         # a bounded wavefront chunk stays under it.
@@ -73,6 +132,125 @@ class TestRunSweep:
         statuses = {r.algorithm: r.status for r in records}
         assert statuses["gdbscan"] == "oom"
         assert statuses["fdbscan"] == "ok"
+
+
+class TestSweepIndexReuse:
+    """Acceptance: a two-algorithm eps-sweep builds each point set's BVH
+    exactly once, with per-cell accounting identical to cold runs."""
+
+    @pytest.fixture(scope="class")
+    def sparse(self):
+        # uniform points at small eps: dense_fraction ~ 0, so "auto"
+        # resolves to fdbscan and shares the points tree with "fdbscan"
+        return np.random.default_rng(7).uniform(0.0, 1.0, size=(600, 2))
+
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return [{"eps": e, "min_samples": 5} for e in (0.02, 0.03, 0.05)]
+
+    def test_bvh_built_exactly_once(self, sparse, cells):
+        records = run_sweep(["fdbscan", "auto"], cells, lambda c: sparse)
+        assert all(r.status == "ok" for r in records)
+        assert _live_builds(records) == 1
+        # ...but every cell still accounts one (possibly replayed) build
+        assert all(r.kernels["bvh_build"]["launches"] == 1 for r in records)
+        assert [r.reused_index for r in records] == [False] + [True] * 5
+
+    def test_results_and_counters_match_cold_sweep(self, sparse, cells):
+        warm = run_sweep(["fdbscan", "auto"], cells, lambda c: sparse)
+        cold = run_sweep(
+            ["fdbscan", "auto"], cells, lambda c: sparse, reuse_index=False
+        )
+        assert _live_builds(cold) == len(cold) == 6
+        for w, c in zip(warm, cold):
+            assert (w.n_clusters, w.n_noise) == (c.n_clusters, c.n_noise)
+            assert w.counters == c.counters
+            assert w.peak_bytes == c.peak_bytes
+
+    def test_distinct_point_sets_get_distinct_indexes(self):
+        rng = np.random.default_rng(3)
+        data = {
+            200: rng.uniform(size=(200, 2)),
+            400: rng.uniform(size=(400, 2)),
+        }
+        cells = [{"n": n, "eps": 0.03, "min_samples": 5} for n in (200, 400, 200)]
+        records = run_sweep(["fdbscan"], cells, lambda c: data[c["n"]])
+        # one live build per distinct point set; the revisited set replays
+        assert _live_builds(records) == 2
+        assert [r.reused_index for r in records] == [False, False, True]
+
+    def test_baseline_only_sweep_skips_index(self, sparse):
+        records = run_sweep(
+            ["brute"], [{"eps": 0.05, "min_samples": 5}], lambda c: sparse
+        )
+        assert records[0].status == "ok"
+        assert "bvh_build" not in records[0].kernels
+
+
+class TestKernelProfileReport:
+    def test_from_records(self, small_blobs):
+        records = run_sweep(
+            ["fdbscan"], [{"eps": 0.2, "min_samples": 5}], lambda c: small_blobs
+        )
+        out = format_kernel_profile(records, title="profile")
+        lines = out.splitlines()
+        assert lines[0] == "profile"
+        assert lines[1].split()[:3] == ["kernel", "launches", "replayed"]
+        assert any("bvh_build" in l for l in lines)
+        assert any("%" in l for l in lines[3:])
+
+    def test_from_device_profile_dict(self, small_blobs):
+        rec = run_once("fdbscan", small_blobs, 0.2, 5)
+        out = format_kernel_profile(rec.kernels)
+        assert "fdbscan_main" in out
+
+    def test_empty(self):
+        assert "(no kernel launches)" in format_kernel_profile([])
+        assert format_kernel_profile({}, title="t").startswith("t")
+
+
+class TestHistoryKernelsRoundTrip:
+    def test_kernels_and_reuse_flag_survive_save_load(self, small_blobs, tmp_path):
+        from repro.bench.history import load_records, save_records
+
+        records = run_sweep(
+            ["fdbscan"],
+            [{"eps": 0.2, "min_samples": m} for m in (3, 5)],
+            lambda c: small_blobs,
+        )
+        path = tmp_path / "sweep.json"
+        save_records(str(path), records, meta={"note": "test"})
+        loaded, meta = load_records(str(path))
+        assert meta == {"note": "test"}
+        for orig, back in zip(records, loaded):
+            assert back.reused_index == orig.reused_index
+            assert set(back.kernels) == set(orig.kernels)
+            for name, row in orig.kernels.items():
+                assert back.kernels[name]["launches"] == row["launches"]
+                assert back.kernels[name]["replayed"] == row["replayed"]
+                assert back.kernels[name]["seconds"] == pytest.approx(row["seconds"])
+
+    def test_old_payloads_without_kernels_still_load(self, tmp_path):
+        import json
+
+        payload = {
+            "meta": {},
+            "records": [
+                {
+                    "algorithm": "fdbscan", "dataset": "d", "n": 10, "eps": 0.1,
+                    "min_samples": 5, "seconds": 0.5, "status": "ok",
+                    "n_clusters": 1, "n_noise": 0, "dense_fraction": None,
+                    "peak_bytes": 100, "counters": {},
+                }
+            ],
+        }
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(payload))
+        from repro.bench.history import load_records
+
+        (rec,), _ = load_records(str(path))
+        assert rec.kernels == {}
+        assert rec.reused_index is False
 
 
 class TestReport:

@@ -92,6 +92,12 @@ class TestCountWithin:
         with pytest.raises(ValueError, match="stop_at"):
             count_within(tree, np.zeros((3, 2)), 0.1, stop_at=0)
 
+    def test_stop_at_non_finite_rejected(self):
+        tree = _tree_over(np.zeros((3, 2)))
+        for bad in (float("inf"), float("nan")):
+            with pytest.raises(ValueError, match="stop_at"):
+                count_within(tree, np.zeros((3, 2)), 0.1, stop_at=bad)
+
     def test_single_primitive_tree(self):
         tree = _tree_over(np.array([[0.5, 0.5]]))
         counts = count_within(tree, np.array([[0.5, 0.5], [2.0, 2.0]]), 0.1)
@@ -100,6 +106,68 @@ class TestCountWithin:
     def test_zero_queries(self):
         tree = _tree_over(np.zeros((3, 2)))
         assert count_within(tree, np.zeros((0, 2)), 0.1).shape == (0,)
+
+
+class TestWeightedEarlyExit:
+    """The early-exit contract for weighted counts: a returned value
+    ``>= stop_at`` means "at least this many" (the query short-cut);
+    values below ``stop_at`` are exact."""
+
+    def _weighted_setup(self, n=40, weight=1.25, seed=13):
+        # a tight clump: every point neighbours every other at eps=1
+        rng = np.random.default_rng(seed)
+        pts = rng.normal(0, 0.01, size=(n, 2))
+        tree = _tree_over(pts)
+        weights = np.full(n, weight)
+        return pts, tree, weights[tree.order]
+
+    def test_weights_summing_exactly_to_stop_at_terminate(self):
+        # regression: 4 neighbours x 1.25 = 5.0 exactly — reaching
+        # stop_at must terminate (>=, not >) and must not under-report
+        # the threshold decision
+        pts, tree, leaf_w = self._weighted_setup(n=4, weight=1.25)
+        minpts = 5
+        exact = count_within(tree, pts, 1.0, leaf_weights=leaf_w)
+        np.testing.assert_allclose(exact, 5.0)
+        early = count_within(tree, pts, 1.0, stop_at=minpts, leaf_weights=leaf_w)
+        assert (early >= minpts).all()
+        np.testing.assert_array_equal(early >= minpts, exact >= minpts)
+
+    def test_weighted_early_exit_is_lower_bound(self):
+        pts, tree, leaf_w = self._weighted_setup(n=300, weight=1.25)
+        exact = count_within(tree, pts, 1.0, leaf_weights=leaf_w)
+        early = count_within(tree, pts, 1.0, stop_at=10, leaf_weights=leaf_w)
+        assert (early >= 10).all()
+        assert (early <= exact).all()
+        assert early.sum() < exact.sum()  # actually terminated early
+
+    def test_weighted_counts_below_stop_at_are_exact(self):
+        rng = np.random.default_rng(14)
+        pts = rng.uniform(0, 1, size=(120, 2))
+        tree = _tree_over(pts)
+        w = rng.uniform(0.5, 2.0, size=120)
+        exact = count_within(tree, pts, 0.1, leaf_weights=w[tree.order])
+        early = count_within(tree, pts, 0.1, stop_at=50.0, leaf_weights=w[tree.order])
+        below = exact < 50.0
+        assert below.any()
+        np.testing.assert_allclose(early[below], exact[below])
+
+    def test_fractional_stop_at_with_weights(self):
+        pts, tree, leaf_w = self._weighted_setup(n=30, weight=0.5)
+        threshold = 2.75  # meaningful for weighted counts: 6 x 0.5 > 2.75
+        early = count_within(tree, pts, 1.0, stop_at=threshold, leaf_weights=leaf_w)
+        exact = count_within(tree, pts, 1.0, leaf_weights=leaf_w)
+        np.testing.assert_array_equal(early >= threshold, exact >= threshold)
+
+    def test_fractional_stop_at_unweighted_acts_as_ceiling(self):
+        rng = np.random.default_rng(15)
+        pts = rng.normal(0, 0.01, size=(50, 2))
+        tree = _tree_over(pts)
+        exact = count_within(tree, pts, 1.0)
+        early = count_within(tree, pts, 1.0, stop_at=4.5)
+        # integer counts cross 4.5 at 5: the decision matches exact counts
+        np.testing.assert_array_equal(early >= 4.5, exact >= 4.5)
+        assert (early[early >= 4.5] >= 5).all()
 
 
 class TestLeafHits:

@@ -103,6 +103,26 @@ class TestClusterCommand:
         with pytest.raises(SystemExit):
             main(["cluster", "--eps", "0.2", "--minpts", "5"])
 
+    def test_profile_flag(self, points_file, capsys):
+        rc = main(
+            [
+                "cluster",
+                points_file,
+                "--eps",
+                "0.2",
+                "--minpts",
+                "5",
+                "--algorithm",
+                "fdbscan",
+                "--profile",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kernel profile" in out
+        assert "bvh_build" in out
+        assert "fdbscan_main" in out
+
 
 class TestBenchCommand:
     def test_minpts_sweep(self, points_file, capsys):
@@ -140,6 +160,41 @@ class TestBenchCommand:
         )
         assert rc == 0
         assert "0.1" in capsys.readouterr().out
+
+    def test_kernel_profile_printed(self, points_file, capsys):
+        rc = main(
+            [
+                "bench",
+                points_file,
+                "--eps",
+                "0.2",
+                "--minpts-sweep",
+                "3,5",
+                "--algorithms",
+                "fdbscan",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kernel profile" in out
+        assert "replayed" in out
+
+    def test_no_reuse_index_flag(self, points_file, capsys):
+        rc = main(
+            [
+                "bench",
+                points_file,
+                "--eps",
+                "0.2",
+                "--minpts-sweep",
+                "3,5",
+                "--algorithms",
+                "fdbscan",
+                "--no-reuse-index",
+            ]
+        )
+        assert rc == 0
+        assert "kernel profile" in capsys.readouterr().out
 
     def test_memory_cap_reports_oom(self, capsys):
         rc = main(
@@ -198,3 +253,27 @@ class TestBenchHistory:
         out = capsys.readouterr().out
         assert "comparison vs" in out
         assert "no regressions" in out
+
+    def test_save_default_filename(self, points_file, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(
+            [
+                "bench",
+                points_file,
+                "--eps",
+                "0.2",
+                "--minpts-sweep",
+                "5",
+                "--algorithms",
+                "fdbscan",
+                "--save",
+            ]
+        )
+        assert rc == 0
+        assert "BENCH_sweep.json" in capsys.readouterr().out
+        import json
+
+        payload = json.loads((tmp_path / "BENCH_sweep.json").read_text())
+        (record,) = payload["records"]
+        assert "bvh_build" in record["kernels"]
+        assert record["counters"]

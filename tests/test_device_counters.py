@@ -90,7 +90,8 @@ class TestDevice:
         dev.reset()
         assert dev.counters.union_ops == 0
         assert dev.memory.live_bytes == 0
-        assert dev.launches == []
+        assert len(dev.launches) == 0
+        assert dev.launches_total == 0
 
     def test_report_shape(self):
         dev = Device(name="gpu-x")
