@@ -27,12 +27,21 @@ with three benchmark-hygiene features:
   (``"oom"``/``"error"``) never trip the budget: a transient failure must
   not permanently drop an algorithm from the rest of the sweep;
 - OOM capture: a :class:`~repro.device.DeviceMemoryError` marks the cell
-  ``"oom"`` (the paper's G-DBSCAN failures on PortoTaxi, Figure 4(h)).
+  ``"oom"`` (the paper's G-DBSCAN failures on PortoTaxi, Figure 4(h));
+- an optional :class:`~repro.faults.RetryPolicy`: a cell that fails with
+  a *transient* error class (an injected device fault, or anything the
+  policy names) is retried on a fresh device up to the policy's attempt
+  budget instead of permanently recording an error cell.  The record's
+  ``attempts`` and ``faults`` columns surface what happened; a
+  :class:`~repro.faults.FaultPlan` may be supplied to inject
+  deterministic transient device faults into cells (chaos-testing the
+  harness itself).
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -42,6 +51,8 @@ from repro.core.api import dbscan
 from repro.core.index import DBSCANIndex
 from repro.device.device import Device
 from repro.device.memory import DeviceMemoryError
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
 
 
 @dataclass
@@ -62,6 +73,8 @@ class RunRecord:
     counters: dict = field(default_factory=dict)
     kernels: dict = field(default_factory=dict)
     reused_index: bool = False
+    attempts: int = 1
+    faults: int = 0
     detail: str = ""
 
     def as_row(self) -> dict:
@@ -78,6 +91,8 @@ class RunRecord:
             "noise": self.n_noise,
             "dense%": 100.0 * self.dense_fraction,
             "peak_MB": self.peak_bytes / 1e6,
+            "retries": self.attempts - 1,
+            "faults": self.faults,
         }
 
 
@@ -93,6 +108,11 @@ def _capture_device(rec: RunRecord, dev: Device) -> None:
     rec.kernels = dev.profile()
 
 
+def _cell_phase(algorithm: str, dataset: str, n: int, eps: float, minpts: int) -> str:
+    """Stable fault-plan key for one benchmark cell."""
+    return f"bench[{algorithm} {dataset} n={n} eps={eps:g} minpts={minpts}]"
+
+
 def run_once(
     algorithm: str,
     X: np.ndarray,
@@ -102,15 +122,23 @@ def run_once(
     capacity_bytes: int | None = None,
     tree_kwargs: dict | None = None,
     index: DBSCANIndex | None = None,
+    retry_policy: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
     **kwargs,
 ) -> RunRecord:
-    """Execute one benchmark cell on a fresh device.
+    """Execute one benchmark cell on a fresh device (fresh per attempt).
 
     ``tree_kwargs`` (e.g. ``{"chunk_size": 4096, "use_mask": False}``) and
     ``index`` (a prebuilt :class:`~repro.core.index.DBSCANIndex`) are
     forwarded only to the tree-based algorithms; ``kwargs`` go to every
     algorithm.  The record's ``counters`` / ``kernels`` / ``peak_bytes``
     are captured on the ``"oom"`` and ``"error"`` paths too.
+
+    With a ``retry_policy``, failures of the policy's transient classes
+    are retried on a fresh device (``rec.attempts`` counts the attempts;
+    ``rec.seconds`` is the final attempt's).  A ``fault_plan`` arms
+    deterministic transient device faults per attempt; the faults that
+    actually fired in this cell are counted in ``rec.faults``.
     """
     rec = RunRecord(
         algorithm=algorithm,
@@ -119,34 +147,60 @@ def run_once(
         eps=float(eps),
         min_samples=int(min_samples),
     )
-    dev = Device(name=f"bench-{algorithm}", capacity_bytes=capacity_bytes)
     is_tree = algorithm.lower() in TREE_ALGORITHMS
     if tree_kwargs and is_tree:
         kwargs = {**kwargs, **tree_kwargs}
     if index is not None and is_tree:
         kwargs = {**kwargs, "index": index}
-    start = time.perf_counter()
-    try:
-        result = dbscan(X, eps, min_samples, algorithm=algorithm, device=dev, **kwargs)
-    except DeviceMemoryError as exc:
+    phase = _cell_phase(algorithm, dataset, rec.n, rec.eps, rec.min_samples)
+
+    def count_faults() -> int:
+        if fault_plan is None:
+            return 0
+        return sum(1 for event in fault_plan.log if event.phase == phase)
+
+    attempt = 0
+    while True:
+        attempt += 1
+        dev = Device(name=f"bench-{algorithm}", capacity_bytes=capacity_bytes)
+        injector = (
+            fault_plan.device_faults(dev, phase, rank=0, attempt=attempt)
+            if fault_plan is not None
+            else nullcontext()
+        )
+        start = time.perf_counter()
+        try:
+            with injector:
+                result = dbscan(
+                    X, eps, min_samples, algorithm=algorithm, device=dev, **kwargs
+                )
+        except Exception as exc:  # noqa: BLE001 - a failing cell must not kill a sweep
+            if (
+                retry_policy is not None
+                and retry_policy.is_transient(exc)
+                and attempt < retry_policy.max_attempts
+            ):
+                continue
+            rec.seconds = time.perf_counter() - start
+            rec.attempts = attempt
+            rec.faults = count_faults()
+            if isinstance(exc, DeviceMemoryError):
+                rec.status = "oom"
+                rec.detail = str(exc)
+            else:
+                rec.status = "error"
+                rec.detail = f"{type(exc).__name__}: {exc}"
+            _capture_device(rec, dev)
+            return rec
         rec.seconds = time.perf_counter() - start
-        rec.status = "oom"
-        rec.detail = str(exc)
+        rec.attempts = attempt
+        rec.faults = count_faults()
+        rec.n_clusters = result.n_clusters
+        rec.n_noise = result.n_noise
+        rec.dense_fraction = result.info.get("dense_fraction", float("nan"))
+        rec.reused_index = bool(result.info.get("index_reused", False))
         _capture_device(rec, dev)
         return rec
-    except Exception as exc:  # noqa: BLE001 - a failing cell must not kill a sweep
-        rec.seconds = time.perf_counter() - start
-        rec.status = "error"
-        rec.detail = f"{type(exc).__name__}: {exc}"
-        _capture_device(rec, dev)
-        return rec
-    rec.seconds = time.perf_counter() - start
-    rec.n_clusters = result.n_clusters
-    rec.n_noise = result.n_noise
-    rec.dense_fraction = result.info.get("dense_fraction", float("nan"))
-    rec.reused_index = bool(result.info.get("index_reused", False))
-    _capture_device(rec, dev)
-    return rec
 
 
 def run_sweep(
@@ -158,6 +212,8 @@ def run_sweep(
     capacity_bytes: int | None = None,
     tree_kwargs: dict | None = None,
     reuse_index: bool = True,
+    retry_policy: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
     **kwargs,
 ) -> list[RunRecord]:
     """Run a figure panel: every algorithm over every cell.
@@ -187,6 +243,10 @@ def run_sweep(
         point set; reusing cells replay its recorded cost so their
         accounting matches a cold run's.  Disable for cold-per-cell
         measurements.
+    retry_policy / fault_plan:
+        Forwarded to every :func:`run_once` cell — transient cell failures
+        retry instead of permanently recording an error cell, and a fault
+        plan chaos-tests the sweep with deterministic device faults.
     """
     records: list[RunRecord] = []
     over_budget: dict[str, str] = {}
@@ -227,6 +287,8 @@ def run_sweep(
                 capacity_bytes=capacity_bytes,
                 tree_kwargs=tree_kwargs,
                 index=index,
+                retry_policy=retry_policy,
+                fault_plan=fault_plan,
                 **kwargs,
             )
             records.append(rec)

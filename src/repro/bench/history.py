@@ -57,6 +57,8 @@ def save_records(path: str, records: list[RunRecord], meta: dict | None = None) 
                     for name, row in r.kernels.items()
                 },
                 "reused_index": bool(r.reused_index),
+                "attempts": int(r.attempts),
+                "faults": int(r.faults),
                 "detail": r.detail,
             }
             for r in records
@@ -91,6 +93,8 @@ def load_records(path: str) -> tuple[list[RunRecord], dict]:
                 counters=dict(row["counters"]),
                 kernels={k: dict(v) for k, v in row.get("kernels", {}).items()},
                 reused_index=bool(row.get("reused_index", False)),
+                attempts=int(row.get("attempts", 1)),
+                faults=int(row.get("faults", 0)),
                 detail=row.get("detail", ""),
             )
         )

@@ -97,6 +97,54 @@ def format_kernel_profile(records_or_profile, title: str = "") -> str:
     return "\n".join(lines)
 
 
+def format_fault_summary(info: dict, title: str = "-- faults & recovery --") -> str:
+    """Fault/retry/recovery digest of a distributed run's ``info`` dict.
+
+    Shows the injected-fault breakdown, per-phase retry counts, rank
+    deaths with their recovery reassignments, and the communicator's
+    per-phase message/byte/retransmit table — the operational counterpart
+    of the kernel profile: *what went wrong and what it cost to survive*.
+    """
+    lines = [title] if title else []
+    faults = info.get("faults") or {}
+    by_kind = faults.get("by_kind") or {}
+    if by_kind:
+        kinds = "  ".join(f"{kind}={count}" for kind, count in sorted(by_kind.items()))
+        lines.append(f"injected faults : {faults.get('total', 0)}  ({kinds})")
+    else:
+        lines.append("injected faults : 0")
+    retries = info.get("retries") or {}
+    if retries:
+        lines.append(
+            "compute retries : "
+            + "  ".join(f"{phase}={count}" for phase, count in sorted(retries.items()))
+        )
+    dead = info.get("dead_ranks") or []
+    if dead:
+        lines.append(f"dead ranks      : {dead}")
+        for rec in info.get("recoveries") or []:
+            lines.append(
+                f"  recovery: partition {rec['partition']} "
+                f"(rank {rec['dead_rank']} died at {rec['boundary']}) -> "
+                f"rank {rec['reassigned_to']}, lost={rec['lost'] or ['nothing']}"
+            )
+    comm = info.get("comm") or {}
+    if comm:
+        lines.append(
+            f"comm            : {comm.get('messages', 0)} msgs, "
+            f"{comm.get('bytes_sent', 0):,} B, "
+            f"{comm.get('retransmits', 0)} retransmits, "
+            f"{comm.get('sim_wait_seconds', 0.0):.4g}s simulated wait"
+        )
+        by_phase = comm.get("by_phase") or {}
+        for phase, entry in sorted(by_phase.items()):
+            lines.append(
+                f"  {phase:>24} : {entry['messages']:>5} msgs  "
+                f"{entry['bytes']:>12,} B  {entry['retransmits']:>4} retx"
+            )
+    return "\n".join(lines)
+
+
 #: Density ramp for :func:`ascii_density` (space = empty, @ = densest).
 _DENSITY_RAMP = " .:-=+*#%@"
 

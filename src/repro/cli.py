@@ -30,12 +30,31 @@ import sys
 import numpy as np
 
 from repro.bench.harness import run_sweep
-from repro.bench.report import format_kernel_profile, format_records, format_series
+from repro.bench.report import (
+    format_fault_summary,
+    format_kernel_profile,
+    format_records,
+    format_series,
+)
 from repro.core.api import dbscan
 from repro.datasets.io import load_points, subsample
 from repro.datasets.registry import DATASETS, load_dataset
 from repro.device.device import Device
+from repro.faults import FaultPlan, FaultSpec, RetryPolicy
 from repro.metrics.stats import clustering_summary
+
+
+def _fault_machinery(args) -> tuple[FaultPlan | None, RetryPolicy | None]:
+    """Build the (fault plan, retry policy) pair from CLI flags."""
+    plan = None
+    if args.faults:
+        plan = FaultPlan(seed=args.fault_seed, spec=FaultSpec.parse(args.faults))
+    policy = None
+    if args.retries is not None:
+        if args.retries < 0:
+            raise SystemExit(f"--retries must be >= 0; got {args.retries}")
+        policy = RetryPolicy(max_attempts=args.retries + 1)
+    return plan, policy
 
 
 def _load_input(args) -> np.ndarray:
@@ -52,12 +71,27 @@ def _load_input(args) -> np.ndarray:
 def _cmd_cluster(args) -> int:
     X = _load_input(args)
     device = Device(capacity_bytes=args.memory_cap)
-    result = dbscan(
-        X, args.eps, args.minpts, algorithm=args.algorithm, device=device
-    )
+    plan, policy = _fault_machinery(args)
+    if args.ranks:
+        from repro.distributed import distributed_dbscan
+
+        result = distributed_dbscan(
+            X, args.eps, args.minpts, n_ranks=args.ranks, device=device,
+            fault_plan=plan, retry_policy=policy,
+        )
+    elif plan is not None:
+        raise SystemExit("--faults requires --ranks (faults are injected into "
+                         "the distributed driver); use bench --faults for cells")
+    else:
+        result = dbscan(
+            X, args.eps, args.minpts, algorithm=args.algorithm, device=device
+        )
     print(f"algorithm : {result.info.get('algorithm', args.algorithm)}")
     for key, value in clustering_summary(result).items():
         print(f"{key:>18} : {value}")
+    if args.ranks:
+        print(f"{'alive_ranks':>18} : {result.info['alive_ranks']}")
+        print(format_fault_summary(result.info))
     if "dense_fraction" in result.info:
         print(f"{'dense_fraction':>18} : {result.info['dense_fraction']:.1%}")
     if args.counters:
@@ -88,6 +122,7 @@ def _cmd_bench(args) -> int:
     else:
         cells = [{"eps": args.eps, "min_samples": args.minpts}]
         x_key = "min_samples"
+    plan, policy = _fault_machinery(args)
     records = run_sweep(
         algorithms,
         cells,
@@ -96,6 +131,8 @@ def _cmd_bench(args) -> int:
         time_budget=args.time_budget,
         capacity_bytes=args.memory_cap,
         reuse_index=not args.no_reuse_index,
+        retry_policy=policy,
+        fault_plan=plan,
     )
     print(format_series(records, x_key=x_key, title="seconds"))
     print()
@@ -142,11 +179,29 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--memory-cap", type=int, help="device memory cap in bytes (OOM simulation)"
         )
+        p.add_argument(
+            "--faults",
+            help="fault-injection spec: a probability ('0.1') or key=value "
+            "pairs ('drop=0.1,corrupt=0.05,crash=0.2,device=0.3,attempts=2')",
+        )
+        p.add_argument(
+            "--fault-seed", type=int, default=0,
+            help="seed for the deterministic fault plan (default 0)",
+        )
+        p.add_argument(
+            "--retries", type=int, default=None,
+            help="retry transient failures up to this many times "
+            "(default: driver policy for --ranks runs, no retries for bench cells)",
+        )
 
     cluster = sub.add_parser("cluster", help="cluster a point set")
     common(cluster)
     cluster.add_argument("--minpts", type=int, required=True)
     cluster.add_argument("--algorithm", default="auto")
+    cluster.add_argument(
+        "--ranks", type=int,
+        help="run the distributed driver with this many simulated ranks",
+    )
     cluster.add_argument("--labels-out", help="write labels to this .npy file")
     cluster.add_argument(
         "--counters", action="store_true", help="print device work counters"

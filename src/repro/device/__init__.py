@@ -37,6 +37,7 @@ from repro.device.atomics import (
 from repro.device.counters import KernelCounters
 from repro.device.device import (
     Device,
+    KernelFaultError,
     KernelLaunch,
     ReplayableCost,
     default_device,
@@ -59,6 +60,7 @@ __all__ = [
     "Device",
     "DeviceMemoryError",
     "KernelCounters",
+    "KernelFaultError",
     "KernelLaunch",
     "MemoryTracker",
     "ReplayableCost",

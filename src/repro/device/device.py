@@ -41,6 +41,16 @@ from repro.device.memory import MemoryTracker
 DEFAULT_TRACE_MAXLEN = 4096
 
 
+class KernelFaultError(RuntimeError):
+    """A transient, retryable kernel-launch failure.
+
+    Raised by an installed :attr:`Device.fault_hook` (see
+    :mod:`repro.faults`) to model the soft faults a long-running GPU fleet
+    sees — ECC events, Xid resets, preempted launches — which a resilient
+    driver retries rather than treating as fatal.
+    """
+
+
 @dataclass
 class KernelLaunch:
     """Record of one batched kernel execution (a trace span).
@@ -99,6 +109,12 @@ class Device:
     trace_maxlen: int = DEFAULT_TRACE_MAXLEN
     launches: "deque[KernelLaunch]" = field(init=False)
     launches_total: int = field(init=False, default=0)
+    #: Optional fault-injection hook, called with the kernel name before
+    #: every launch.  May raise (e.g. :class:`KernelFaultError` or
+    #: :class:`~repro.device.memory.DeviceMemoryError`) to simulate the
+    #: launch failing; the failed launch is not recorded in the trace.
+    #: Installed/removed by :meth:`repro.faults.FaultPlan.device_faults`.
+    fault_hook: object = field(default=None, compare=False)
     _epoch: float = field(init=False, default=0.0)
 
     def __post_init__(self):
@@ -117,6 +133,8 @@ class Device:
         wavefront steps it took (a divergence proxy: fewer steps for the
         same work means better convergence of the batched traversal).
         """
+        if self.fault_hook is not None:
+            self.fault_hook(name)
         start = time.perf_counter()
         launch = KernelLaunch(
             name=name, threads=int(threads), seconds=0.0, t_start=start - self._epoch

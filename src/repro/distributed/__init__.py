@@ -19,7 +19,10 @@ BD-CATS, Mr. Scan):
 ``comm``
     A simulated communicator: in-process "ranks" exchanging numpy arrays,
     with per-rank byte/message accounting (the distributed analogue of the
-    device model's counters).
+    device model's counters).  Transfers ride in checksummed envelopes
+    with verify-and-retransmit and deterministic backoff, so injected
+    message faults (see :mod:`repro.faults`) are survived, detected and
+    accounted rather than silently corrupting the run.
 
 ``driver``
     The three-phase distributed algorithm: (1) rank-local core
@@ -27,15 +30,26 @@ BD-CATS, Mr. Scan):
     core-flag exchange, (3) a merge phase that unions the core members of
     local clusters globally and resolves border points on their owner
     rank — border points never merge clusters, preserving the paper's
-    no-bridging guarantee across ranks.
+    no-bridging guarantee across ranks.  The driver checkpoints at phase
+    boundaries and recovers from permanent rank death by reassigning the
+    dead rank's partition to a surviving rank — the result stays
+    DBSCAN-equivalent whenever at least one rank survives (see
+    ``docs/distributed.md``).
 """
 
-from repro.distributed.comm import CommStats, SimulatedComm
+from repro.distributed.comm import (
+    CommDeliveryError,
+    CommStats,
+    Envelope,
+    SimulatedComm,
+)
 from repro.distributed.driver import distributed_dbscan
 from repro.distributed.partition import GhostExchange, Partition, rcb_partition, select_ghosts
 
 __all__ = [
+    "CommDeliveryError",
     "CommStats",
+    "Envelope",
     "GhostExchange",
     "Partition",
     "SimulatedComm",

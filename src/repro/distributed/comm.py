@@ -5,62 +5,278 @@ accounting.  The accounting is the point: the distributed experiment
 reports ghost-exchange volume, merge-tuple volume and message counts —
 the quantities a real MPI port (the paper's ArborX/Kokkos stack runs
 under MPI in production) would optimise.
+
+The communicator is additionally *fault-tolerant*: every transfer is
+wrapped in a checksummed :class:`Envelope` (CRC-32 over the payload
+bytes), and an optional :class:`~repro.faults.FaultPlan` may inject
+drops, transient timeouts, bit-flip corruption, duplication and
+reordering into each transmission.  Delivery is verify-and-retransmit:
+
+- a dropped or timed-out transmission is retransmitted after bounded
+  exponential backoff on a deterministic :class:`~repro.faults.SimClock`
+  (the simulated wait is surfaced in :attr:`CommStats.sim_wait_seconds`);
+- a corrupted payload fails the receiver's checksum and is retransmitted
+  (:attr:`CommStats.corruptions_detected`);
+- duplicated deliveries are deduplicated by sequence number;
+- reordered deliveries arrive late and are reassembled by sequence
+  number, so consumers always observe in-order payloads.
+
+Exhausting the retransmission budget raises :class:`CommDeliveryError`
+(a :class:`~repro.faults.TransientFault` — a higher-level retry may still
+recover).  With a plan's bounded ``fault_attempts`` the budget never
+exhausts at default settings; see :mod:`repro.faults.plan`.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.faults.clock import SimClock
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy, TransientFault
+
+
+class CommDeliveryError(TransientFault):
+    """Permanent delivery failure: the retransmission budget is exhausted."""
+
 
 @dataclass
 class CommStats:
-    """Per-run communication totals."""
+    """Per-run communication totals.
+
+    ``by_phase`` maps each phase to ``{"messages", "bytes",
+    "retransmits"}`` — message *and* byte counts per phase, plus how many
+    of those transmissions were retransmissions (every attempt puts bytes
+    on the wire and is accounted).
+    """
 
     messages: int = 0
     bytes_sent: int = 0
+    retransmits: int = 0
+    drops: int = 0
+    timeouts: int = 0
+    corruptions_detected: int = 0
+    duplicates_dropped: int = 0
+    reorders: int = 0
+    sim_wait_seconds: float = 0.0
     by_phase: dict = field(default_factory=dict)
 
-    def record(self, phase: str, nbytes: int) -> None:
+    def phase_entry(self, phase: str) -> dict:
+        return self.by_phase.setdefault(
+            phase, {"messages": 0, "bytes": 0, "retransmits": 0}
+        )
+
+    def record(self, phase: str, nbytes: int, retransmit: bool = False) -> None:
+        entry = self.phase_entry(phase)
         self.messages += 1
         self.bytes_sent += int(nbytes)
-        self.by_phase[phase] = self.by_phase.get(phase, 0) + int(nbytes)
+        entry["messages"] += 1
+        entry["bytes"] += int(nbytes)
+        if retransmit:
+            self.retransmits += 1
+            entry["retransmits"] += 1
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot of every counter."""
+        return {
+            "messages": self.messages,
+            "bytes_sent": self.bytes_sent,
+            "retransmits": self.retransmits,
+            "drops": self.drops,
+            "timeouts": self.timeouts,
+            "corruptions_detected": self.corruptions_detected,
+            "duplicates_dropped": self.duplicates_dropped,
+            "reorders": self.reorders,
+            "sim_wait_seconds": self.sim_wait_seconds,
+            "by_phase": {phase: dict(entry) for phase, entry in self.by_phase.items()},
+        }
+
+
+@dataclass
+class Envelope:
+    """One transmission: payload plus integrity metadata.
+
+    The checksum is computed by the sender over the payload bytes; the
+    receiver recomputes it on arrival (:meth:`verify`), turning silent
+    link corruption into a detected, retryable failure.
+    """
+
+    phase: str
+    sender: int
+    seq: int
+    payload: np.ndarray
+    checksum: int
+
+    @classmethod
+    def wrap(cls, phase: str, sender: int, seq: int, payload: np.ndarray) -> "Envelope":
+        payload = np.ascontiguousarray(payload)
+        return cls(phase, int(sender), int(seq), payload, zlib.crc32(payload.tobytes()))
+
+    def verify(self) -> bool:
+        return zlib.crc32(np.ascontiguousarray(self.payload).tobytes()) == self.checksum
 
 
 class SimulatedComm:
     """An in-process stand-in for an MPI communicator.
 
     Only the collective patterns the driver needs are provided; every
-    transfer is accounted in :attr:`stats`.
+    transfer is accounted in :attr:`stats`.  With a ``fault_plan``, every
+    transmission runs through the checksum/retry envelope described in
+    the module docstring; without one, transfers are clean but still take
+    the same (checksummed) path.
+
+    Parameters
+    ----------
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` injecting message faults.
+    retry_policy:
+        Backoff/budget for retransmissions (default: 6 attempts, which
+        always out-lasts a default plan's ``fault_attempts=2``).
+    clock:
+        Deterministic clock charged for backoff waits (shared with the
+        driver so a run reports one simulated timeline).
     """
 
-    def __init__(self, n_ranks: int):
+    def __init__(
+        self,
+        n_ranks: int,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        clock: SimClock | None = None,
+    ):
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1; got {n_ranks}")
         self.n_ranks = n_ranks
+        self.plan = fault_plan
+        self.retry = retry_policy if retry_policy is not None else RetryPolicy(max_attempts=6)
+        self.clock = clock if clock is not None else SimClock()
         self.stats = CommStats()
+        self.dead: set[int] = set()
+        self._seq = 0
 
-    def exchange(self, phase: str, payloads: list[np.ndarray]) -> list[np.ndarray]:
-        """Neighbourhood exchange: rank ``r``'s payload is delivered
-        (here: passed through) and accounted.  ``payloads[r]`` is what rank
-        ``r`` *receives* — the ghost pattern is computed by the partitioner,
-        so accounting what lands on each rank equals accounting the sends.
+    def mark_dead(self, rank: int) -> None:
+        """Exclude a crashed rank: its slots are skipped, not transmitted."""
+        self.dead.add(int(rank))
+
+    # -- the envelope/retry pipeline ------------------------------------------
+
+    def _transmit(self, phase: str, sender: int, payload: np.ndarray) -> tuple[np.ndarray, bool]:
+        """Deliver one payload; returns ``(delivered, was_reordered)``.
+
+        Implements verify-and-retransmit: each attempt is accounted as a
+        message (bytes go on the wire whether or not delivery succeeds),
+        failed attempts wait the policy's bounded exponential backoff on
+        the simulated clock, and the loop ends on a verified delivery or
+        :class:`CommDeliveryError`.
         """
-        if len(payloads) != self.n_ranks:
-            raise ValueError(
-                f"expected {self.n_ranks} payloads; got {len(payloads)}"
+        arr = np.ascontiguousarray(payload)
+        seq = self._seq
+        self._seq += 1
+        attempt = 0
+        while True:
+            attempt += 1
+            if attempt > 1:
+                self.stats.sim_wait_seconds += self.clock.sleep(self.retry.backoff(attempt - 1))
+            if attempt > self.retry.max_attempts:
+                raise CommDeliveryError(
+                    f"message seq={seq} (phase '{phase}', sender {sender}) undelivered "
+                    f"after {self.retry.max_attempts} attempts"
+                )
+            self.stats.record(phase, arr.nbytes, retransmit=attempt > 1)
+            faults = (
+                self.plan.message_faults(phase, sender, seq, attempt)
+                if self.plan is not None
+                else []
             )
-        for payload in payloads:
-            self.stats.record(phase, np.asarray(payload).nbytes)
-        return payloads
+            if "drop" in faults:
+                self.stats.drops += 1
+                self.plan.record("drop", phase, sender, attempt, detail=f"seq={seq}")
+                continue
+            if "timeout" in faults:
+                # The ack deadline expires before delivery: charged one full
+                # backoff cap of simulated wait, then retransmitted.
+                self.stats.timeouts += 1
+                self.plan.record("timeout", phase, sender, attempt, detail=f"seq={seq}")
+                self.stats.sim_wait_seconds += self.clock.sleep(self.retry.backoff_cap)
+                continue
+            envelope = Envelope.wrap(phase, sender, seq, arr)
+            if "corrupt" in faults and envelope.payload.nbytes:
+                raw = self.plan.corrupt_payload(
+                    envelope.payload.tobytes(), phase, sender, seq, attempt
+                )
+                envelope = Envelope(
+                    phase, sender, seq,
+                    np.frombuffer(raw, dtype=arr.dtype).reshape(arr.shape),
+                    envelope.checksum,
+                )
+            if not envelope.verify():
+                self.stats.corruptions_detected += 1
+                self.plan.record("corrupt", phase, sender, attempt, detail=f"seq={seq}")
+                continue
+            if "duplicate" in faults:
+                # The receiver sees the same seq twice and drops the copy.
+                self.stats.duplicates_dropped += 1
+                self.plan.record("duplicate", phase, sender, attempt, detail=f"seq={seq}")
+            reordered = "reorder" in faults
+            if reordered:
+                self.stats.reorders += 1
+                self.plan.record("reorder", phase, sender, attempt, detail=f"seq={seq}")
+            return envelope.payload, reordered
 
-    def gather(self, phase: str, payloads: list[np.ndarray]) -> list[np.ndarray]:
-        """Gather-to-root of per-rank arrays (the merge phase's pattern)."""
+    def _collect(
+        self, phase: str, payloads: list[np.ndarray], senders: list[int] | None
+    ) -> list[np.ndarray]:
         if len(payloads) != self.n_ranks:
-            raise ValueError(
-                f"expected {self.n_ranks} payloads; got {len(payloads)}"
-            )
-        for payload in payloads:
-            self.stats.record(phase, np.asarray(payload).nbytes)
-        return payloads
+            raise ValueError(f"expected {self.n_ranks} payloads; got {len(payloads)}")
+        if senders is not None and len(senders) != self.n_ranks:
+            raise ValueError(f"expected {self.n_ranks} senders; got {len(senders)}")
+        out: list[np.ndarray | None] = [None] * self.n_ranks
+        late: list[tuple[int, np.ndarray]] = []
+        for slot, payload in enumerate(payloads):
+            sender = slot if senders is None else int(senders[slot])
+            if sender in self.dead:
+                # A dead rank transmits nothing; its slot passes through
+                # untouched (the driver never consumes dead slots).
+                out[slot] = payload
+                continue
+            delivered, reordered = self._transmit(phase, sender, payload)
+            if reordered:
+                late.append((slot, delivered))  # arrives after everything else
+            else:
+                out[slot] = delivered
+        for slot, delivered in late:
+            # Reassembly by sequence/slot: late arrivals land in their slot,
+            # so consumers never observe the reordering.
+            out[slot] = delivered
+        return out  # type: ignore[return-value]
+
+    # -- collective patterns ---------------------------------------------------
+
+    def exchange(
+        self, phase: str, payloads: list[np.ndarray], senders: list[int] | None = None
+    ) -> list[np.ndarray]:
+        """Neighbourhood exchange: rank ``r``'s payload is delivered
+        (here: passed through the envelope pipeline) and accounted.
+        ``payloads[r]`` is what rank ``r`` *receives* — the ghost pattern is
+        computed by the partitioner, so accounting what lands on each rank
+        equals accounting the sends.  ``senders[r]`` names the rank doing
+        slot ``r``'s work (defaults to ``r``; differs after reassignment).
+        """
+        return self._collect(phase, payloads, senders)
+
+    def gather(
+        self, phase: str, payloads: list[np.ndarray], senders: list[int] | None = None
+    ) -> list[np.ndarray]:
+        """Gather-to-root of per-rank arrays (the merge phase's pattern)."""
+        return self._collect(phase, payloads, senders)
+
+    def send(self, phase: str, payload: np.ndarray, sender: int = 0) -> np.ndarray:
+        """Point-to-point delivery (recovery re-shipments) through the same
+        envelope/retry pipeline."""
+        if sender in self.dead:
+            raise CommDeliveryError(f"rank {sender} is dead; cannot send '{phase}'")
+        delivered, _ = self._transmit(phase, sender, np.asarray(payload))
+        return delivered

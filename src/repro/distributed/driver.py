@@ -1,4 +1,4 @@
-"""The distributed DBSCAN driver.
+"""The fault-tolerant distributed DBSCAN driver.
 
 Three phases over an RCB partition with eps-halo ghosts (the scheme of
 Patwary et al. SC'12 / BD-CATS, with the paper's fused tree algorithm as
@@ -22,11 +22,41 @@ the rank-local engine):
 
 The result is DBSCAN-equivalent to a single-device run: identical core
 and noise sets, identical core partition, legal border assignments.
+
+Fault tolerance
+---------------
+With a :class:`~repro.faults.FaultPlan` the run additionally survives:
+
+- **message faults** — handled inside :class:`SimulatedComm` (checksummed
+  envelopes, verify-and-retransmit, deterministic backoff);
+- **transient device faults** — each partition's local/main phase runs
+  under a :class:`~repro.faults.RetryPolicy`: an injected (or real)
+  :class:`~repro.device.DeviceMemoryError` / ``KernelFaultError`` inside a
+  kernel is retried on a fresh attempt instead of aborting the run;
+- **phase-boundary rank crashes** — the driver checkpoints at phase
+  boundaries (the partition/halo decomposition is deterministic and
+  recomputable; the post-local ``core_flags`` exchange doubles as a
+  replicated checkpoint of every owned core flag; per-partition merge
+  payloads are the phase-2 checkpoint).  When a rank dies permanently,
+  each partition it executed is **reassigned to the least-loaded
+  surviving rank**, which re-ships the partition's points/ghosts (and
+  checkpointed core flags) and recomputes only the lost state — the BVH
+  rebuild skips neighbour counting entirely when the core-flag
+  checkpoint is available.  Because every partition's work is a pure
+  function of (points, eps, minpts), the final labelling is identical no
+  matter which rank executes it: **graceful degradation** — the result
+  stays DBSCAN-equivalent whenever at least one rank survives.
+
+All fault decisions, retries and recoveries are deterministic in the
+plan's seed: replaying a seed reproduces the identical fault log, retry
+counts and labelling.  Pass a *fresh* plan per run (its log accumulates).
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
+from dataclasses import replace
 
 import numpy as np
 
@@ -40,6 +70,9 @@ from repro.device.device import Device, default_device
 from repro.device.primitives import run_length_encode
 from repro.distributed.comm import SimulatedComm
 from repro.distributed.partition import rcb_partition, select_ghosts
+from repro.faults.clock import SimClock
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy, call_with_retries
 from repro.unionfind.ecl import EclUnionFind, find_roots
 
 
@@ -54,9 +87,19 @@ def _local_phase(
     """One rank's work: core flags for owned points + local clustering.
 
     ``local_ids`` lists global ids, owned first (``n_owned`` of them) then
-    ghosts.  Returns ``(owned_core, local_parents, local_core)`` where the
-    parents array is over local indices.
+    ghosts.  Returns ``(tree, owned_core, local_core)`` where ``owned_core``
+    is ``None`` for ``minpts == 2`` (derived from component sizes globally).
+
+    A rank owning zero points (``n_ranks`` approaching or exceeding ``n``,
+    or heavily duplicated coordinates rounding a split to nothing) has no
+    queries and contributes nothing to any cluster: it returns
+    ``tree=None`` and empty/zero flags instead of attempting a degenerate
+    BVH build.
     """
+    if n_owned == 0 or local_ids.shape[0] == 0:
+        return None, None if minpts == 2 else np.zeros(n_owned, dtype=bool), np.zeros(
+            local_ids.shape[0], dtype=bool
+        )
     pts = X[local_ids]
     lo, hi = boxes_from_points(pts)
     tree = build_bvh(lo, hi, device=dev)
@@ -77,18 +120,68 @@ def _local_phase(
     return tree, owned_core, local_core
 
 
+def _merge_payloads(
+    local_ids: np.ndarray,
+    n_owned: int,
+    local_core: np.ndarray,
+    labels_local: np.ndarray,
+) -> tuple[tuple[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+    """One partition's merge-phase contributions, in global ids.
+
+    Returns ``((group_firsts, group_members), (border_ids, border_targets))``
+    — the core-group union pairs and the owner-authoritative border
+    attachments.  These arrays are exactly what the merge gather ships, so
+    they double as the partition's phase-2 checkpoint.
+    """
+    empty = np.zeros(0, dtype=np.int64)
+    if n_owned == 0 or local_ids.shape[0] == 0:
+        return (empty, empty), (empty, empty)
+    core_rows = np.flatnonzero(local_core)
+    rep_for_root = np.full(local_ids.shape[0], -1, dtype=np.int64)
+    if core_rows.size:
+        roots = labels_local[core_rows]
+        order = np.argsort(roots, kind="stable")
+        core_sorted = core_rows[order]
+        uroots, starts, lengths = run_length_encode(roots[order])
+        firsts = np.repeat(core_sorted[starts], lengths) if starts.size else core_sorted
+        core_payload = (local_ids[firsts], local_ids[core_sorted])
+        rep_for_root[uroots] = core_sorted[starts]
+    else:
+        core_payload = (empty, empty)
+    owned_rows = np.arange(n_owned)
+    border_rows = owned_rows[
+        ~local_core[:n_owned] & (labels_local[:n_owned] != owned_rows)
+    ]
+    if border_rows.size:
+        targets = rep_for_root[labels_local[border_rows]]
+        attach_payload = (local_ids[border_rows], local_ids[targets])
+    else:
+        attach_payload = (empty, empty)
+    return core_payload, attach_payload
+
+
 def distributed_dbscan(
     X: np.ndarray,
     eps: float,
     min_samples: int,
     n_ranks: int = 4,
     device: Device | None = None,
+    fault_plan: FaultPlan | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> DBSCANResult:
     """Cluster ``X`` across ``n_ranks`` simulated ranks.
 
-    ``info`` reports the decomposition (per-rank owned/ghost counts) and
-    the communication volume per phase.  Output is DBSCAN-equivalent to
-    any single-device algorithm in the registry.
+    ``info`` reports the decomposition (per-rank owned/ghost counts), the
+    communication volume per phase, and — when faults are in play — the
+    structured fault log, per-phase retry counts, rank recoveries and the
+    surviving rank set.  Output is DBSCAN-equivalent to any single-device
+    algorithm in the registry, including under any seeded ``fault_plan``
+    that leaves at least one rank alive.
+
+    ``retry_policy`` governs the transient-failure retries of rank-local
+    compute and of message delivery; with a ``fault_plan`` present its
+    attempt budget is raised (if needed) above the plan's bounded
+    ``fault_attempts`` so injected faults always converge.
     """
     X = validate_points(X)
     eps, minpts = validate_params(eps, min_samples)
@@ -96,104 +189,231 @@ def distributed_dbscan(
     n = X.shape[0]
     t0 = time.perf_counter()
 
+    plan = fault_plan
+    retry = retry_policy if retry_policy is not None else RetryPolicy()
+    if plan is not None and retry.max_attempts <= plan.spec.fault_attempts:
+        # Injected faults hit at most the first `fault_attempts` attempts of
+        # any operation; one more attempt guarantees convergence.
+        retry = replace(retry, max_attempts=plan.spec.fault_attempts + 1)
+    clock = SimClock()
+    comm = SimulatedComm(
+        n_ranks,
+        fault_plan=plan,
+        retry_policy=replace(retry, max_attempts=max(retry.max_attempts, 6)),
+        clock=clock,
+    )
+
     partition = rcb_partition(X, n_ranks)
     halo = select_ghosts(X, partition, eps)
-    comm = SimulatedComm(n_ranks)
-    # Ghost coordinates travel to their consumer ranks.
-    comm.exchange("ghosts", [X[g] for g in halo.ghosts])
-
-    owned_lists = [partition.owned(r) for r in range(n_ranks)]
+    owned_lists = [partition.owned(p) for p in range(n_ranks)]
     local_ids_per_rank = [
-        np.concatenate([owned_lists[r], halo.ghosts[r]]) for r in range(n_ranks)
+        np.concatenate([owned_lists[p], halo.ghosts[p]]) for p in range(n_ranks)
     ]
 
-    # --- phase 1: local core determination --------------------------------
-    rank_state = []
+    # -- fault-tolerance state -------------------------------------------------
+    alive = set(range(n_ranks))
+    executor = list(range(n_ranks))  # executor[p]: rank running partition p
+    trees: dict[int, tuple] = {}  # p -> (tree, local_core)
+    merge_core: dict[int, tuple] = {}  # p -> (group_firsts, group_members)
+    merge_attach: dict[int, tuple] = {}  # p -> (border_ids, border_targets)
+    retries: dict[str, int] = {}
+    recoveries: list[dict] = []
+    checkpoints: list[str] = ["partition"]  # RCB+halo: deterministic, recomputable
     global_core = np.zeros(n, dtype=bool)
-    for r in range(n_ranks):
-        tree, owned_core, local_core = _local_phase(
-            X, local_ids_per_rank[r], owned_lists[r].shape[0], eps, minpts, dev
+    ghosts_shipped = False
+    core_checkpointed = False
+
+    def run_attempt(phase_name: str, p: int, fn):
+        """Run one partition-phase under the retry policy with device-fault
+        injection armed per attempt."""
+
+        def attempt(k: int):
+            cm = (
+                plan.device_faults(dev, phase_name, p, attempt=k)
+                if plan is not None
+                else nullcontext()
+            )
+            with cm:
+                return fn()
+
+        result, attempts = call_with_retries(attempt, retry, clock=clock)
+        if attempts > 1:
+            retries[phase_name] = retries.get(phase_name, 0) + attempts - 1
+        return result
+
+    def handle_crashes(boundary: str) -> None:
+        """Kill plan-selected ranks at a phase boundary and recover: each
+        dead executor's partitions move to the least-loaded survivor, which
+        receives the partition's data (and checkpointed core flags) again
+        and recomputes whatever state died with the rank."""
+        if plan is None:
+            return
+        for r in plan.crashed_ranks(boundary, alive):
+            alive.discard(r)
+            comm.mark_dead(r)
+        for p in range(n_ranks):
+            if executor[p] in alive:
+                continue
+            loads = {a: 0 for a in alive}
+            for q in range(n_ranks):
+                if executor[q] in loads:
+                    loads[executor[q]] += int(owned_lists[q].shape[0])
+            dead_rank = executor[p]
+            new_rank = min(sorted(alive), key=lambda a: (loads[a], a))
+            executor[p] = new_rank
+            lost = []
+            if trees.pop(p, None) is not None:
+                lost.append("local_state")
+            if merge_core.pop(p, None) is not None:
+                merge_attach.pop(p, None)
+                lost.append("merge_payloads")
+            reshipped = []
+            if ghosts_shipped:
+                # Restore the partition's inputs from the checkpoint store
+                # (dataset replica + replicated core flags).
+                comm.send("recovery_points", X[owned_lists[p]], sender=new_rank)
+                comm.send("recovery_ghosts", X[halo.ghosts[p]], sender=new_rank)
+                reshipped += ["points", "ghosts"]
+                if core_checkpointed:
+                    comm.send(
+                        "recovery_core_flags",
+                        global_core[local_ids_per_rank[p]],
+                        sender=new_rank,
+                    )
+                    reshipped.append("core_flags")
+            recoveries.append(
+                {
+                    "boundary": boundary,
+                    "partition": p,
+                    "dead_rank": dead_rank,
+                    "reassigned_to": new_rank,
+                    "lost": lost,
+                    "reshipped": reshipped,
+                }
+            )
+
+    def ensure_local_state(p: int) -> None:
+        """Recompute a partition's phase-1 state lost to a crash: rebuild
+        the BVH, taking core flags straight from the replicated checkpoint
+        (no neighbour recount)."""
+        if p in trees:
+            return
+
+        def rebuild():
+            ids = local_ids_per_rank[p]
+            n_owned = owned_lists[p].shape[0]
+            if n_owned == 0 or ids.shape[0] == 0:
+                return None, np.zeros(ids.shape[0], dtype=bool)
+            pts = X[ids]
+            lo, hi = boxes_from_points(pts)
+            tree = build_bvh(lo, hi, device=dev)
+            if minpts > 2:
+                local_core = global_core[ids].copy()  # the core_flags checkpoint
+            else:
+                local_core = np.ones(ids.shape[0], dtype=bool)
+            return tree, local_core
+
+        trees[p] = run_attempt("recover_local", p, rebuild)
+
+    def main_phase(p: int) -> None:
+        """Fused main phase for one partition, then its merge payloads
+        (which double as the phase-2 checkpoint)."""
+        ensure_local_state(p)
+        tree, local_core = trees[p]
+        ids = local_ids_per_rank[p]
+        n_owned = owned_lists[p].shape[0]
+        if minpts > 2 and tree is not None and ids.shape[0] > n_owned:
+            # Idempotent under recovery: these are the checkpointed values.
+            local_core[n_owned:] = global_core[ids[n_owned:]]
+
+        def attempt():
+            if tree is None or n_owned == 0:
+                return np.arange(ids.shape[0], dtype=np.int64)
+            uf = EclUnionFind(ids.shape[0], device=dev)
+            order = tree.order
+
+            def on_hits(q_ids: np.ndarray, leaf_pos: np.ndarray) -> None:
+                nbr = order[leaf_pos]
+                keep = nbr != q_ids  # queries are the first n_owned local rows
+                resolve_pairs(uf, local_core, q_ids[keep], nbr[keep], dev)
+
+            for_each_leaf_hit(
+                tree,
+                X[ids[:n_owned]],
+                eps,
+                on_hits,
+                device=dev,
+                kernel_name=f"dist_main_rank{p}",
+            )
+            return uf.finalize()
+
+        labels_local = run_attempt("main", p, attempt)
+        merge_core[p], merge_attach[p] = _merge_payloads(
+            ids, n_owned, local_core, labels_local
         )
-        rank_state.append((tree, local_core))
+
+    # --- boundary: ranks may be dead before any work starts -------------------
+    handle_crashes("pre_local")
+
+    # Ghost coordinates travel to their consumer ranks.
+    comm.exchange("ghosts", [X[g] for g in halo.ghosts], senders=executor)
+    ghosts_shipped = True
+
+    # --- phase 1: local core determination ------------------------------------
+    for p in range(n_ranks):
+        tree, owned_core, local_core = run_attempt(
+            "local",
+            p,
+            lambda p=p: _local_phase(
+                X, local_ids_per_rank[p], owned_lists[p].shape[0], eps, minpts, dev
+            ),
+        )
+        trees[p] = (tree, local_core)
         if owned_core is not None:
-            global_core[owned_lists[r]] = owned_core
+            global_core[owned_lists[p]] = owned_core
 
-    # --- phase 2: ghost core-flag exchange + local main phase --------------
+    # The core-flag exchange doubles as a replicated checkpoint: after it,
+    # every owned core flag survives any individual rank's death.
     if minpts > 2:
-        comm.exchange("core_flags", [global_core[g] for g in halo.ghosts])
-    local_parents = []
-    for r in range(n_ranks):
-        tree, local_core = rank_state[r]
-        local_ids = local_ids_per_rank[r]
-        n_owned = owned_lists[r].shape[0]
-        if minpts > 2:
-            local_core[n_owned:] = global_core[halo.ghosts[r]]
-        uf = EclUnionFind(local_ids.shape[0], device=dev)
-        order = tree.order
-
-        def on_hits(q_ids: np.ndarray, leaf_pos: np.ndarray) -> None:
-            nbr = order[leaf_pos]
-            keep = nbr != q_ids  # queries are the first n_owned local rows
-            resolve_pairs(uf, local_core, q_ids[keep], nbr[keep], dev)
-
-        for_each_leaf_hit(
-            tree,
-            X[local_ids[:n_owned]],
-            eps,
-            on_hits,
-            device=dev,
-            kernel_name=f"dist_main_rank{r}",
+        comm.exchange(
+            "core_flags", [global_core[g] for g in halo.ghosts], senders=executor
         )
-        local_parents.append(uf)
+    core_checkpointed = True
+    checkpoints.append("core_flags")
 
-    # --- phase 3: merge -----------------------------------------------------
+    # --- boundary: post-local crashes lose in-memory trees --------------------
+    handle_crashes("pre_main")
+
+    # --- phase 2: ghost core-flag fill + local main phase ----------------------
+    for p in range(n_ranks):
+        main_phase(p)
+    checkpoints.append("merge_payloads")
+
+    # --- boundary: post-main crashes lose not-yet-gathered merge payloads -----
+    handle_crashes("pre_merge")
+    for p in range(n_ranks):
+        if p not in merge_core:
+            main_phase(p)  # full recompute from the core_flags checkpoint
+
+    # --- phase 3: merge --------------------------------------------------------
+    comm.gather(
+        "merge_core_groups", [merge_core[p][1] for p in range(n_ranks)], senders=executor
+    )
+    comm.gather(
+        "merge_border_attachments",
+        [merge_attach[p][0] for p in range(n_ranks)],
+        senders=executor,
+    )
     guf = EclUnionFind(n, device=dev)
-    merge_payloads = []
-    for r in range(n_ranks):
-        uf = local_parents[r]
-        local_ids = local_ids_per_rank[r]
-        tree, local_core = rank_state[r]
-        labels_local = uf.finalize()
-        core_rows = np.flatnonzero(local_core)
-        if core_rows.size:
-            # Union each local cluster's core members globally.
-            roots = labels_local[core_rows]
-            order = np.argsort(roots, kind="stable")
-            core_sorted = core_rows[order]
-            _, starts, lengths = run_length_encode(roots[order])
-            firsts = np.repeat(core_sorted[starts], lengths) if starts.size else core_sorted
-            guf.union(local_ids[firsts], local_ids[core_sorted])
-            merge_payloads.append(local_ids[core_sorted])
-        else:
-            merge_payloads.append(np.zeros(0, dtype=np.int64))
-    comm.gather("merge_core_groups", merge_payloads)
-
-    # Border attachments, owner-rank authoritative.
+    for p in range(n_ranks):
+        firsts, members = merge_core[p]
+        if members.size:
+            guf.union(firsts, members)
     attach_targets = np.full(n, -1, dtype=np.int64)
-    attach_payloads = []
-    for r in range(n_ranks):
-        uf = local_parents[r]
-        local_ids = local_ids_per_rank[r]
-        tree, local_core = rank_state[r]
-        n_owned = owned_lists[r].shape[0]
-        labels_local = uf.parents  # finalized above
-        # a core member per local cluster root (for attachment targets)
-        core_rows = np.flatnonzero(local_core)
-        rep_for_root = np.full(local_ids.shape[0], -1, dtype=np.int64)
-        if core_rows.size:
-            roots_of_core = labels_local[core_rows]
-            order = np.argsort(roots_of_core, kind="stable")
-            uroots, starts, _lengths = run_length_encode(roots_of_core[order])
-            rep_for_root[uroots] = core_rows[order][starts]
-        owned_rows = np.arange(n_owned)
-        border_rows = owned_rows[
-            ~local_core[:n_owned] & (labels_local[:n_owned] != owned_rows)
-        ]
-        if border_rows.size:
-            targets = rep_for_root[labels_local[border_rows]]
-            attach_targets[local_ids[border_rows]] = local_ids[targets]
-        attach_payloads.append(local_ids[border_rows])
-    comm.gather("merge_border_attachments", attach_payloads)
+    for p in range(n_ranks):
+        borders, targets = merge_attach[p]
+        if borders.size:
+            attach_targets[borders] = targets
 
     # --- assemble the global result ------------------------------------------
     if minpts == 2:
@@ -223,9 +443,20 @@ def distributed_dbscan(
         "n_ranks": n_ranks,
         "owned_per_rank": partition.counts().tolist(),
         "ghosts_per_rank": [int(g.shape[0]) for g in halo.ghosts],
+        "alive_ranks": sorted(alive),
+        "dead_ranks": sorted(set(range(n_ranks)) - alive),
+        "executor_of_partition": list(executor),
+        "checkpoints": checkpoints,
+        "recoveries": recoveries,
+        "retries": dict(retries),
         "comm_messages": comm.stats.messages,
         "comm_bytes": comm.stats.bytes_sent,
-        "comm_by_phase": dict(comm.stats.by_phase),
+        "comm_retransmits": comm.stats.retransmits,
+        "comm_by_phase": {k: dict(v) for k, v in comm.stats.by_phase.items()},
+        "comm": comm.stats.as_dict(),
+        "sim_wait_seconds": clock.slept_seconds,
+        "faults": plan.summary() if plan is not None else {"seed": None, "total": 0, "by_kind": {}},
+        "fault_log": plan.log_as_dicts() if plan is not None else [],
         "t_total": time.perf_counter() - t0,
     }
     return DBSCANResult(

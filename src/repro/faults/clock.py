@@ -1,0 +1,45 @@
+"""Deterministic simulated clock.
+
+Retry backoff must not depend on host wall-clock: a fault-injected run has
+to replay bit-identically from its seed, including the *time* the retries
+spent waiting.  :class:`SimClock` is the stand-in — ``sleep`` advances a
+virtual timeline instead of blocking, and the accumulated wait is surfaced
+in :class:`~repro.distributed.comm.CommStats` and the driver's ``info``.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A virtual clock: ``sleep`` advances time without blocking.
+
+    Attributes
+    ----------
+    slept_seconds:
+        Total virtual seconds spent in :meth:`sleep` (the simulated
+        retry/backoff wait a real deployment would have burned).
+    sleep_count:
+        Number of :meth:`sleep` calls.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self.slept_seconds = 0.0
+        self.sleep_count = 0
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def sleep(self, seconds: float) -> float:
+        """Advance the virtual clock by ``seconds`` and return it."""
+        seconds = float(seconds)
+        if seconds < 0:
+            raise ValueError(f"cannot sleep a negative duration: {seconds}")
+        self._now += seconds
+        self.slept_seconds += seconds
+        self.sleep_count += 1
+        return seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimClock(now={self._now:.6g}, slept={self.slept_seconds:.6g})"

@@ -1,0 +1,298 @@
+"""Deterministic, seed-driven fault plans.
+
+A :class:`FaultPlan` decides — reproducibly, from a seed — which faults a
+run experiences: message drops, duplication, reordering, payload bit-flip
+corruption, transient timeouts, phase-boundary rank crashes, and transient
+device faults (:class:`~repro.device.memory.DeviceMemoryError` /
+:class:`~repro.device.device.KernelFaultError`) raised from inside kernel
+launches.
+
+Two properties make the plans usable as a test oracle:
+
+- **Order independence.**  Every decision is drawn from its own RNG
+  stream, seeded from a stable hash of ``(seed, kind, phase, rank, seq,
+  attempt)``.  Whether a fault fires therefore depends only on *what* is
+  being attempted, never on how many unrelated random draws preceded it —
+  so the same seed injects the same faults even as consumers evolve.
+- **Bounded injection.**  Message and device faults are injected only on
+  the first :attr:`FaultSpec.fault_attempts` attempts of any given
+  operation.  A retry budget larger than that is guaranteed to converge,
+  which is what lets the chaos suite assert DBSCAN equivalence under
+  *arbitrary* seeded plans (rank crashes are separately capped so at
+  least one rank always survives).
+
+Every injected fault is appended to :attr:`FaultPlan.log` as a structured
+:class:`FaultEvent` — replaying a seed reproduces the identical log.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, fields
+from typing import Iterable
+
+import numpy as np
+
+from repro.device.device import Device, KernelFaultError
+from repro.device.memory import DeviceMemoryError
+
+#: Message-level fault kinds, with their :class:`FaultSpec` probability
+#: field.  Precedence on a single transmission: a dropped or timed-out
+#: message never arrives (corruption is moot); corruption is detected by
+#: the receiver's checksum; duplication and reordering afflict only
+#: messages that were actually delivered.
+MESSAGE_FAULT_KINDS = ("drop", "timeout", "corrupt", "duplicate", "reorder")
+
+#: Transient device fault kinds (raised from inside a kernel launch).
+DEVICE_FAULT_KINDS = ("device_oom", "kernel_fault")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-kind fault probabilities (all in ``[0, 1]``).
+
+    ``p_rank_crash`` is evaluated once per (phase boundary, alive rank);
+    ``p_device_fault`` once per (phase, partition, attempt);
+    the message probabilities once per (message, attempt).
+
+    ``fault_attempts`` bounds how many consecutive attempts of one
+    operation may be faulted — retries beyond it always run clean, so any
+    retry budget of at least ``fault_attempts + 1`` attempts converges.
+    """
+
+    p_drop: float = 0.0
+    p_timeout: float = 0.0
+    p_corrupt: float = 0.0
+    p_duplicate: float = 0.0
+    p_reorder: float = 0.0
+    p_rank_crash: float = 0.0
+    p_device_fault: float = 0.0
+    fault_attempts: int = 2
+
+    def __post_init__(self):
+        for f in fields(self):
+            if f.name.startswith("p_"):
+                p = getattr(self, f.name)
+                if not 0.0 <= p <= 1.0:
+                    raise ValueError(f"{f.name} must be in [0, 1]; got {p}")
+        if self.fault_attempts < 0:
+            raise ValueError(f"fault_attempts must be >= 0; got {self.fault_attempts}")
+
+    @property
+    def any_faults(self) -> bool:
+        """Whether any fault kind has nonzero probability."""
+        return any(getattr(self, f.name) > 0 for f in fields(self) if f.name.startswith("p_"))
+
+    @classmethod
+    def uniform(cls, p: float, crash: float | None = None, fault_attempts: int = 2) -> "FaultSpec":
+        """Every message/device fault at probability ``p``; crashes at
+        ``crash`` (default ``p``)."""
+        return cls(
+            p_drop=p, p_timeout=p, p_corrupt=p, p_duplicate=p, p_reorder=p,
+            p_rank_crash=p if crash is None else crash,
+            p_device_fault=p, fault_attempts=fault_attempts,
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse a CLI spec: a bare probability (``"0.1"``) for
+        :meth:`uniform`, or ``key=value`` pairs — ``drop=0.1,crash=0.2``.
+
+        Keys: ``drop``, ``timeout``, ``corrupt``, ``duplicate`` (or
+        ``dup``), ``reorder``, ``crash``, ``device``, ``attempts``.
+        """
+        text = text.strip()
+        try:
+            return cls.uniform(float(text))
+        except ValueError:
+            pass
+        aliases = {
+            "drop": "p_drop", "timeout": "p_timeout", "corrupt": "p_corrupt",
+            "duplicate": "p_duplicate", "dup": "p_duplicate", "reorder": "p_reorder",
+            "crash": "p_rank_crash", "device": "p_device_fault",
+            "attempts": "fault_attempts",
+        }
+        kwargs: dict = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            if not sep or key.strip() not in aliases:
+                raise ValueError(
+                    f"bad fault spec entry {part!r}; expected key=value with key "
+                    f"in {sorted(set(aliases))}"
+                )
+            name = aliases[key.strip()]
+            kwargs[name] = int(value) if name == "fault_attempts" else float(value)
+        return cls(**kwargs)
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault: what, where, and on which attempt."""
+
+    kind: str
+    phase: str
+    rank: int
+    attempt: int = 0
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class FaultPlan:
+    """Seed-driven fault injection with a structured log (module docstring)."""
+
+    def __init__(self, seed: int = 0, spec: FaultSpec | None = None):
+        self.seed = int(seed)
+        self.spec = spec if spec is not None else FaultSpec()
+        self.log: list[FaultEvent] = []
+
+    # -- deterministic streams -------------------------------------------------
+
+    def _stream(self, *key) -> np.random.Generator:
+        """An RNG stream unique to ``key`` (order-independent decisions)."""
+        material = "|".join(["repro.faults", str(self.seed), *map(str, key)])
+        digest = hashlib.blake2b(material.encode(), digest_size=8).digest()
+        return np.random.default_rng(int.from_bytes(digest, "little"))
+
+    def record(self, kind: str, phase: str, rank: int, attempt: int = 0, detail: str = "") -> FaultEvent:
+        """Append a fault to the structured log."""
+        event = FaultEvent(kind, phase, int(rank), int(attempt), detail)
+        self.log.append(event)
+        return event
+
+    # -- message faults --------------------------------------------------------
+
+    def message_faults(self, phase: str, sender: int, seq: int, attempt: int) -> list[str]:
+        """Fault kinds afflicting one transmission attempt of one message.
+
+        Pure decision — the communicator logs the kinds it acts on.  Clean
+        by construction for ``attempt > spec.fault_attempts``.
+        """
+        if attempt > self.spec.fault_attempts:
+            return []
+        out = []
+        for kind in MESSAGE_FAULT_KINDS:
+            p = getattr(self.spec, f"p_{kind}")
+            if p > 0 and self._stream("msg", kind, phase, sender, seq, attempt).random() < p:
+                out.append(kind)
+        return out
+
+    def corrupt_payload(self, data: bytes, phase: str, sender: int, seq: int, attempt: int) -> bytes:
+        """Flip one deterministic bit of ``data`` (no-op on empty payloads)."""
+        if not data:
+            return data
+        rng = self._stream("bits", phase, sender, seq, attempt)
+        buf = bytearray(data)
+        buf[int(rng.integers(len(buf)))] ^= 1 << int(rng.integers(8))
+        return bytes(buf)
+
+    # -- rank crashes ----------------------------------------------------------
+
+    def crashed_ranks(self, boundary: str, alive: Iterable[int]) -> list[int]:
+        """Ranks (drawn from ``alive``) that die at this phase boundary.
+
+        Always leaves at least one survivor: once only one candidate
+        remains un-killed, no further crashes are drawn — the "graceful
+        degradation, never total loss" regime the recovery guarantee
+        covers.  Crashes are logged here (they are unconditional events,
+        not something a consumer may or may not act on).
+        """
+        alive_sorted = sorted(set(alive))
+        dead: list[int] = []
+        if self.spec.p_rank_crash <= 0:
+            return dead
+        for rank in alive_sorted:
+            if len(alive_sorted) - len(dead) <= 1:
+                break
+            if self._stream("crash", boundary, rank).random() < self.spec.p_rank_crash:
+                dead.append(rank)
+                self.record("rank_crash", boundary, rank)
+        return dead
+
+    # -- device faults ---------------------------------------------------------
+
+    def device_fault_kind(self, phase: str, rank: int, attempt: int) -> str | None:
+        """Which transient device fault (if any) hits this attempt."""
+        if attempt > self.spec.fault_attempts or self.spec.p_device_fault <= 0:
+            return None
+        rng = self._stream("device", phase, rank, attempt)
+        if rng.random() >= self.spec.p_device_fault:
+            return None
+        return DEVICE_FAULT_KINDS[int(rng.integers(len(DEVICE_FAULT_KINDS)))]
+
+    @contextmanager
+    def device_faults(self, device: Device, phase: str, rank: int, attempt: int = 1):
+        """Arm ``device.fault_hook`` for one attempt of one rank's phase.
+
+        If the plan schedules a fault for ``(phase, rank, attempt)``, the
+        *first kernel launch* inside the block raises it — a
+        :class:`DeviceMemoryError` tagged ``fault-injection`` or a
+        :class:`KernelFaultError` — so the failure originates inside the
+        device, exactly where a real soft fault would.  The previous hook
+        is chained and restored on exit.
+        """
+        kind = self.device_fault_kind(phase, rank, attempt)
+        previous = device.fault_hook
+        armed = {"kind": kind}
+
+        def hook(kernel_name: str) -> None:
+            if previous is not None:
+                previous(kernel_name)
+            pending, armed["kind"] = armed["kind"], None
+            if pending is None:
+                return
+            self.record(pending, phase, rank, attempt, detail=f"kernel={kernel_name}")
+            if pending == "device_oom":
+                raise DeviceMemoryError(
+                    0, device.memory.live_bytes,
+                    device.memory.capacity_bytes or 0, tag="fault-injection",
+                )
+            raise KernelFaultError(
+                f"injected transient fault in kernel '{kernel_name}' "
+                f"(phase={phase}, rank={rank}, attempt={attempt})"
+            )
+
+        device.fault_hook = hook
+        try:
+            yield
+        finally:
+            device.fault_hook = previous
+
+    # -- reporting -------------------------------------------------------------
+
+    def log_as_dicts(self) -> list[dict]:
+        """The structured fault log as plain dicts (JSON-ready)."""
+        return [event.as_dict() for event in self.log]
+
+    def summary(self) -> dict:
+        """Seed, total injected faults, and a per-kind breakdown."""
+        by_kind: dict[str, int] = {}
+        for event in self.log:
+            by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+        return {"seed": self.seed, "total": len(self.log), "by_kind": dict(sorted(by_kind.items()))}
+
+    @classmethod
+    def random(cls, seed: int, intensity: float = 0.15, crashes: bool = True) -> "FaultPlan":
+        """A fuzzed plan for chaos testing: probabilities drawn from ``seed``.
+
+        Every kind gets an independent probability in ``[0, intensity]``
+        (crashes included unless ``crashes=False``), so the fuzz space
+        covers quiet plans, single-kind storms and everything between.
+        """
+        rng = np.random.default_rng([int(seed), 0x5EED])
+        draw = lambda: float(rng.uniform(0.0, intensity))  # noqa: E731
+        spec = FaultSpec(
+            p_drop=draw(), p_timeout=draw(), p_corrupt=draw(),
+            p_duplicate=draw(), p_reorder=draw(),
+            p_rank_crash=draw() if crashes else 0.0,
+            p_device_fault=draw(), fault_attempts=2,
+        )
+        return cls(seed=seed, spec=spec)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultPlan(seed={self.seed}, injected={len(self.log)})"

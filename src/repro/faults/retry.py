@@ -1,0 +1,99 @@
+"""Retry policies: which failures are transient, and how long to back off.
+
+A production DBSCAN service (the ROADMAP's north star) cannot treat every
+failure as final: a dropped message, a transiently faulted kernel launch or
+a momentary allocation failure should be *retried*, while a genuine logic
+error must still propagate.  :class:`RetryPolicy` captures that split —
+a bounded attempt budget, an explicit tuple of transient error classes,
+and bounded exponential backoff evaluated against a deterministic
+:class:`~repro.faults.clock.SimClock` so replays are bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.device.device import KernelFaultError
+from repro.device.memory import DeviceMemoryError
+
+from repro.faults.clock import SimClock
+
+
+class TransientFault(RuntimeError):
+    """Base class for failures that a :class:`RetryPolicy` retries by default.
+
+    Subclassed by the communicator's injected delivery failures; any
+    component may raise a subclass to signal "worth retrying".
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry, what to retry, and how long to wait.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first (``1`` disables retries).
+    backoff_base / backoff_factor / backoff_cap:
+        Bounded exponential backoff: attempt ``k`` (1-based) waits
+        ``min(backoff_base * backoff_factor**(k-1), backoff_cap)`` virtual
+        seconds before retrying.
+    transient:
+        Exception classes considered retryable.  Everything else
+        propagates immediately.
+    """
+
+    max_attempts: int = 4
+    backoff_base: float = 1e-3
+    backoff_factor: float = 2.0
+    backoff_cap: float = 0.1
+    transient: tuple = (TransientFault, KernelFaultError, DeviceMemoryError)
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1; got {self.max_attempts}")
+        if self.backoff_base < 0 or self.backoff_factor < 1 or self.backoff_cap < 0:
+            raise ValueError(
+                f"invalid backoff: base={self.backoff_base}, "
+                f"factor={self.backoff_factor}, cap={self.backoff_cap}"
+            )
+
+    def is_transient(self, exc: BaseException) -> bool:
+        """Whether ``exc`` belongs to a retryable class."""
+        return isinstance(exc, tuple(self.transient))
+
+    def backoff(self, attempt: int) -> float:
+        """Virtual seconds to wait after failed attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1; got {attempt}")
+        return min(self.backoff_base * self.backoff_factor ** (attempt - 1), self.backoff_cap)
+
+
+def call_with_retries(
+    fn: Callable[[int], object],
+    policy: RetryPolicy,
+    clock: SimClock | None = None,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> tuple[object, int]:
+    """Run ``fn(attempt)`` under ``policy``; returns ``(result, attempts)``.
+
+    ``fn`` receives the 1-based attempt number (fault injectors key their
+    decisions on it).  Transient failures sleep the policy's backoff on
+    ``clock`` (if given) and retry; the final transient failure and every
+    non-transient one propagate unchanged.  ``on_retry`` is called with
+    ``(attempt, exc)`` before each retry — for accounting, not control.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn(attempt), attempt
+        except Exception as exc:  # noqa: BLE001 - policy decides what propagates
+            if not policy.is_transient(exc) or attempt >= policy.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            if clock is not None:
+                clock.sleep(policy.backoff(attempt))

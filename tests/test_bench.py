@@ -378,3 +378,71 @@ class TestAsciiDensity:
 
         out = ascii_density(np.array([[1.0, 1.0]]))
         assert "n=1" in out
+
+
+class TestCellRetries:
+    """run_once with a retry policy and fault plan: transient device
+    faults retry on a fresh device instead of recording an error cell."""
+
+    def _plan(self, attempts=1):
+        from repro.faults import FaultPlan, FaultSpec
+
+        return FaultPlan(0, FaultSpec(p_device_fault=1.0, fault_attempts=attempts))
+
+    def test_transient_fault_retried_to_ok(self, small_blobs):
+        from repro.faults import RetryPolicy
+
+        rec = run_once(
+            "fdbscan", small_blobs, 0.2, 5, dataset="blobs",
+            retry_policy=RetryPolicy(max_attempts=3), fault_plan=self._plan(),
+        )
+        assert rec.status == "ok"
+        assert rec.attempts == 2
+        assert rec.faults == 1
+        assert rec.as_row()["retries"] == 1
+
+    def test_without_policy_fault_records_failure(self, small_blobs):
+        rec = run_once(
+            "fdbscan", small_blobs, 0.2, 5, dataset="blobs", fault_plan=self._plan()
+        )
+        assert rec.status in ("oom", "error")
+        assert rec.attempts == 1
+        assert rec.faults == 1
+
+    def test_budget_exhaustion_records_failure(self, small_blobs):
+        from repro.faults import RetryPolicy
+
+        rec = run_once(
+            "fdbscan", small_blobs, 0.2, 5, dataset="blobs",
+            retry_policy=RetryPolicy(max_attempts=2), fault_plan=self._plan(attempts=5),
+        )
+        assert rec.status in ("oom", "error")
+        assert rec.attempts == 2
+
+    def test_sweep_forwards_fault_machinery(self, small_blobs):
+        from repro.faults import RetryPolicy
+
+        records = run_sweep(
+            ["fdbscan"],
+            [{"eps": 0.2, "min_samples": 5}],
+            lambda cell: small_blobs,
+            dataset="blobs",
+            retry_policy=RetryPolicy(max_attempts=3),
+            fault_plan=self._plan(),
+        )
+        assert [r.status for r in records] == ["ok"]
+        assert records[0].attempts == 2
+
+    def test_attempts_roundtrip_through_history(self, small_blobs, tmp_path):
+        from repro.bench.history import load_records, save_records
+        from repro.faults import RetryPolicy
+
+        rec = run_once(
+            "fdbscan", small_blobs, 0.2, 5, dataset="blobs",
+            retry_policy=RetryPolicy(max_attempts=3), fault_plan=self._plan(),
+        )
+        path = str(tmp_path / "records.json")
+        save_records(path, [rec])
+        loaded, _ = load_records(path)
+        assert loaded[0].attempts == rec.attempts == 2
+        assert loaded[0].faults == rec.faults == 1

@@ -7,12 +7,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines.sequential_dbscan import sequential_dbscan
+from repro.device.device import Device
+from repro.device.memory import DeviceMemoryError
 from repro.distributed import (
     SimulatedComm,
     distributed_dbscan,
     rcb_partition,
     select_ghosts,
 )
+from repro.faults import RetryPolicy
 from repro.metrics.equivalence import assert_dbscan_equivalent
 
 
@@ -102,7 +105,9 @@ class TestComm:
         comm.exchange("ghosts", [np.zeros(10), np.zeros(5), np.zeros(0)])
         assert comm.stats.messages == 3
         assert comm.stats.bytes_sent == 15 * 8
-        assert comm.stats.by_phase["ghosts"] == 15 * 8
+        assert comm.stats.by_phase["ghosts"]["messages"] == 3
+        assert comm.stats.by_phase["ghosts"]["bytes"] == 15 * 8
+        assert comm.stats.by_phase["ghosts"]["retransmits"] == 0
 
     def test_payload_count_checked(self):
         comm = SimulatedComm(2)
@@ -164,7 +169,33 @@ class TestDriver:
     def test_comm_volume_grows_with_eps(self, blobs_2d):
         small = distributed_dbscan(blobs_2d, 0.05, 5, n_ranks=4)
         big = distributed_dbscan(blobs_2d, 1.0, 5, n_ranks=4)
-        assert big.info["comm_by_phase"]["ghosts"] > small.info["comm_by_phase"]["ghosts"]
+        assert (
+            big.info["comm_by_phase"]["ghosts"]["bytes"]
+            > small.info["comm_by_phase"]["ghosts"]["bytes"]
+        )
+
+    @pytest.mark.parametrize("minpts", [1, 2, 5])
+    def test_more_ranks_than_points(self, minpts):
+        # rcb_partition emits empty ranks when n_ranks >= n; the driver must
+        # not attempt a degenerate BVH build on a zero-owned rank.
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(5, 2))
+        dist = distributed_dbscan(X, 0.8, minpts, n_ranks=8)
+        single = sequential_dbscan(X, 0.8, minpts)
+        assert_dbscan_equivalent(dist, single, X, 0.8)
+        assert sum(dist.info["owned_per_rank"]) == 5
+        assert 0 in dist.info["owned_per_rank"]
+
+    def test_heavily_duplicated_coordinates(self):
+        # All-identical coordinates make every RCB split degenerate: most
+        # ranks own zero points and every survivor sees the full pile.
+        X = np.ones((40, 2))
+        for n_ranks in (4, 16):
+            dist = distributed_dbscan(X, 0.1, 5, n_ranks=n_ranks)
+            single = sequential_dbscan(X, 0.1, 5)
+            assert_dbscan_equivalent(dist, single, X, 0.1)
+            assert dist.n_clusters == 1
+            assert sum(dist.info["owned_per_rank"]) == 40
 
     @given(st.integers(0, 5000), st.integers(1, 6), st.integers(1, 8))
     @settings(max_examples=20, deadline=None)
@@ -179,3 +210,54 @@ class TestDriver:
         dist = distributed_dbscan(X, 0.25, minpts, n_ranks=n_ranks)
         single = sequential_dbscan(X, 0.25, minpts)
         assert_dbscan_equivalent(dist, single, X, 0.25)
+
+
+class TestDeviceFaultRecovery:
+    """A ``DeviceMemoryError`` raised from *inside* a rank's local phase is
+    a recoverable (retryable) failure, not a run-ending one."""
+
+    @staticmethod
+    def _oom_once_hook(device, fail_times=1):
+        state = {"left": fail_times, "fired": 0}
+
+        def hook(kernel_name):
+            if state["left"] > 0:
+                state["left"] -= 1
+                state["fired"] += 1
+                raise DeviceMemoryError(
+                    0, device.memory.live_bytes, 0, tag="fault-injection"
+                )
+
+        device.fault_hook = hook
+        return state
+
+    def test_oom_inside_local_phase_is_retried(self, blobs_2d):
+        device = Device(name="flaky")
+        state = self._oom_once_hook(device)
+        dist = distributed_dbscan(blobs_2d, 0.3, 5, n_ranks=4, device=device)
+        assert state["fired"] == 1
+        assert sum(dist.info["retries"].values()) == 1
+        single = sequential_dbscan(blobs_2d, 0.3, 5)
+        assert_dbscan_equivalent(dist, single, blobs_2d, 0.3)
+
+    def test_oom_beyond_retry_budget_propagates(self, blobs_2d):
+        device = Device(name="dead")
+        self._oom_once_hook(device, fail_times=100)
+        with pytest.raises(DeviceMemoryError):
+            distributed_dbscan(
+                blobs_2d, 0.3, 5, n_ranks=2, device=device,
+                retry_policy=RetryPolicy(max_attempts=3),
+            )
+
+    def test_retry_policy_budget_respected(self, blobs_2d):
+        # exactly max_attempts - 1 failures still succeed
+        device = Device(name="flaky")
+        state = self._oom_once_hook(device, fail_times=2)
+        dist = distributed_dbscan(
+            blobs_2d, 0.3, 5, n_ranks=2, device=device,
+            retry_policy=RetryPolicy(max_attempts=3),
+        )
+        assert state["fired"] == 2
+        assert sum(dist.info["retries"].values()) == 2
+        single = sequential_dbscan(blobs_2d, 0.3, 5)
+        assert_dbscan_equivalent(dist, single, blobs_2d, 0.3)

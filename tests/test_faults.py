@@ -1,0 +1,275 @@
+"""Unit tests for the fault-injection subsystem: the simulated clock,
+retry policy, fault plans/specs, device-fault arming, and the
+communicator's checksummed envelope pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.device.device import Device, KernelFaultError
+from repro.device.memory import DeviceMemoryError
+from repro.distributed.comm import CommDeliveryError, Envelope, SimulatedComm
+from repro.faults import (
+    DEVICE_FAULT_KINDS,
+    MESSAGE_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    SimClock,
+    TransientFault,
+    call_with_retries,
+)
+
+
+class TestSimClock:
+    def test_sleep_advances_virtual_time(self):
+        clock = SimClock()
+        assert clock.now() == 0.0
+        assert clock.sleep(0.5) == 0.5
+        assert clock.sleep(0.25) == 0.25
+        assert clock.now() == 0.75
+        assert clock.slept_seconds == 0.75
+        assert clock.sleep_count == 2
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            SimClock().sleep(-1.0)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_bounded_exponential(self):
+        policy = RetryPolicy(backoff_base=0.01, backoff_factor=2.0, backoff_cap=0.05)
+        assert policy.backoff(1) == pytest.approx(0.01)
+        assert policy.backoff(2) == pytest.approx(0.02)
+        assert policy.backoff(3) == pytest.approx(0.04)
+        assert policy.backoff(4) == pytest.approx(0.05)  # capped
+        assert policy.backoff(10) == pytest.approx(0.05)
+
+    def test_transient_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_transient(TransientFault("x"))
+        assert policy.is_transient(KernelFaultError("x"))
+        assert policy.is_transient(DeviceMemoryError(0, 0, 0, tag="t"))
+        assert not policy.is_transient(ValueError("x"))
+
+    def test_call_with_retries_converges(self):
+        clock = SimClock()
+        calls = []
+
+        def flaky(attempt):
+            calls.append(attempt)
+            if attempt < 3:
+                raise TransientFault("not yet")
+            return "done"
+
+        result, attempts = call_with_retries(
+            flaky, RetryPolicy(max_attempts=4), clock=clock
+        )
+        assert result == "done"
+        assert attempts == 3
+        assert calls == [1, 2, 3]
+        assert clock.slept_seconds > 0  # backoff charged between attempts
+
+    def test_call_with_retries_exhausts_budget(self):
+        def always(attempt):
+            raise TransientFault("never")
+
+        with pytest.raises(TransientFault):
+            call_with_retries(always, RetryPolicy(max_attempts=2), clock=SimClock())
+
+    def test_non_transient_raises_immediately(self):
+        calls = []
+
+        def bad(attempt):
+            calls.append(attempt)
+            raise ValueError("permanent")
+
+        with pytest.raises(ValueError):
+            call_with_retries(bad, RetryPolicy(max_attempts=5), clock=SimClock())
+        assert calls == [1]
+
+
+class TestFaultSpec:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError, match="p_drop"):
+            FaultSpec(p_drop=1.5)
+        with pytest.raises(ValueError, match="fault_attempts"):
+            FaultSpec(fault_attempts=-1)
+
+    def test_any_faults(self):
+        assert not FaultSpec().any_faults
+        assert FaultSpec(p_corrupt=0.1).any_faults
+
+    def test_parse_bare_probability(self):
+        spec = FaultSpec.parse("0.1")
+        for kind in MESSAGE_FAULT_KINDS:
+            assert getattr(spec, f"p_{kind}") == 0.1
+        assert spec.p_rank_crash == 0.1
+        assert spec.p_device_fault == 0.1
+
+    def test_parse_key_value_pairs(self):
+        spec = FaultSpec.parse("drop=0.1, crash=0.3, device=0.2, attempts=4")
+        assert spec.p_drop == 0.1
+        assert spec.p_rank_crash == 0.3
+        assert spec.p_device_fault == 0.2
+        assert spec.fault_attempts == 4
+        assert spec.p_corrupt == 0.0
+
+    def test_parse_rejects_unknown_key(self):
+        with pytest.raises(ValueError, match="bad fault spec"):
+            FaultSpec.parse("explode=1.0")
+
+
+class TestFaultPlan:
+    def test_same_seed_same_decisions(self):
+        a, b = FaultPlan(7, FaultSpec.uniform(0.5)), FaultPlan(7, FaultSpec.uniform(0.5))
+        for seq in range(20):
+            assert a.message_faults("ghosts", 1, seq, 1) == b.message_faults(
+                "ghosts", 1, seq, 1
+            )
+        assert a.crashed_ranks("pre_main", range(6)) == b.crashed_ranks(
+            "pre_main", range(6)
+        )
+        assert [e.as_dict() for e in a.log] == [e.as_dict() for e in b.log]
+
+    def test_decisions_are_order_independent(self):
+        a, b = FaultPlan(3, FaultSpec.uniform(0.5)), FaultPlan(3, FaultSpec.uniform(0.5))
+        keys = [("ghosts", s, q, 1) for s in range(3) for q in range(5)]
+        forward = [a.message_faults(*k) for k in keys]
+        backward = [b.message_faults(*k) for k in reversed(keys)]
+        assert forward == list(reversed(backward))
+
+    def test_faults_bounded_by_fault_attempts(self):
+        plan = FaultPlan(0, FaultSpec.uniform(1.0, fault_attempts=2))
+        assert plan.message_faults("x", 0, 0, 1)
+        assert plan.message_faults("x", 0, 0, 2)
+        assert plan.message_faults("x", 0, 0, 3) == []
+        assert plan.device_fault_kind("x", 0, 3) is None
+
+    def test_corrupt_payload_flips_exactly_one_bit(self):
+        plan = FaultPlan(5, FaultSpec(p_corrupt=1.0))
+        data = bytes(range(64))
+        mangled = plan.corrupt_payload(data, "x", 0, 0, 1)
+        assert len(mangled) == len(data)
+        diff = [a ^ b for a, b in zip(data, mangled) if a != b]
+        assert len(diff) == 1
+        assert bin(diff[0]).count("1") == 1
+        assert plan.corrupt_payload(b"", "x", 0, 0, 1) == b""
+
+    def test_crashes_always_leave_a_survivor(self):
+        for seed in range(30):
+            plan = FaultPlan(seed, FaultSpec(p_rank_crash=1.0))
+            alive = set(range(5))
+            for boundary in ("pre_local", "pre_main", "pre_merge"):
+                alive -= set(plan.crashed_ranks(boundary, alive))
+            assert len(alive) >= 1
+
+    def test_device_faults_raise_inside_kernel_launch(self):
+        spec = FaultSpec(p_device_fault=1.0)
+        raised = {kind: 0 for kind in DEVICE_FAULT_KINDS}
+        for seed in range(20):
+            plan = FaultPlan(seed, spec)
+            dev = Device()
+            with plan.device_faults(dev, "phase", rank=0, attempt=1):
+                try:
+                    with dev.kernel("k", threads=1):
+                        pass
+                except DeviceMemoryError as exc:
+                    assert exc.tag == "fault-injection"
+                    raised["device_oom"] += 1
+                except KernelFaultError:
+                    raised["kernel_fault"] += 1
+            assert dev.fault_hook is None  # restored on exit
+            assert len(plan.log) == 1
+        assert raised["device_oom"] > 0 and raised["kernel_fault"] > 0
+
+    def test_device_faults_fire_once_per_arming(self):
+        plan = FaultPlan(0, FaultSpec(p_device_fault=1.0))
+        dev = Device()
+        with plan.device_faults(dev, "phase", rank=0, attempt=1):
+            with pytest.raises((DeviceMemoryError, KernelFaultError)):
+                with dev.kernel("k", threads=1):
+                    pass
+            with dev.kernel("k", threads=1):  # second launch runs clean
+                pass
+
+    def test_summary_and_log_dicts(self):
+        plan = FaultPlan(9, FaultSpec(p_rank_crash=1.0))
+        plan.crashed_ranks("pre_local", range(4))
+        summary = plan.summary()
+        assert summary["seed"] == 9
+        assert summary["total"] == len(plan.log) > 0
+        assert summary["by_kind"] == {"rank_crash": summary["total"]}
+        assert all(d["kind"] == "rank_crash" for d in plan.log_as_dicts())
+
+    def test_random_plans_differ_by_seed(self):
+        a, b = FaultPlan.random(1), FaultPlan.random(2)
+        assert a.spec != b.spec
+        assert FaultPlan.random(1).spec == a.spec  # but are seed-deterministic
+
+
+class TestEnvelope:
+    def test_checksum_roundtrip(self):
+        env = Envelope.wrap("x", 0, 0, np.arange(10))
+        assert env.verify()
+
+    def test_corruption_detected(self):
+        payload = np.arange(10)
+        env = Envelope.wrap("x", 0, 0, payload)
+        bad = payload.copy()
+        bad[3] ^= 1
+        assert not Envelope("x", 0, 0, bad, env.checksum).verify()
+
+
+class TestFaultyComm:
+    def test_clean_comm_has_no_retransmits(self):
+        comm = SimulatedComm(2)
+        out = comm.exchange("x", [np.arange(4), np.arange(8)])
+        assert [o.tolist() for o in out] == [list(range(4)), list(range(8))]
+        assert comm.stats.retransmits == 0
+
+    def test_faulty_delivery_is_lossless(self):
+        # heavy faults of every kind: payloads still arrive intact, in order
+        plan = FaultPlan(
+            3, FaultSpec(p_drop=0.4, p_timeout=0.3, p_corrupt=0.4,
+                         p_duplicate=0.3, p_reorder=0.4)
+        )
+        comm = SimulatedComm(4, fault_plan=plan)
+        payloads = [np.arange(20) * (r + 1) for r in range(4)]
+        for _ in range(10):
+            out = comm.exchange("x", [p.copy() for p in payloads])
+            for got, want in zip(out, payloads):
+                np.testing.assert_array_equal(got, want)
+        s = comm.stats
+        assert s.retransmits > 0
+        assert s.drops + s.timeouts + s.corruptions_detected > 0
+        assert s.sim_wait_seconds > 0
+        assert s.by_phase["x"]["retransmits"] == s.retransmits
+
+    def test_corruption_is_detected_and_retransmitted(self):
+        plan = FaultPlan(1, FaultSpec(p_corrupt=1.0, fault_attempts=1))
+        comm = SimulatedComm(1, fault_plan=plan)
+        out = comm.exchange("x", [np.arange(16)])
+        np.testing.assert_array_equal(out[0], np.arange(16))
+        assert comm.stats.corruptions_detected >= 1
+
+    def test_budget_exhaustion_raises_transient(self):
+        plan = FaultPlan(0, FaultSpec(p_drop=1.0, fault_attempts=10))
+        comm = SimulatedComm(1, fault_plan=plan, retry_policy=RetryPolicy(max_attempts=3))
+        with pytest.raises(CommDeliveryError):
+            comm.exchange("x", [np.arange(4)])
+        assert isinstance(CommDeliveryError("x"), TransientFault)
+
+    def test_dead_rank_slots_skip_transmission(self):
+        comm = SimulatedComm(3)
+        comm.mark_dead(1)
+        comm.exchange("x", [np.arange(4)] * 3)
+        assert comm.stats.messages == 2
+        with pytest.raises(CommDeliveryError, match="dead"):
+            comm.send("x", np.arange(4), sender=1)
+
+    def test_senders_remap_attribution(self):
+        comm = SimulatedComm(2)
+        comm.mark_dead(0)
+        # slot 0's work reassigned to rank 1: both slots transmit
+        comm.exchange("x", [np.arange(4), np.arange(4)], senders=[1, 1])
+        assert comm.stats.messages == 2
