@@ -32,6 +32,8 @@ Package map
 - :mod:`repro.datasets`   — synthetic stand-ins for the evaluation datasets
 - :mod:`repro.metrics`    — clustering equivalence / statistics
 - :mod:`repro.bench`      — figure-regeneration harness
+- :mod:`repro.obs`        — unified tracing + metrics (spans, Chrome/CSV
+  exporters, Prometheus-style registry, cost-model reports)
 """
 
 from repro.core import (

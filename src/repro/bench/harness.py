@@ -53,6 +53,7 @@ from repro.device.device import Device
 from repro.device.memory import DeviceMemoryError
 from repro.faults.plan import FaultPlan
 from repro.faults.retry import RetryPolicy
+from repro.obs.span import NULL_TRACER
 
 
 @dataclass
@@ -76,6 +77,21 @@ class RunRecord:
     attempts: int = 1
     faults: int = 0
     detail: str = ""
+    replayed_build_seconds: float = 0.0
+
+    def cold_equivalent_seconds(self) -> float:
+        """Wall seconds this cell *would* have cost cold.
+
+        A cell reusing a shared index replays the recorded build — its
+        counters and profile include the build work, but ``seconds`` does
+        not include the build's wall time (the run never waited for it).
+        Adding the replayed launches' recorded durations back gives the
+        cold-equivalent cost, the honest number for time budgets that
+        must not reward warm cells (``run_sweep(time_budget_mode="cold")``).
+        """
+        if self.seconds != self.seconds:  # nan
+            return self.seconds
+        return self.seconds + self.replayed_build_seconds
 
     def as_row(self) -> dict:
         """Flat dict for table formatting."""
@@ -100,12 +116,22 @@ class RunRecord:
 #: early_exit, chunk_size) and a prebuilt ``index=``.
 TREE_ALGORITHMS = {"auto", "fdbscan", "fdbscan-densebox", "densebox"}
 
+#: Names routed to :func:`repro.distributed.distributed_dbscan` instead
+#: of the single-device registry (``n_ranks`` is taken from the cell
+#: kwargs, default 4).  Lets a sweep put the distributed driver next to
+#: the single-device algorithms — and, with a tracer, lands its phase
+#: and comm spans inside the same benchmark cell span.
+DISTRIBUTED_ALGORITHMS = {"distributed", "distributed-fdbscan"}
+
 
 def _capture_device(rec: RunRecord, dev: Device) -> None:
     """Copy the device's accounting into the record (every exit path)."""
     rec.peak_bytes = dev.memory.peak_bytes
     rec.counters = dev.counters.snapshot()
     rec.kernels = dev.profile()
+    rec.replayed_build_seconds = sum(
+        row["replayed_seconds"] for row in rec.kernels.values()
+    )
 
 
 def _cell_phase(algorithm: str, dataset: str, n: int, eps: float, minpts: int) -> str:
@@ -124,6 +150,7 @@ def run_once(
     index: DBSCANIndex | None = None,
     retry_policy: RetryPolicy | None = None,
     fault_plan: FaultPlan | None = None,
+    tracer=None,
     **kwargs,
 ) -> RunRecord:
     """Execute one benchmark cell on a fresh device (fresh per attempt).
@@ -134,11 +161,22 @@ def run_once(
     algorithm.  The record's ``counters`` / ``kernels`` / ``peak_bytes``
     are captured on the ``"oom"`` and ``"error"`` paths too.
 
+    An ``algorithm`` in :data:`DISTRIBUTED_ALGORITHMS` runs
+    :func:`repro.distributed.distributed_dbscan` instead of the registry
+    (``n_ranks`` kwarg, default 4); the fault plan then injects the full
+    distributed fault set rather than only bench-level device faults.
+
     With a ``retry_policy``, failures of the policy's transient classes
     are retried on a fresh device (``rec.attempts`` counts the attempts;
     ``rec.seconds`` is the final attempt's).  A ``fault_plan`` arms
-    deterministic transient device faults per attempt; the faults that
-    actually fired in this cell are counted in ``rec.faults``.
+    deterministic transient device faults per attempt; every fault the
+    plan injected during this cell (any attempt, and — for distributed
+    cells — any phase of the driver) is counted in ``rec.faults``.
+
+    With a ``tracer`` (:class:`~repro.obs.span.Tracer`), the cell is one
+    ``cell:<algorithm>`` span (category ``"bench"``) with the device's
+    kernel spans — and, for distributed cells, the driver's phase and
+    comm spans — nested inside it.
     """
     rec = RunRecord(
         algorithm=algorithm,
@@ -148,59 +186,89 @@ def run_once(
         min_samples=int(min_samples),
     )
     is_tree = algorithm.lower() in TREE_ALGORITHMS
+    is_distributed = algorithm.lower() in DISTRIBUTED_ALGORITHMS
+    n_ranks = int(kwargs.pop("n_ranks", 4))
     if tree_kwargs and is_tree:
         kwargs = {**kwargs, **tree_kwargs}
     if index is not None and is_tree:
         kwargs = {**kwargs, "index": index}
     phase = _cell_phase(algorithm, dataset, rec.n, rec.eps, rec.min_samples)
+    tr = tracer if tracer is not None else NULL_TRACER
+    log_start = len(fault_plan.log) if fault_plan is not None else 0
 
     def count_faults() -> int:
-        if fault_plan is None:
-            return 0
-        return sum(1 for event in fault_plan.log if event.phase == phase)
+        return 0 if fault_plan is None else len(fault_plan.log) - log_start
 
-    attempt = 0
-    while True:
-        attempt += 1
-        dev = Device(name=f"bench-{algorithm}", capacity_bytes=capacity_bytes)
-        injector = (
-            fault_plan.device_faults(dev, phase, rank=0, attempt=attempt)
-            if fault_plan is not None
-            else nullcontext()
-        )
-        start = time.perf_counter()
-        try:
-            with injector:
-                result = dbscan(
-                    X, eps, min_samples, algorithm=algorithm, device=dev, **kwargs
-                )
-        except Exception as exc:  # noqa: BLE001 - a failing cell must not kill a sweep
-            if (
-                retry_policy is not None
-                and retry_policy.is_transient(exc)
-                and attempt < retry_policy.max_attempts
-            ):
-                continue
+    with tr.span(
+        f"cell:{algorithm}",
+        category="bench",
+        attributes={
+            "algorithm": algorithm,
+            "dataset": dataset,
+            "n": rec.n,
+            "eps": rec.eps,
+            "min_samples": rec.min_samples,
+        },
+    ) as cspan:
+        attempt = 0
+        while True:
+            attempt += 1
+            dev = Device(name=f"bench-{algorithm}", capacity_bytes=capacity_bytes)
+            if tracer is not None:
+                dev.tracer = tracer
+            injector = (
+                fault_plan.device_faults(dev, phase, rank=0, attempt=attempt)
+                if fault_plan is not None and not is_distributed
+                else nullcontext()
+            )
+            start = time.perf_counter()
+            try:
+                with injector:
+                    if is_distributed:
+                        from repro.distributed import distributed_dbscan
+
+                        result = distributed_dbscan(
+                            X, eps, min_samples, n_ranks=n_ranks, device=dev,
+                            fault_plan=fault_plan, retry_policy=retry_policy,
+                            tracer=tracer, **kwargs,
+                        )
+                    else:
+                        result = dbscan(
+                            X, eps, min_samples, algorithm=algorithm, device=dev,
+                            **kwargs,
+                        )
+            except Exception as exc:  # noqa: BLE001 - a failing cell must not kill a sweep
+                if (
+                    retry_policy is not None
+                    and retry_policy.is_transient(exc)
+                    and attempt < retry_policy.max_attempts
+                ):
+                    continue
+                rec.seconds = time.perf_counter() - start
+                rec.attempts = attempt
+                rec.faults = count_faults()
+                if isinstance(exc, DeviceMemoryError):
+                    rec.status = "oom"
+                    rec.detail = str(exc)
+                else:
+                    rec.status = "error"
+                    rec.detail = f"{type(exc).__name__}: {exc}"
+                _capture_device(rec, dev)
+                break
             rec.seconds = time.perf_counter() - start
             rec.attempts = attempt
             rec.faults = count_faults()
-            if isinstance(exc, DeviceMemoryError):
-                rec.status = "oom"
-                rec.detail = str(exc)
-            else:
-                rec.status = "error"
-                rec.detail = f"{type(exc).__name__}: {exc}"
+            rec.n_clusters = result.n_clusters
+            rec.n_noise = result.n_noise
+            rec.dense_fraction = result.info.get("dense_fraction", float("nan"))
+            rec.reused_index = bool(result.info.get("index_reused", False))
             _capture_device(rec, dev)
-            return rec
-        rec.seconds = time.perf_counter() - start
-        rec.attempts = attempt
-        rec.faults = count_faults()
-        rec.n_clusters = result.n_clusters
-        rec.n_noise = result.n_noise
-        rec.dense_fraction = result.info.get("dense_fraction", float("nan"))
-        rec.reused_index = bool(result.info.get("index_reused", False))
-        _capture_device(rec, dev)
-        return rec
+            break
+        if cspan is not None:
+            cspan.attributes["status"] = rec.status
+            cspan.attributes["attempts"] = rec.attempts
+            cspan.attributes["faults"] = rec.faults
+    return rec
 
 
 def run_sweep(
@@ -209,11 +277,13 @@ def run_sweep(
     data_for: Callable[[dict], np.ndarray],
     dataset: str = "?",
     time_budget: float | None = None,
+    time_budget_mode: str = "wall",
     capacity_bytes: int | None = None,
     tree_kwargs: dict | None = None,
     reuse_index: bool = True,
     retry_policy: RetryPolicy | None = None,
     fault_plan: FaultPlan | None = None,
+    tracer=None,
     **kwargs,
 ) -> list[RunRecord]:
     """Run a figure panel: every algorithm over every cell.
@@ -234,6 +304,12 @@ def run_sweep(
         cells exceeds it, its remaining cells are reported as
         ``"skipped"`` with a ``detail`` naming the tripping cell.  Cells
         that fail (``"oom"``/``"error"``) do not count toward the budget.
+    time_budget_mode:
+        What the budget measures.  ``"wall"`` (default) compares each
+        cell's actual ``seconds``; ``"cold"`` compares
+        :meth:`RunRecord.cold_equivalent_seconds` — seconds *plus* the
+        replayed build seconds of a reused index — so index reuse cannot
+        smuggle an algorithm under a budget its cold cells would trip.
     capacity_bytes:
         Device memory cap applied to every cell.
     reuse_index:
@@ -247,11 +323,49 @@ def run_sweep(
         Forwarded to every :func:`run_once` cell — transient cell failures
         retry instead of permanently recording an error cell, and a fault
         plan chaos-tests the sweep with deterministic device faults.
+    tracer:
+        Optional :class:`~repro.obs.span.Tracer`: the sweep becomes one
+        ``sweep`` root span with every cell (and everything inside it —
+        kernels, comm, distributed phases, replayed builds) as children
+        on a single shared timeline.
     """
+    if time_budget_mode not in ("wall", "cold"):
+        raise ValueError(
+            f"time_budget_mode must be 'wall' or 'cold'; got {time_budget_mode!r}"
+        )
     records: list[RunRecord] = []
     over_budget: dict[str, str] = {}
     indexes: dict[str, DBSCANIndex] = {}
     any_tree = any(a.lower() in TREE_ALGORITHMS for a in algorithms)
+    tr = tracer if tracer is not None else NULL_TRACER
+    sweep_span = tr.start(
+        "sweep",
+        category="bench",
+        attributes={
+            "dataset": dataset,
+            "algorithms": ",".join(algorithms),
+            "cells": len(cells),
+            "time_budget_mode": time_budget_mode,
+        },
+    )
+    try:
+        _run_sweep_cells(
+            records, over_budget, indexes, any_tree, algorithms, cells, data_for,
+            dataset, time_budget, time_budget_mode, capacity_bytes, tree_kwargs,
+            reuse_index, retry_policy, fault_plan, tracer, kwargs,
+        )
+    finally:
+        tr.end(sweep_span)
+    return records
+
+
+def _run_sweep_cells(
+    records, over_budget, indexes, any_tree, algorithms, cells, data_for, dataset,
+    time_budget, time_budget_mode, capacity_bytes, tree_kwargs, reuse_index,
+    retry_policy, fault_plan, tracer, kwargs,
+) -> None:
+    """The cell loop of :func:`run_sweep` (split out so the sweep span can
+    bracket it on every exit path)."""
     for cell in cells:
         X = data_for(cell)
         index: DBSCANIndex | None = None
@@ -289,16 +403,23 @@ def run_sweep(
                 index=index,
                 retry_policy=retry_policy,
                 fault_plan=fault_plan,
+                tracer=tracer,
                 **kwargs,
             )
             records.append(rec)
+            budget_seconds = (
+                rec.cold_equivalent_seconds()
+                if time_budget_mode == "cold"
+                else rec.seconds
+            )
             if (
                 time_budget is not None
                 and rec.status == "ok"
-                and rec.seconds > time_budget
+                and budget_seconds > time_budget
             ):
+                label = "cold-equivalent " if time_budget_mode == "cold" else ""
                 over_budget[algorithm] = (
                     f"cell (n={rec.n}, eps={rec.eps:g}, minpts={rec.min_samples}) "
-                    f"exceeded time budget ({rec.seconds:.3g}s > {time_budget:g}s)"
+                    f"exceeded {label}time budget "
+                    f"({budget_seconds:.3g}s > {time_budget:g}s)"
                 )
-    return records

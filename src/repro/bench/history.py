@@ -51,8 +51,13 @@ def save_records(path: str, records: list[RunRecord], meta: dict | None = None) 
                         "launches": int(row["launches"]),
                         "replayed": int(row["replayed"]),
                         "seconds": float(row["seconds"]),
+                        "self_seconds": float(row.get("self_seconds", 0.0)),
+                        "replayed_seconds": float(row.get("replayed_seconds", 0.0)),
                         "threads": int(row["threads"]),
                         "steps": int(row["steps"]),
+                        "counters": {
+                            k: int(v) for k, v in row.get("counters", {}).items()
+                        },
                     }
                     for name, row in r.kernels.items()
                 },
@@ -60,6 +65,7 @@ def save_records(path: str, records: list[RunRecord], meta: dict | None = None) 
                 "attempts": int(r.attempts),
                 "faults": int(r.faults),
                 "detail": r.detail,
+                "replayed_build_seconds": float(r.replayed_build_seconds),
             }
             for r in records
         ],
@@ -96,6 +102,7 @@ def load_records(path: str) -> tuple[list[RunRecord], dict]:
                 attempts=int(row.get("attempts", 1)),
                 faults=int(row.get("faults", 0)),
                 detail=row.get("detail", ""),
+                replayed_build_seconds=float(row.get("replayed_build_seconds", 0.0)),
             )
         )
     return records, payload.get("meta", {})

@@ -44,42 +44,82 @@ def format_records(records: Sequence[RunRecord], columns: Sequence[str] | None =
     return "\n".join(lines)
 
 
+#: Summable fields of a :meth:`repro.device.Device.profile` row, with
+#: defaults tolerant of records saved before a field existed.
+_PROFILE_INT_FIELDS = ("launches", "replayed", "threads", "steps")
+_PROFILE_FLOAT_FIELDS = ("seconds", "self_seconds", "replayed_seconds")
+
+
+def merge_kernel_profiles(records_or_profile) -> dict:
+    """Sum per-kernel profile rows across records into one profile dict.
+
+    Accepts either a single :meth:`repro.device.Device.profile` dict or a
+    sequence of :class:`RunRecord`.  Rows loaded from old history files
+    may lack the newer fields (``self_seconds``, ``replayed_seconds``,
+    ``counters``) — they merge as zero/empty.
+    """
+    profile: dict[str, dict] = {}
+    if isinstance(records_or_profile, dict):
+        row_iter = [records_or_profile.items()]
+    else:
+        row_iter = [rec.kernels.items() for rec in records_or_profile]
+    for rows in row_iter:
+        for name, row in rows:
+            agg = profile.setdefault(
+                name,
+                {
+                    **{f: 0 for f in _PROFILE_INT_FIELDS},
+                    **{f: 0.0 for f in _PROFILE_FLOAT_FIELDS},
+                    "counters": {},
+                },
+            )
+            for f in _PROFILE_INT_FIELDS:
+                agg[f] += int(row.get(f, 0))
+            for f in _PROFILE_FLOAT_FIELDS:
+                agg[f] += float(row.get(f, 0.0))
+            for key, value in (row.get("counters") or {}).items():
+                if key == "frontier_peak":
+                    agg["counters"][key] = max(agg["counters"].get(key, 0), value)
+                else:
+                    agg["counters"][key] = agg["counters"].get(key, 0) + value
+    return profile
+
+
 def format_kernel_profile(records_or_profile, title: str = "") -> str:
     """Per-kernel time breakdown table.
 
     Accepts either a :meth:`repro.device.Device.profile` dict or a
     sequence of :class:`RunRecord` (whose per-cell ``kernels`` profiles
     are summed).  One row per kernel name — launches, how many of those
-    were replayed from a reused index, wall seconds with the share of the
-    total, and cumulative threads/steps — sorted by seconds, hottest
-    first.  This is the text analogue of an ``nvprof``/``nsys`` summary:
-    it answers *where the time goes* (the paper's construction-vs-search
-    split) rather than just how long the whole run took.
+    were replayed from a reused index, inclusive wall seconds, exclusive
+    self seconds with the share of the total, and cumulative
+    threads/steps — sorted by seconds, hottest first.  The share column
+    uses *self* seconds (each wall second counted once even when kernels
+    nest — see :meth:`repro.device.Device.profile` for the semantics),
+    falling back to inclusive seconds for profiles saved before
+    ``self_seconds`` existed.  This is the text analogue of an
+    ``nvprof``/``nsys`` summary: it answers *where the time goes* (the
+    paper's construction-vs-search split) rather than just how long the
+    whole run took.
     """
-    profile: dict[str, dict] = {}
-    if isinstance(records_or_profile, dict):
-        for name, row in records_or_profile.items():
-            profile[name] = dict(row)
-    else:
-        for rec in records_or_profile:
-            for name, row in rec.kernels.items():
-                agg = profile.setdefault(
-                    name,
-                    {"launches": 0, "replayed": 0, "seconds": 0.0, "threads": 0, "steps": 0},
-                )
-                for field in agg:
-                    agg[field] += row[field]
+    profile = merge_kernel_profiles(records_or_profile)
     if not profile:
         return f"{title}: (no kernel launches)" if title else "(no kernel launches)"
-    total = sum(row["seconds"] for row in profile.values()) or 1.0
-    columns = ["kernel", "launches", "replayed", "seconds", "share", "threads", "steps"]
+    self_total = sum(row["self_seconds"] for row in profile.values())
+    share_field = "self_seconds" if self_total > 0 else "seconds"
+    total = sum(row[share_field] for row in profile.values()) or 1.0
+    columns = [
+        "kernel", "launches", "replayed", "seconds", "self_s", "share",
+        "threads", "steps",
+    ]
     cells = [
         [
             name,
             _fmt(row["launches"]),
             _fmt(row["replayed"]),
             _fmt(row["seconds"]),
-            f"{100.0 * row['seconds'] / total:.1f}%",
+            _fmt(row["self_seconds"]),
+            f"{100.0 * row[share_field] / total:.1f}%",
             _fmt(row["threads"]),
             _fmt(row["steps"]),
         ]

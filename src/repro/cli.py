@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro``.
 
-Two subcommands:
+Three subcommands:
 
 ``cluster``
     Cluster a point file (``.npy``/``.csv``/``.txt``/``.bin``) or a named
@@ -11,6 +11,17 @@ Two subcommands:
     Run one figure-style sweep from the command line without pytest —
     handy for quick regressions on one machine.
 
+``metrics``
+    Run one clustering and print its metrics — device work counters,
+    per-kernel seconds, comm/fault totals — as Prometheus text
+    exposition (or CSV), fed from the same accounting objects the
+    benchmarks report.
+
+Every subcommand accepts ``--trace-out TRACE.json`` (with
+``--trace-format chrome|csv``) to record the run as one trace tree —
+device kernels, comm transfers, distributed phases and benchmark cells
+on a shared timeline — loadable in Perfetto / ``chrome://tracing``.
+
 Examples
 --------
 ::
@@ -20,6 +31,10 @@ Examples
         --algorithm fdbscan-densebox --labels-out labels.npy --counters
     python -m repro bench --dataset portotaxi --n 8192 --eps 0.01 \
         --minpts-sweep 10,20,50 --algorithms fdbscan,densebox
+    python -m repro bench --dataset uniform --n 4096 --eps 0.02 \
+        --faults 0.1 --ranks 4 --algorithms fdbscan,distributed \
+        --trace-out trace.json
+    python -m repro metrics --dataset uniform --n 2048 --eps 0.02 --minpts 5
 """
 
 from __future__ import annotations
@@ -35,6 +50,7 @@ from repro.bench.report import (
     format_kernel_profile,
     format_records,
     format_series,
+    merge_kernel_profiles,
 )
 from repro.core.api import dbscan
 from repro.datasets.io import load_points, subsample
@@ -42,6 +58,17 @@ from repro.datasets.registry import DATASETS, load_dataset
 from repro.device.device import Device
 from repro.faults import FaultPlan, FaultSpec, RetryPolicy
 from repro.metrics.stats import clustering_summary
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    format_cost_model,
+    record_comm_stats,
+    record_fault_summary,
+    record_kernel_counters,
+    record_kernel_profile,
+    record_run_records,
+    write_trace,
+)
 
 
 def _fault_machinery(args) -> tuple[FaultPlan | None, RetryPolicy | None]:
@@ -57,6 +84,32 @@ def _fault_machinery(args) -> tuple[FaultPlan | None, RetryPolicy | None]:
     return plan, policy
 
 
+def _tracer_for(args) -> Tracer | None:
+    """A :class:`Tracer` when ``--trace-out`` asks for one, else None."""
+    return Tracer() if getattr(args, "trace_out", None) else None
+
+
+def _write_trace(args, tracer: Tracer | None) -> dict | None:
+    """Export the tracer to ``--trace-out`` and describe what was written."""
+    if tracer is None:
+        return None
+    write_trace(args.trace_out, tracer, fmt=args.trace_format)
+    meta = {
+        "path": args.trace_out,
+        "format": args.trace_format,
+        "trace_id": tracer.trace_id,
+        "spans": len(tracer.spans),
+        "dropped_spans": tracer.dropped,
+    }
+    print(
+        f"trace written to {args.trace_out} "
+        f"({args.trace_format}, {meta['spans']} spans"
+        + (f", {meta['dropped_spans']} dropped" if meta["dropped_spans"] else "")
+        + ")"
+    )
+    return meta
+
+
 def _load_input(args) -> np.ndarray:
     if args.dataset:
         return load_dataset(args.dataset, args.n, seed=args.seed)
@@ -68,24 +121,33 @@ def _load_input(args) -> np.ndarray:
     return X
 
 
-def _cmd_cluster(args) -> int:
+def _cluster_run(args, device: Device, tracer: Tracer | None):
+    """Run the cluster/metrics subcommands' single clustering."""
     X = _load_input(args)
-    device = Device(capacity_bytes=args.memory_cap)
     plan, policy = _fault_machinery(args)
     if args.ranks:
         from repro.distributed import distributed_dbscan
 
         result = distributed_dbscan(
             X, args.eps, args.minpts, n_ranks=args.ranks, device=device,
-            fault_plan=plan, retry_policy=policy,
+            fault_plan=plan, retry_policy=policy, tracer=tracer,
         )
     elif plan is not None:
         raise SystemExit("--faults requires --ranks (faults are injected into "
                          "the distributed driver); use bench --faults for cells")
     else:
+        if tracer is not None:
+            device.tracer = tracer
         result = dbscan(
             X, args.eps, args.minpts, algorithm=args.algorithm, device=device
         )
+    return result
+
+
+def _cmd_cluster(args) -> int:
+    device = Device(capacity_bytes=args.memory_cap)
+    tracer = _tracer_for(args)
+    result = _cluster_run(args, device, tracer)
     print(f"algorithm : {result.info.get('algorithm', args.algorithm)}")
     for key, value in clustering_summary(result).items():
         print(f"{key:>18} : {value}")
@@ -102,9 +164,30 @@ def _cmd_cluster(args) -> int:
         print(f"{'peak_bytes':>18} : {device.memory.peak_bytes:,}")
     if args.profile:
         print(format_kernel_profile(device.profile(), title="-- kernel profile --"))
+    if args.cost_model:
+        print(format_cost_model(device.profile()))
     if args.labels_out:
         np.save(args.labels_out, result.labels)
         print(f"labels written to {args.labels_out}")
+    _write_trace(args, tracer)
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Run one clustering and print its metrics exposition."""
+    device = Device(capacity_bytes=args.memory_cap)
+    tracer = _tracer_for(args)
+    result = _cluster_run(args, device, tracer)
+    registry = MetricsRegistry()
+    record_kernel_counters(registry, device.counters.snapshot())
+    record_kernel_profile(registry, device.profile())
+    if args.ranks:
+        record_comm_stats(registry, result.info.get("comm", {}))
+        if result.info.get("faults"):
+            record_fault_summary(registry, result.info["faults"])
+    output = registry.to_csv() if args.format == "csv" else registry.to_prometheus()
+    print(output, end="" if output.endswith("\n") else "\n")
+    _write_trace(args, tracer)
     return 0
 
 
@@ -123,26 +206,37 @@ def _cmd_bench(args) -> int:
         cells = [{"eps": args.eps, "min_samples": args.minpts}]
         x_key = "min_samples"
     plan, policy = _fault_machinery(args)
+    tracer = _tracer_for(args)
     records = run_sweep(
         algorithms,
         cells,
         lambda cell: X,
         dataset=args.dataset or args.input,
         time_budget=args.time_budget,
+        time_budget_mode=args.time_budget_mode,
         capacity_bytes=args.memory_cap,
         reuse_index=not args.no_reuse_index,
         retry_policy=policy,
         fault_plan=plan,
+        tracer=tracer,
+        n_ranks=args.ranks or 4,
     )
     print(format_series(records, x_key=x_key, title="seconds"))
     print()
     print(format_records(records))
     print()
     print(format_kernel_profile(records, title="-- kernel profile (all cells) --"))
+    if args.cost_model:
+        print()
+        print(format_cost_model(merge_kernel_profiles(records)))
+    trace_meta = _write_trace(args, tracer)
     if args.save:
         from repro.bench.history import save_records
 
-        save_records(args.save, records, meta={"argv": sys.argv[1:]})
+        meta = {"argv": sys.argv[1:]}
+        if trace_meta is not None:
+            meta["trace"] = trace_meta
+        save_records(args.save, records, meta=meta)
         print(f"records written to {args.save}")
     if args.compare:
         from repro.bench.history import compare_records, load_records
@@ -193,6 +287,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="retry transient failures up to this many times "
             "(default: driver policy for --ranks runs, no retries for bench cells)",
         )
+        p.add_argument(
+            "--trace-out",
+            help="record the run as one trace tree and write it to this file "
+            "(Chrome trace-event JSON loads in Perfetto / chrome://tracing)",
+        )
+        p.add_argument(
+            "--trace-format", choices=("chrome", "csv"), default="chrome",
+            help="trace file format for --trace-out (default: chrome)",
+        )
+
+    def cost_model_flag(p):
+        p.add_argument(
+            "--cost-model", action="store_true",
+            help="print the per-kernel cost model (wall seconds joined with "
+            "machine-independent work counters and their rates)",
+        )
 
     cluster = sub.add_parser("cluster", help="cluster a point set")
     common(cluster)
@@ -209,7 +319,25 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--profile", action="store_true", help="print the per-kernel time breakdown"
     )
+    cost_model_flag(cluster)
     cluster.set_defaults(func=_cmd_cluster)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run one clustering and print its metrics exposition",
+    )
+    common(metrics)
+    metrics.add_argument("--minpts", type=int, required=True)
+    metrics.add_argument("--algorithm", default="auto")
+    metrics.add_argument(
+        "--ranks", type=int,
+        help="run the distributed driver with this many simulated ranks",
+    )
+    metrics.add_argument(
+        "--format", choices=("prometheus", "csv"), default="prometheus",
+        help="exposition format (default: prometheus text)",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
 
     bench = sub.add_parser("bench", help="run a parameter sweep")
     common(bench)
@@ -217,9 +345,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--minpts-sweep", help="comma-separated minpts values")
     bench.add_argument("--eps-sweep", help="comma-separated eps values")
     bench.add_argument(
-        "--algorithms", default="fdbscan,fdbscan-densebox", help="comma-separated names"
+        "--algorithms", default="fdbscan,fdbscan-densebox",
+        help="comma-separated names (registry algorithms plus 'distributed' "
+        "for the simulated multi-rank driver)",
+    )
+    bench.add_argument(
+        "--ranks", type=int,
+        help="simulated rank count for 'distributed' cells (default 4)",
     )
     bench.add_argument("--time-budget", type=float, help="per-cell seconds budget")
+    bench.add_argument(
+        "--time-budget-mode", choices=("wall", "cold"), default="wall",
+        help="compare the budget against actual wall seconds, or against "
+        "cold-equivalent seconds (wall + replayed index-build seconds)",
+    )
+    cost_model_flag(bench)
     bench.add_argument(
         "--no-reuse-index",
         action="store_true",

@@ -58,9 +58,13 @@ class KernelLaunch:
     ``counters`` holds the counter *deltas* observed while the kernel body
     ran (``frontier_peak``, a high-watermark, is reported as its value at
     span end).  Spans of nested :meth:`Device.kernel` blocks overlap: the
-    outer span's deltas include the inner's.  ``replayed`` marks spans
-    re-accounted from a recorded build (see :meth:`Device.replay`) rather
-    than executed live; their ``seconds`` are the original execution's.
+    outer span's ``seconds`` and deltas include the inner's (*inclusive*
+    time), while ``self_seconds`` is the outer span's time with every
+    directly nested kernel span subtracted (*self* / exclusive time) — so
+    ``sum(self_seconds)`` over any trace counts each wall second at most
+    once.  ``replayed`` marks spans re-accounted from a recorded build
+    (see :meth:`Device.replay`) rather than executed live; their
+    ``seconds`` are the original execution's.
     """
 
     name: str
@@ -70,6 +74,7 @@ class KernelLaunch:
     t_start: float = 0.0
     counters: dict = field(default_factory=dict)
     replayed: bool = False
+    self_seconds: float = 0.0
 
 
 @dataclass
@@ -115,7 +120,13 @@ class Device:
     #: launch failing; the failed launch is not recorded in the trace.
     #: Installed/removed by :meth:`repro.faults.FaultPlan.device_faults`.
     fault_hook: object = field(default=None, compare=False)
+    #: Optional :class:`~repro.obs.span.Tracer`: when set, every kernel
+    #: launch (and every replayed launch) is additionally recorded as a
+    #: span in the shared trace tree, parented under whatever span the
+    #: tracer currently has open (a benchmark cell, a driver phase...).
+    tracer: object = field(default=None, compare=False)
     _epoch: float = field(init=False, default=0.0)
+    _kernel_stack: list = field(init=False, default_factory=list, compare=False)
 
     def __post_init__(self):
         self.memory = MemoryTracker(self.capacity_bytes)
@@ -132,23 +143,54 @@ class Device:
         :class:`KernelLaunch` lets the kernel body report how many
         wavefront steps it took (a divergence proxy: fewer steps for the
         same work means better convergence of the batched traversal).
+
+        Nested ``kernel`` blocks record both views of time: ``seconds``
+        is inclusive (the outer span contains the inner's), and
+        ``self_seconds`` is exclusive (nested kernel time subtracted), so
+        aggregations can choose whichever semantics they need without
+        double counting — see :meth:`profile`.
         """
         if self.fault_hook is not None:
             self.fault_hook(name)
+        tracer = self.tracer
+        tspan = (
+            tracer.start(
+                name, category="kernel", attributes={"device": self.name, "threads": int(threads)}
+            )
+            if tracer is not None
+            else None
+        )
         start = time.perf_counter()
         launch = KernelLaunch(
             name=name, threads=int(threads), seconds=0.0, t_start=start - self._epoch
         )
         self.counters.add("kernel_launches", 1)
         before = self.counters.snapshot()
+        self._kernel_stack.append(0.0)
         try:
             yield launch
+        except BaseException:
+            if tspan is not None:
+                tspan.status = "error"
+            raise
         finally:
             launch.seconds = time.perf_counter() - start
+            nested_seconds = self._kernel_stack.pop()
+            launch.self_seconds = max(launch.seconds - nested_seconds, 0.0)
+            if self._kernel_stack:
+                self._kernel_stack[-1] += launch.seconds
             self.counters.add("thread_steps", launch.steps)
             launch.counters = self.counters.diff(before)
             self.launches.append(launch)
             self.launches_total += 1
+            if tspan is not None:
+                tspan.attributes["steps"] = launch.steps
+                tspan.attributes.update(
+                    {f"counter.{k}": v for k, v in launch.counters.items() if v}
+                )
+                tracer.end(tspan)
+                tracer.counter("frontier_peak", self.counters.frontier_peak)
+                tracer.counter("device_live_bytes", self.memory.live_bytes)
 
     # -- recording / replay ----------------------------------------------------
 
@@ -205,11 +247,31 @@ class Device:
             else:
                 self.counters.add(key, value)
         now = time.perf_counter() - self._epoch
+        tracer = self.tracer
+        trace_t = tracer.now() if tracer is not None else 0.0
         for launch in cost.launches:
             self.launches.append(
                 replace(launch, counters=dict(launch.counters), t_start=now, replayed=True)
             )
             self.launches_total += 1
+            if tracer is not None:
+                # Replayed spans keep their recorded durations; consecutive
+                # launches are laid end-to-end from the replay instant so
+                # the batch reconstructs the original build's timeline.
+                tracer.add_span(
+                    launch.name,
+                    category="kernel.replayed",
+                    t_start=trace_t,
+                    seconds=launch.seconds,
+                    attributes={
+                        "device": self.name,
+                        "threads": launch.threads,
+                        "steps": launch.steps,
+                        "replayed": True,
+                        **{f"counter.{k}": v for k, v in launch.counters.items() if v},
+                    },
+                )
+                trace_t += launch.seconds
         for tag, nbytes in cost.mem_by_tag.items():
             self.memory.allocate(nbytes, tag)
 
@@ -228,6 +290,7 @@ class Device:
                 "threads": l.threads,
                 "steps": l.steps,
                 "seconds": l.seconds,
+                "self_seconds": l.self_seconds,
                 "t_start": l.t_start,
                 "replayed": l.replayed,
                 "counters": dict(l.counters),
@@ -238,23 +301,55 @@ class Device:
     def profile(self) -> dict:
         """Per-kernel aggregation of the trace (the ``nvprof`` summary view).
 
-        Returns ``{name: {"launches", "replayed", "seconds", "threads",
-        "steps"}}`` where ``replayed`` counts the launches re-accounted
-        from a recorded build (their seconds are included — that is what
-        keeps warm-index runs comparable to cold ones).
+        Returns ``{name: {"launches", "replayed", "seconds",
+        "self_seconds", "replayed_seconds", "threads", "steps",
+        "counters"}}`` where ``replayed`` counts the launches
+        re-accounted from a recorded build (their seconds are included —
+        that is what keeps warm-index runs comparable to cold ones) and
+        ``replayed_seconds`` is those launches' wall time (what a strict
+        cold-equivalent budget adds back, since a warm run never actually
+        waited for it).
+
+        **Time semantics.**  ``seconds`` is *inclusive* span time: a
+        kernel launched inside another kernel's span contributes to both
+        names, so summing ``seconds`` across names over-counts wall time
+        whenever kernels nest.  ``self_seconds`` is *exclusive* (each
+        span's time minus its directly nested kernel spans): summing
+        ``self_seconds`` across all names counts every wall second at
+        most once, which makes it the correct column for whole-trace
+        shares.  ``counters`` are per-kernel launch-delta totals and are
+        inclusive exactly like ``seconds`` (``frontier_peak``, a
+        high-watermark, is merged by max) — so counter-per-second rates
+        computed within one row are always consistent.
         """
         out: dict[str, dict] = {}
         for l in self.launches:
             entry = out.setdefault(
                 l.name,
-                {"launches": 0, "replayed": 0, "seconds": 0.0, "threads": 0, "steps": 0},
+                {
+                    "launches": 0,
+                    "replayed": 0,
+                    "seconds": 0.0,
+                    "self_seconds": 0.0,
+                    "replayed_seconds": 0.0,
+                    "threads": 0,
+                    "steps": 0,
+                    "counters": {},
+                },
             )
             entry["launches"] += 1
             entry["seconds"] += l.seconds
+            entry["self_seconds"] += l.self_seconds
             entry["threads"] += l.threads
             entry["steps"] += l.steps
             if l.replayed:
                 entry["replayed"] += 1
+                entry["replayed_seconds"] += l.seconds
+            for key, value in l.counters.items():
+                if key == "frontier_peak":
+                    entry["counters"][key] = max(entry["counters"].get(key, 0), value)
+                else:
+                    entry["counters"][key] = entry["counters"].get(key, 0) + value
         return out
 
     def reset(self) -> None:

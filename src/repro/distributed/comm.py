@@ -138,6 +138,12 @@ class SimulatedComm:
     clock:
         Deterministic clock charged for backoff waits (shared with the
         driver so a run reports one simulated timeline).
+    tracer:
+        Optional :class:`~repro.obs.span.Tracer`: each delivered message
+        becomes a ``comm`` span (attributes: phase, sender, seq, bytes,
+        attempts) on the shared timeline, with injected faults attached
+        as span events by the fault plan, and the cumulative
+        transmitted-byte count sampled as a counter track.
     """
 
     def __init__(
@@ -146,6 +152,7 @@ class SimulatedComm:
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         clock: SimClock | None = None,
+        tracer=None,
     ):
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1; got {n_ranks}")
@@ -153,6 +160,7 @@ class SimulatedComm:
         self.plan = fault_plan
         self.retry = retry_policy if retry_policy is not None else RetryPolicy(max_attempts=6)
         self.clock = clock if clock is not None else SimClock()
+        self.tracer = tracer
         self.stats = CommStats()
         self.dead: set[int] = set()
         self._seq = 0
@@ -171,10 +179,34 @@ class SimulatedComm:
         failed attempts wait the policy's bounded exponential backoff on
         the simulated clock, and the loop ends on a verified delivery or
         :class:`CommDeliveryError`.
+
+        With a tracer, the whole delivery (every attempt) is one ``comm``
+        span; the fault plan's injections land on it as span events, and
+        the final attempt count / retransmit tally become attributes.
         """
         arr = np.ascontiguousarray(payload)
         seq = self._seq
         self._seq += 1
+        if self.tracer is None:
+            delivered, reordered, _attempts = self._deliver(phase, sender, arr, seq)
+            return delivered, reordered
+        with self.tracer.span(
+            f"comm:{phase}",
+            category="comm",
+            attributes={"phase": phase, "sender": int(sender), "seq": seq, "bytes": arr.nbytes},
+        ) as span:
+            delivered, reordered, attempts = self._deliver(phase, sender, arr, seq)
+            span.attributes["attempts"] = attempts
+            span.attributes["retransmits"] = attempts - 1
+            span.attributes["reordered"] = reordered
+            self.tracer.counter("comm_bytes_sent", self.stats.bytes_sent)
+            return delivered, reordered
+
+    def _deliver(
+        self, phase: str, sender: int, arr: np.ndarray, seq: int
+    ) -> tuple[np.ndarray, bool, int]:
+        """The verify-and-retransmit loop behind :meth:`_transmit`;
+        returns ``(delivered, was_reordered, attempts)``."""
         attempt = 0
         while True:
             attempt += 1
@@ -224,7 +256,7 @@ class SimulatedComm:
             if reordered:
                 self.stats.reorders += 1
                 self.plan.record("reorder", phase, sender, attempt, detail=f"seq={seq}")
-            return envelope.payload, reordered
+            return envelope.payload, reordered, attempt
 
     def _collect(
         self, phase: str, payloads: list[np.ndarray], senders: list[int] | None

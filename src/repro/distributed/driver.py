@@ -73,6 +73,7 @@ from repro.distributed.partition import rcb_partition, select_ghosts
 from repro.faults.clock import SimClock
 from repro.faults.plan import FaultPlan
 from repro.faults.retry import RetryPolicy, call_with_retries
+from repro.obs.span import NULL_TRACER
 from repro.unionfind.ecl import EclUnionFind, find_roots
 
 
@@ -168,6 +169,7 @@ def distributed_dbscan(
     device: Device | None = None,
     fault_plan: FaultPlan | None = None,
     retry_policy: RetryPolicy | None = None,
+    tracer=None,
 ) -> DBSCANResult:
     """Cluster ``X`` across ``n_ranks`` simulated ranks.
 
@@ -182,6 +184,14 @@ def distributed_dbscan(
     compute and of message delivery; with a ``fault_plan`` present its
     attempt budget is raised (if needed) above the plan's bounded
     ``fault_attempts`` so injected faults always converge.
+
+    With a ``tracer`` (:class:`~repro.obs.span.Tracer`), the run records
+    one span tree: a ``distributed_dbscan`` root with child spans per
+    phase (``partition``, ``ghost_exchange``, per-partition ``local[p]``
+    / ``main[p]``, ``core_flag_exchange``, crash-boundary recoveries,
+    ``merge`` and ``finalize``); device kernels and comm transmissions
+    nest inside the phase that launched them, and every injected fault
+    lands on the span that was open when it fired.
     """
     X = validate_points(X)
     eps, minpts = validate_params(eps, min_samples)
@@ -189,7 +199,10 @@ def distributed_dbscan(
     n = X.shape[0]
     t0 = time.perf_counter()
 
+    tr = tracer if tracer is not None else NULL_TRACER
     plan = fault_plan
+    if plan is not None and tracer is not None and plan.tracer is None:
+        plan.tracer = tracer
     retry = retry_policy if retry_policy is not None else RetryPolicy()
     if plan is not None and retry.max_attempts <= plan.spec.fault_attempts:
         # Injected faults hit at most the first `fault_attempts` attempts of
@@ -201,264 +214,300 @@ def distributed_dbscan(
         fault_plan=plan,
         retry_policy=replace(retry, max_attempts=max(retry.max_attempts, 6)),
         clock=clock,
+        tracer=tracer,
     )
 
-    partition = rcb_partition(X, n_ranks)
-    halo = select_ghosts(X, partition, eps)
-    owned_lists = [partition.owned(p) for p in range(n_ranks)]
-    local_ids_per_rank = [
-        np.concatenate([owned_lists[p], halo.ghosts[p]]) for p in range(n_ranks)
-    ]
+    root = tr.start(
+        "distributed_dbscan",
+        category="driver",
+        attributes={"n": n, "eps": eps, "min_samples": minpts, "n_ranks": n_ranks},
+    )
+    prev_dev_tracer = dev.tracer
+    if tracer is not None:
+        dev.tracer = tracer
+    try:
+        with tr.span("partition", category="phase"):
+            partition = rcb_partition(X, n_ranks)
+            halo = select_ghosts(X, partition, eps)
+        owned_lists = [partition.owned(p) for p in range(n_ranks)]
+        local_ids_per_rank = [
+            np.concatenate([owned_lists[p], halo.ghosts[p]]) for p in range(n_ranks)
+        ]
 
-    # -- fault-tolerance state -------------------------------------------------
-    alive = set(range(n_ranks))
-    executor = list(range(n_ranks))  # executor[p]: rank running partition p
-    trees: dict[int, tuple] = {}  # p -> (tree, local_core)
-    merge_core: dict[int, tuple] = {}  # p -> (group_firsts, group_members)
-    merge_attach: dict[int, tuple] = {}  # p -> (border_ids, border_targets)
-    retries: dict[str, int] = {}
-    recoveries: list[dict] = []
-    checkpoints: list[str] = ["partition"]  # RCB+halo: deterministic, recomputable
-    global_core = np.zeros(n, dtype=bool)
-    ghosts_shipped = False
-    core_checkpointed = False
+        # -- fault-tolerance state -------------------------------------------------
+        alive = set(range(n_ranks))
+        executor = list(range(n_ranks))  # executor[p]: rank running partition p
+        trees: dict[int, tuple] = {}  # p -> (tree, local_core)
+        merge_core: dict[int, tuple] = {}  # p -> (group_firsts, group_members)
+        merge_attach: dict[int, tuple] = {}  # p -> (border_ids, border_targets)
+        retries: dict[str, int] = {}
+        recoveries: list[dict] = []
+        checkpoints: list[str] = ["partition"]  # RCB+halo: deterministic, recomputable
+        global_core = np.zeros(n, dtype=bool)
+        ghosts_shipped = False
+        core_checkpointed = False
 
-    def run_attempt(phase_name: str, p: int, fn):
-        """Run one partition-phase under the retry policy with device-fault
-        injection armed per attempt."""
+        def run_attempt(phase_name: str, p: int, fn):
+            """Run one partition-phase under the retry policy with device-fault
+            injection armed per attempt."""
 
-        def attempt(k: int):
-            cm = (
-                plan.device_faults(dev, phase_name, p, attempt=k)
-                if plan is not None
-                else nullcontext()
-            )
-            with cm:
-                return fn()
+            def attempt(k: int):
+                cm = (
+                    plan.device_faults(dev, phase_name, p, attempt=k)
+                    if plan is not None
+                    else nullcontext()
+                )
+                with cm:
+                    return fn()
 
-        result, attempts = call_with_retries(attempt, retry, clock=clock)
-        if attempts > 1:
-            retries[phase_name] = retries.get(phase_name, 0) + attempts - 1
-        return result
+            with tr.span(
+                f"{phase_name}[{p}]", category="phase", attributes={"partition": p}
+            ) as pspan:
+                result, attempts = call_with_retries(attempt, retry, clock=clock)
+                if pspan is not None:
+                    pspan.attributes["attempts"] = attempts
+            if attempts > 1:
+                retries[phase_name] = retries.get(phase_name, 0) + attempts - 1
+            return result
 
-    def handle_crashes(boundary: str) -> None:
-        """Kill plan-selected ranks at a phase boundary and recover: each
-        dead executor's partitions move to the least-loaded survivor, which
-        receives the partition's data (and checkpointed core flags) again
-        and recomputes whatever state died with the rank."""
-        if plan is None:
-            return
-        for r in plan.crashed_ranks(boundary, alive):
-            alive.discard(r)
-            comm.mark_dead(r)
-        for p in range(n_ranks):
-            if executor[p] in alive:
-                continue
-            loads = {a: 0 for a in alive}
-            for q in range(n_ranks):
-                if executor[q] in loads:
-                    loads[executor[q]] += int(owned_lists[q].shape[0])
-            dead_rank = executor[p]
-            new_rank = min(sorted(alive), key=lambda a: (loads[a], a))
-            executor[p] = new_rank
-            lost = []
-            if trees.pop(p, None) is not None:
-                lost.append("local_state")
-            if merge_core.pop(p, None) is not None:
-                merge_attach.pop(p, None)
-                lost.append("merge_payloads")
-            reshipped = []
-            if ghosts_shipped:
-                # Restore the partition's inputs from the checkpoint store
-                # (dataset replica + replicated core flags).
-                comm.send("recovery_points", X[owned_lists[p]], sender=new_rank)
-                comm.send("recovery_ghosts", X[halo.ghosts[p]], sender=new_rank)
-                reshipped += ["points", "ghosts"]
-                if core_checkpointed:
-                    comm.send(
-                        "recovery_core_flags",
-                        global_core[local_ids_per_rank[p]],
-                        sender=new_rank,
+        def handle_crashes(boundary: str) -> None:
+            """Kill plan-selected ranks at a phase boundary and recover: each
+            dead executor's partitions move to the least-loaded survivor, which
+            receives the partition's data (and checkpointed core flags) again
+            and recomputes whatever state died with the rank."""
+            if plan is None:
+                return
+            before = len(recoveries)
+            with tr.span(
+                f"crash_boundary:{boundary}",
+                category="phase",
+                attributes={"boundary": boundary},
+            ) as bspan:
+                for r in plan.crashed_ranks(boundary, alive):
+                    alive.discard(r)
+                    comm.mark_dead(r)
+                for p in range(n_ranks):
+                    if executor[p] in alive:
+                        continue
+                    loads = {a: 0 for a in alive}
+                    for q in range(n_ranks):
+                        if executor[q] in loads:
+                            loads[executor[q]] += int(owned_lists[q].shape[0])
+                    dead_rank = executor[p]
+                    new_rank = min(sorted(alive), key=lambda a: (loads[a], a))
+                    executor[p] = new_rank
+                    lost = []
+                    if trees.pop(p, None) is not None:
+                        lost.append("local_state")
+                    if merge_core.pop(p, None) is not None:
+                        merge_attach.pop(p, None)
+                        lost.append("merge_payloads")
+                    reshipped = []
+                    if ghosts_shipped:
+                        # Restore the partition's inputs from the checkpoint store
+                        # (dataset replica + replicated core flags).
+                        comm.send("recovery_points", X[owned_lists[p]], sender=new_rank)
+                        comm.send("recovery_ghosts", X[halo.ghosts[p]], sender=new_rank)
+                        reshipped += ["points", "ghosts"]
+                        if core_checkpointed:
+                            comm.send(
+                                "recovery_core_flags",
+                                global_core[local_ids_per_rank[p]],
+                                sender=new_rank,
+                            )
+                            reshipped.append("core_flags")
+                    recoveries.append(
+                        {
+                            "boundary": boundary,
+                            "partition": p,
+                            "dead_rank": dead_rank,
+                            "reassigned_to": new_rank,
+                            "lost": lost,
+                            "reshipped": reshipped,
+                        }
                     )
-                    reshipped.append("core_flags")
-            recoveries.append(
-                {
-                    "boundary": boundary,
-                    "partition": p,
-                    "dead_rank": dead_rank,
-                    "reassigned_to": new_rank,
-                    "lost": lost,
-                    "reshipped": reshipped,
-                }
-            )
+                if bspan is not None:
+                    bspan.attributes["recoveries"] = len(recoveries) - before
+                    bspan.attributes["alive_ranks"] = len(alive)
 
-    def ensure_local_state(p: int) -> None:
-        """Recompute a partition's phase-1 state lost to a crash: rebuild
-        the BVH, taking core flags straight from the replicated checkpoint
-        (no neighbour recount)."""
-        if p in trees:
-            return
+        def ensure_local_state(p: int) -> None:
+            """Recompute a partition's phase-1 state lost to a crash: rebuild
+            the BVH, taking core flags straight from the replicated checkpoint
+            (no neighbour recount)."""
+            if p in trees:
+                return
 
-        def rebuild():
+            def rebuild():
+                ids = local_ids_per_rank[p]
+                n_owned = owned_lists[p].shape[0]
+                if n_owned == 0 or ids.shape[0] == 0:
+                    return None, np.zeros(ids.shape[0], dtype=bool)
+                pts = X[ids]
+                lo, hi = boxes_from_points(pts)
+                tree = build_bvh(lo, hi, device=dev)
+                if minpts > 2:
+                    local_core = global_core[ids].copy()  # the core_flags checkpoint
+                else:
+                    local_core = np.ones(ids.shape[0], dtype=bool)
+                return tree, local_core
+
+            trees[p] = run_attempt("recover_local", p, rebuild)
+
+        def main_phase(p: int) -> None:
+            """Fused main phase for one partition, then its merge payloads
+            (which double as the phase-2 checkpoint)."""
+            ensure_local_state(p)
+            tree, local_core = trees[p]
             ids = local_ids_per_rank[p]
             n_owned = owned_lists[p].shape[0]
-            if n_owned == 0 or ids.shape[0] == 0:
-                return None, np.zeros(ids.shape[0], dtype=bool)
-            pts = X[ids]
-            lo, hi = boxes_from_points(pts)
-            tree = build_bvh(lo, hi, device=dev)
-            if minpts > 2:
-                local_core = global_core[ids].copy()  # the core_flags checkpoint
-            else:
-                local_core = np.ones(ids.shape[0], dtype=bool)
-            return tree, local_core
+            if minpts > 2 and tree is not None and ids.shape[0] > n_owned:
+                # Idempotent under recovery: these are the checkpointed values.
+                local_core[n_owned:] = global_core[ids[n_owned:]]
 
-        trees[p] = run_attempt("recover_local", p, rebuild)
+            def attempt():
+                if tree is None or n_owned == 0:
+                    return np.arange(ids.shape[0], dtype=np.int64)
+                uf = EclUnionFind(ids.shape[0], device=dev)
+                order = tree.order
 
-    def main_phase(p: int) -> None:
-        """Fused main phase for one partition, then its merge payloads
-        (which double as the phase-2 checkpoint)."""
-        ensure_local_state(p)
-        tree, local_core = trees[p]
-        ids = local_ids_per_rank[p]
-        n_owned = owned_lists[p].shape[0]
-        if minpts > 2 and tree is not None and ids.shape[0] > n_owned:
-            # Idempotent under recovery: these are the checkpointed values.
-            local_core[n_owned:] = global_core[ids[n_owned:]]
+                def on_hits(q_ids: np.ndarray, leaf_pos: np.ndarray) -> None:
+                    nbr = order[leaf_pos]
+                    keep = nbr != q_ids  # queries are the first n_owned local rows
+                    resolve_pairs(uf, local_core, q_ids[keep], nbr[keep], dev)
 
-        def attempt():
-            if tree is None or n_owned == 0:
-                return np.arange(ids.shape[0], dtype=np.int64)
-            uf = EclUnionFind(ids.shape[0], device=dev)
-            order = tree.order
+                for_each_leaf_hit(
+                    tree,
+                    X[ids[:n_owned]],
+                    eps,
+                    on_hits,
+                    device=dev,
+                    kernel_name=f"dist_main_rank{p}",
+                )
+                return uf.finalize()
 
-            def on_hits(q_ids: np.ndarray, leaf_pos: np.ndarray) -> None:
-                nbr = order[leaf_pos]
-                keep = nbr != q_ids  # queries are the first n_owned local rows
-                resolve_pairs(uf, local_core, q_ids[keep], nbr[keep], dev)
-
-            for_each_leaf_hit(
-                tree,
-                X[ids[:n_owned]],
-                eps,
-                on_hits,
-                device=dev,
-                kernel_name=f"dist_main_rank{p}",
+            labels_local = run_attempt("main", p, attempt)
+            merge_core[p], merge_attach[p] = _merge_payloads(
+                ids, n_owned, local_core, labels_local
             )
-            return uf.finalize()
 
-        labels_local = run_attempt("main", p, attempt)
-        merge_core[p], merge_attach[p] = _merge_payloads(
-            ids, n_owned, local_core, labels_local
+        # --- boundary: ranks may be dead before any work starts -------------------
+        handle_crashes("pre_local")
+
+        # Ghost coordinates travel to their consumer ranks.
+        with tr.span("ghost_exchange", category="phase"):
+            comm.exchange("ghosts", [X[g] for g in halo.ghosts], senders=executor)
+        ghosts_shipped = True
+
+        # --- phase 1: local core determination ------------------------------------
+        for p in range(n_ranks):
+            tree, owned_core, local_core = run_attempt(
+                "local",
+                p,
+                lambda p=p: _local_phase(
+                    X, local_ids_per_rank[p], owned_lists[p].shape[0], eps, minpts, dev
+                ),
+            )
+            trees[p] = (tree, local_core)
+            if owned_core is not None:
+                global_core[owned_lists[p]] = owned_core
+
+        # The core-flag exchange doubles as a replicated checkpoint: after it,
+        # every owned core flag survives any individual rank's death.
+        if minpts > 2:
+            with tr.span("core_flag_exchange", category="phase"):
+                comm.exchange(
+                    "core_flags", [global_core[g] for g in halo.ghosts], senders=executor
+                )
+        core_checkpointed = True
+        checkpoints.append("core_flags")
+
+        # --- boundary: post-local crashes lose in-memory trees --------------------
+        handle_crashes("pre_main")
+
+        # --- phase 2: ghost core-flag fill + local main phase ----------------------
+        for p in range(n_ranks):
+            main_phase(p)
+        checkpoints.append("merge_payloads")
+
+        # --- boundary: post-main crashes lose not-yet-gathered merge payloads -----
+        handle_crashes("pre_merge")
+        for p in range(n_ranks):
+            if p not in merge_core:
+                main_phase(p)  # full recompute from the core_flags checkpoint
+
+        # --- phase 3: merge --------------------------------------------------------
+        with tr.span("merge", category="phase"):
+            comm.gather(
+                "merge_core_groups",
+                [merge_core[p][1] for p in range(n_ranks)],
+                senders=executor,
+            )
+            comm.gather(
+                "merge_border_attachments",
+                [merge_attach[p][0] for p in range(n_ranks)],
+                senders=executor,
+            )
+            guf = EclUnionFind(n, device=dev)
+            for p in range(n_ranks):
+                firsts, members = merge_core[p]
+                if members.size:
+                    guf.union(firsts, members)
+            attach_targets = np.full(n, -1, dtype=np.int64)
+            for p in range(n_ranks):
+                borders, targets = merge_attach[p]
+                if borders.size:
+                    attach_targets[borders] = targets
+
+        # --- assemble the global result ------------------------------------------
+        with tr.span("finalize", category="phase"):
+            if minpts == 2:
+                roots = find_roots(guf.parents, np.arange(n, dtype=np.int64), dev.counters)
+                sizes = np.bincount(roots, minlength=n)
+                global_core = sizes[roots] >= 2
+                clustered = global_core
+                raw = np.where(clustered, roots, -1)
+            elif minpts == 1:
+                global_core[:] = True
+                roots = find_roots(guf.parents, np.arange(n, dtype=np.int64), dev.counters)
+                clustered = np.ones(n, dtype=bool)
+                raw = roots
+            else:
+                roots = find_roots(guf.parents, np.arange(n, dtype=np.int64), dev.counters)
+                attached = attach_targets >= 0
+                raw = np.where(global_core, roots, -1)
+                raw[attached & ~global_core] = roots[
+                    attach_targets[attached & ~global_core]
+                ]
+                clustered = global_core | (attached & ~global_core)
+            labels, n_clusters = relabel_consecutive(raw, clustered)
+
+        info = {
+            "algorithm": "distributed-fdbscan",
+            "n": n,
+            "eps": eps,
+            "min_samples": minpts,
+            "n_ranks": n_ranks,
+            "owned_per_rank": partition.counts().tolist(),
+            "ghosts_per_rank": [int(g.shape[0]) for g in halo.ghosts],
+            "alive_ranks": sorted(alive),
+            "dead_ranks": sorted(set(range(n_ranks)) - alive),
+            "executor_of_partition": list(executor),
+            "checkpoints": checkpoints,
+            "recoveries": recoveries,
+            "retries": dict(retries),
+            "comm_messages": comm.stats.messages,
+            "comm_bytes": comm.stats.bytes_sent,
+            "comm_retransmits": comm.stats.retransmits,
+            "comm_by_phase": {k: dict(v) for k, v in comm.stats.by_phase.items()},
+            "comm": comm.stats.as_dict(),
+            "sim_wait_seconds": clock.slept_seconds,
+            "faults": plan.summary() if plan is not None else {"seed": None, "total": 0, "by_kind": {}},
+            "fault_log": plan.log_as_dicts() if plan is not None else [],
+            "t_total": time.perf_counter() - t0,
+        }
+        return DBSCANResult(
+            labels=labels, is_core=global_core, n_clusters=n_clusters, info=info
         )
-
-    # --- boundary: ranks may be dead before any work starts -------------------
-    handle_crashes("pre_local")
-
-    # Ghost coordinates travel to their consumer ranks.
-    comm.exchange("ghosts", [X[g] for g in halo.ghosts], senders=executor)
-    ghosts_shipped = True
-
-    # --- phase 1: local core determination ------------------------------------
-    for p in range(n_ranks):
-        tree, owned_core, local_core = run_attempt(
-            "local",
-            p,
-            lambda p=p: _local_phase(
-                X, local_ids_per_rank[p], owned_lists[p].shape[0], eps, minpts, dev
-            ),
-        )
-        trees[p] = (tree, local_core)
-        if owned_core is not None:
-            global_core[owned_lists[p]] = owned_core
-
-    # The core-flag exchange doubles as a replicated checkpoint: after it,
-    # every owned core flag survives any individual rank's death.
-    if minpts > 2:
-        comm.exchange(
-            "core_flags", [global_core[g] for g in halo.ghosts], senders=executor
-        )
-    core_checkpointed = True
-    checkpoints.append("core_flags")
-
-    # --- boundary: post-local crashes lose in-memory trees --------------------
-    handle_crashes("pre_main")
-
-    # --- phase 2: ghost core-flag fill + local main phase ----------------------
-    for p in range(n_ranks):
-        main_phase(p)
-    checkpoints.append("merge_payloads")
-
-    # --- boundary: post-main crashes lose not-yet-gathered merge payloads -----
-    handle_crashes("pre_merge")
-    for p in range(n_ranks):
-        if p not in merge_core:
-            main_phase(p)  # full recompute from the core_flags checkpoint
-
-    # --- phase 3: merge --------------------------------------------------------
-    comm.gather(
-        "merge_core_groups", [merge_core[p][1] for p in range(n_ranks)], senders=executor
-    )
-    comm.gather(
-        "merge_border_attachments",
-        [merge_attach[p][0] for p in range(n_ranks)],
-        senders=executor,
-    )
-    guf = EclUnionFind(n, device=dev)
-    for p in range(n_ranks):
-        firsts, members = merge_core[p]
-        if members.size:
-            guf.union(firsts, members)
-    attach_targets = np.full(n, -1, dtype=np.int64)
-    for p in range(n_ranks):
-        borders, targets = merge_attach[p]
-        if borders.size:
-            attach_targets[borders] = targets
-
-    # --- assemble the global result ------------------------------------------
-    if minpts == 2:
-        roots = find_roots(guf.parents, np.arange(n, dtype=np.int64), dev.counters)
-        sizes = np.bincount(roots, minlength=n)
-        global_core = sizes[roots] >= 2
-        clustered = global_core
-        raw = np.where(clustered, roots, -1)
-    elif minpts == 1:
-        global_core[:] = True
-        roots = find_roots(guf.parents, np.arange(n, dtype=np.int64), dev.counters)
-        clustered = np.ones(n, dtype=bool)
-        raw = roots
-    else:
-        roots = find_roots(guf.parents, np.arange(n, dtype=np.int64), dev.counters)
-        attached = attach_targets >= 0
-        raw = np.where(global_core, roots, -1)
-        raw[attached & ~global_core] = roots[attach_targets[attached & ~global_core]]
-        clustered = global_core | (attached & ~global_core)
-    labels, n_clusters = relabel_consecutive(raw, clustered)
-
-    info = {
-        "algorithm": "distributed-fdbscan",
-        "n": n,
-        "eps": eps,
-        "min_samples": minpts,
-        "n_ranks": n_ranks,
-        "owned_per_rank": partition.counts().tolist(),
-        "ghosts_per_rank": [int(g.shape[0]) for g in halo.ghosts],
-        "alive_ranks": sorted(alive),
-        "dead_ranks": sorted(set(range(n_ranks)) - alive),
-        "executor_of_partition": list(executor),
-        "checkpoints": checkpoints,
-        "recoveries": recoveries,
-        "retries": dict(retries),
-        "comm_messages": comm.stats.messages,
-        "comm_bytes": comm.stats.bytes_sent,
-        "comm_retransmits": comm.stats.retransmits,
-        "comm_by_phase": {k: dict(v) for k, v in comm.stats.by_phase.items()},
-        "comm": comm.stats.as_dict(),
-        "sim_wait_seconds": clock.slept_seconds,
-        "faults": plan.summary() if plan is not None else {"seed": None, "total": 0, "by_kind": {}},
-        "fault_log": plan.log_as_dicts() if plan is not None else [],
-        "t_total": time.perf_counter() - t0,
-    }
-    return DBSCANResult(
-        labels=labels, is_core=global_core, n_clusters=n_clusters, info=info
-    )
+    finally:
+        dev.tracer = prev_dev_tracer
+        tr.end(root)

@@ -150,6 +150,11 @@ class FaultPlan:
         self.seed = int(seed)
         self.spec = spec if spec is not None else FaultSpec()
         self.log: list[FaultEvent] = []
+        #: Optional :class:`~repro.obs.span.Tracer`: every logged fault is
+        #: mirrored as a ``fault:<kind>`` event on whatever span is open
+        #: when it fires (a comm transmission, a driver phase, a bench
+        #: cell), so the trace timeline shows *where* each fault landed.
+        self.tracer = None
 
     # -- deterministic streams -------------------------------------------------
 
@@ -160,9 +165,15 @@ class FaultPlan:
         return np.random.default_rng(int.from_bytes(digest, "little"))
 
     def record(self, kind: str, phase: str, rank: int, attempt: int = 0, detail: str = "") -> FaultEvent:
-        """Append a fault to the structured log."""
+        """Append a fault to the structured log (and, with a tracer
+        attached, annotate the currently open span with it)."""
         event = FaultEvent(kind, phase, int(rank), int(attempt), detail)
         self.log.append(event)
+        if self.tracer is not None:
+            self.tracer.event(
+                f"fault:{kind}",
+                {"phase": phase, "rank": int(rank), "attempt": int(attempt), "detail": detail},
+            )
         return event
 
     # -- message faults --------------------------------------------------------

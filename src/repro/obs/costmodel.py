@@ -1,0 +1,112 @@
+"""Cost-model report: wall seconds joined with machine-independent work.
+
+The paper's argument is algorithmic — fewer distance evaluations, fewer
+node visits — but a wall-clock regression can hide behind an algorithmic
+win (and vice versa) when the two are reported in separate tables.  The
+cost model joins them per kernel: next to each kernel's wall seconds sit
+its counter totals *and the implied rates* (distance evals/s, node
+visits/s, bytes moved/s), so a reviewer can check in one place that a
+speedup came from doing less work rather than from timing noise, exactly
+the cross-check the machine-independent counters exist for.
+
+Rows come from any :meth:`~repro.device.device.Device.profile` dict
+whose entries carry per-kernel ``counters`` (aggregated launch deltas —
+the profile of any device, or a benchmark record's ``kernels`` field).
+Seconds and counters are both *inclusive* of nested kernel spans, so
+their ratios stay consistent; ``self_seconds`` is reported alongside for
+the exclusive view (see the ``Device.profile`` docstring for the
+semantics).
+"""
+
+from __future__ import annotations
+
+#: Counters whose per-kernel rates the report derives, with the rate
+#: column label.  ``bytes_scanned`` is the bytes-moved proxy.
+RATE_COUNTERS = (
+    ("distance_evals", "evals/s"),
+    ("nodes_visited", "visits/s"),
+    ("pairs_processed", "pairs/s"),
+    ("bytes_scanned", "MB/s"),
+)
+
+
+def cost_model_rows(profile: dict) -> list[dict]:
+    """Join a per-kernel profile with its counters into report rows.
+
+    Each row: ``kernel``, ``launches``, ``seconds`` (inclusive),
+    ``self_seconds``, every nonzero counter, and a ``<counter>_per_s``
+    rate for each entry of :data:`RATE_COUNTERS` (``None`` when the
+    kernel recorded no wall time).  Rows are sorted by seconds, hottest
+    first.
+    """
+    rows = []
+    for name, entry in profile.items():
+        counters = {k: v for k, v in entry.get("counters", {}).items() if v}
+        seconds = float(entry.get("seconds", 0.0))
+        row = {
+            "kernel": name,
+            "launches": int(entry.get("launches", 0)),
+            "seconds": seconds,
+            "self_seconds": float(entry.get("self_seconds", seconds)),
+            "counters": counters,
+        }
+        for counter, _label in RATE_COUNTERS:
+            value = counters.get(counter, 0)
+            row[f"{counter}_per_s"] = (value / seconds) if seconds > 0 else None
+        rows.append(row)
+    rows.sort(key=lambda r: r["seconds"], reverse=True)
+    return rows
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_cost_model(profile: dict, title: str = "-- cost model --") -> str:
+    """Aligned text table of :func:`cost_model_rows`.
+
+    Counter columns appear only when some kernel recorded that counter,
+    keeping the table as narrow as the run allows.  ``bytes_scanned``'s
+    rate renders as MB/s.
+    """
+    rows = cost_model_rows(profile)
+    if not rows:
+        return f"{title}: (no kernel launches)" if title else "(no kernel launches)"
+    active = [
+        (counter, label)
+        for counter, label in RATE_COUNTERS
+        if any(row["counters"].get(counter) for row in rows)
+    ]
+    columns = ["kernel", "launches", "seconds", "self_s"]
+    for counter, label in active:
+        columns += [counter, label]
+    cells = []
+    for row in rows:
+        line = [
+            row["kernel"],
+            _fmt(row["launches"]),
+            _fmt(row["seconds"]),
+            _fmt(row["self_seconds"]),
+        ]
+        for counter, label in active:
+            rate = row[f"{counter}_per_s"]
+            if label == "MB/s" and rate is not None:
+                rate = rate / 1e6
+            line += [_fmt(row["counters"].get(counter, 0)), _fmt(rate)]
+        cells.append(line)
+    widths = [max(len(c), *(len(line[i]) for line in cells)) for i, c in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.rjust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines += ["  ".join(line[i].rjust(widths[i]) for i in range(len(columns))) for line in cells]
+    return "\n".join(lines)

@@ -1,0 +1,383 @@
+"""Trace exporters: Chrome trace-event JSON and flat CSV.
+
+:func:`chrome_trace` renders a :class:`~repro.obs.span.Tracer` (or a
+bare :class:`~repro.device.Device`) as the Chrome trace-event format —
+the JSON ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_
+load natively — so a sweep's timeline can be inspected on a real trace
+UI instead of read out of dicts:
+
+- every span becomes a complete ``"ph": "X"`` event (microsecond ``ts``
+  / ``dur``), placed on a display lane (``tid``) by category: control
+  flow (bench cells, driver phases), device kernels, comm transfers and
+  replayed builds each get their own lane, so events that overlap
+  *semantically* (a replayed build charged at replay time) never corrupt
+  the visual nesting of the live lanes;
+- span events (fault injections, retransmits, retries) become instant
+  events (``"ph": "i"``) at their timestamp;
+- counter samples (frontier size, live/transmitted bytes) become counter
+  tracks (``"ph": "C"``) that Perfetto plots as little area charts;
+- span/trace identity (``trace_id``, ``span_id``, ``parent_id``) rides
+  in each event's ``args``, so the parent/child tree survives the
+  round-trip even across lanes.
+
+**Truncation is explicit.**  Both the tracer's span ring and the
+device's kernel ring are bounded; when spans were evicted the export
+carries a ``trace_truncated`` instant event plus
+``metadata.dropped_spans`` (CSV: a ``__trace_truncated__`` marker row)
+— a reader can always tell a short trace from a clipped one.
+
+:func:`validate_chrome_trace` is the schema check CI runs on emitted
+traces: required keys per event type, non-decreasing ``ts``, proper
+``X``-span nesting per lane, matched ``B``/``E`` pairs, and the
+truncation marker whenever metadata declares drops.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+#: Display lanes (Chrome ``tid``) by span category.
+LANES = {
+    "kernel": (1, "device kernels"),
+    "kernel.replayed": (3, "replayed builds"),
+    "comm": (2, "comm"),
+}
+#: Everything else (bench cells, driver phases, ad-hoc spans).
+CONTROL_LANE = (0, "control")
+
+_US = 1e6  # trace-event timestamps are microseconds
+
+#: Nesting tolerance (microseconds) for float round-off in ts+dur sums.
+NESTING_EPSILON_US = 0.5
+
+
+def _lane(category: str) -> tuple[int, str]:
+    return LANES.get(category, CONTROL_LANE)
+
+
+def _device_spans(device) -> list[dict]:
+    """A bare device's kernel ring as span dicts (no tracer involved)."""
+    spans = []
+    for i, row in enumerate(device.trace_snapshot()):
+        spans.append(
+            {
+                "name": row["name"],
+                "category": "kernel.replayed" if row["replayed"] else "kernel",
+                "trace_id": "device",
+                "span_id": f"dev{i:08x}",
+                "parent_id": None,
+                "t_start": row["t_start"],
+                "seconds": row["seconds"],
+                "attributes": {
+                    "threads": row["threads"],
+                    "steps": row["steps"],
+                    "replayed": row["replayed"],
+                    **{f"counter.{k}": v for k, v in row["counters"].items() if v},
+                },
+                "events": [],
+                "status": "ok",
+            }
+        )
+    return spans
+
+
+def _collect(source) -> tuple[list[dict], list[tuple], list[dict], int, str]:
+    """Normalise a Tracer or Device into
+    ``(spans, counter_samples, orphan_events, dropped, service)``."""
+    if hasattr(source, "trace_snapshot"):  # a Device
+        return _device_spans(source), [], [], int(source.trace_dropped), source.name
+    spans = source.snapshot()
+    return (
+        spans,
+        list(getattr(source, "counter_samples", [])),
+        list(getattr(source, "orphan_events", [])),
+        int(getattr(source, "dropped", 0)),
+        getattr(source, "service", "repro"),
+    )
+
+
+def chrome_trace(source) -> dict:
+    """Render a tracer or device as a Chrome trace-event payload.
+
+    Returns the JSON-ready dict; :func:`write_chrome_trace` writes it.
+    """
+    spans, counters, orphans, dropped, service = _collect(source)
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": service},
+        }
+    ]
+    lanes_used = {CONTROL_LANE}
+    for span in spans:
+        lanes_used.add(_lane(span["category"]))
+    for tid, label in sorted(lanes_used):
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid, "args": {"name": label}}
+        )
+
+    timed: list[dict] = []
+    replay_front = 0.0
+    for span in sorted(spans, key=lambda s: s["t_start"]):
+        tid, _ = _lane(span["category"])
+        ts = span["t_start"] * _US
+        dur = max(span["seconds"], 0.0) * _US
+        if span["category"] == "kernel.replayed":
+            # Replayed builds carry their *recorded* durations but occupy
+            # essentially no replay wall time; laying consecutive batches
+            # end-to-end keeps the lane free of fake overlaps.
+            ts = max(ts, replay_front)
+            replay_front = ts + dur
+        args = {
+            "trace_id": span["trace_id"],
+            "span_id": span["span_id"],
+            "parent_id": span["parent_id"],
+            "status": span["status"],
+        }
+        args.update(span["attributes"])
+        timed.append(
+            {
+                "name": span["name"],
+                "cat": span["category"] or "span",
+                "ph": "X",
+                "ts": ts,
+                "dur": dur,
+                "pid": 0,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        for event in span["events"]:
+            timed.append(
+                {
+                    "name": event["name"],
+                    "cat": "event",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": event["t"] * _US,
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"span_id": span["span_id"], **event["attributes"]},
+                }
+            )
+    for event in orphans:
+        timed.append(
+            {
+                "name": event["name"],
+                "cat": "event",
+                "ph": "i",
+                "s": "g",
+                "ts": event["t"] * _US,
+                "pid": 0,
+                "tid": 0,
+                "args": dict(event["attributes"]),
+            }
+        )
+    for name, t, value in counters:
+        timed.append(
+            {
+                "name": name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": t * _US,
+                "pid": 0,
+                "tid": 0,
+                "args": {"value": value},
+            }
+        )
+    if dropped:
+        first_ts = min((e["ts"] for e in timed), default=0.0)
+        timed.append(
+            {
+                "name": "trace_truncated",
+                "cat": "event",
+                "ph": "i",
+                "s": "g",
+                "ts": first_ts,
+                "pid": 0,
+                "tid": 0,
+                "args": {"dropped_spans": dropped},
+            }
+        )
+    timed.sort(key=lambda e: e["ts"])
+    events.extend(timed)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {"service": service, "dropped_spans": dropped},
+    }
+
+
+def spans_csv(source) -> str:
+    """Render a tracer or device as flat CSV (one row per span).
+
+    ``attributes`` and ``events`` are serialised as ``key=value`` lists
+    (``;``-joined) so the file stays spreadsheet-friendly.  A
+    ``__trace_truncated__`` marker row follows the header whenever spans
+    were evicted from the bounded ring.
+    """
+    spans, _counters, _orphans, dropped, _service = _collect(source)
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(
+        [
+            "trace_id", "span_id", "parent_id", "category", "name",
+            "t_start", "seconds", "status", "attributes", "events",
+        ]
+    )
+    if dropped:
+        writer.writerow(
+            ["", "", "", "_meta", "__trace_truncated__", "", "", "",
+             f"dropped_spans={dropped}", ""]
+        )
+    for span in sorted(spans, key=lambda s: s["t_start"]):
+        attrs = ";".join(f"{k}={v}" for k, v in sorted(span["attributes"].items()))
+        events = ";".join(f"{e['name']}@{e['t']:.6f}" for e in span["events"])
+        writer.writerow(
+            [
+                span["trace_id"], span["span_id"], span["parent_id"] or "",
+                span["category"], span["name"],
+                f"{span['t_start']:.9f}", f"{span['seconds']:.9f}",
+                span["status"], attrs, events,
+            ]
+        )
+    return buf.getvalue()
+
+
+def write_chrome_trace(path: str, source) -> dict:
+    """Write :func:`chrome_trace` JSON to ``path``; returns the payload."""
+    payload = chrome_trace(source)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+    return payload
+
+
+def write_trace(path: str, source, fmt: str = "chrome") -> None:
+    """Write a trace in the requested format (``"chrome"`` or ``"csv"``)."""
+    if fmt == "chrome":
+        write_chrome_trace(path, source)
+    elif fmt == "csv":
+        with open(path, "w") as fh:
+            fh.write(spans_csv(source))
+    else:
+        raise ValueError(f"unknown trace format {fmt!r}; expected 'chrome' or 'csv'")
+
+
+# -- schema validation ---------------------------------------------------------
+
+_REQUIRED_KEYS = {
+    "X": ("name", "ph", "ts", "dur", "pid", "tid"),
+    "B": ("name", "ph", "ts", "pid", "tid"),
+    "E": ("ph", "ts", "pid", "tid"),
+    "i": ("name", "ph", "ts"),
+    "I": ("name", "ph", "ts"),
+    "C": ("name", "ph", "ts", "pid", "args"),
+    "M": ("name", "ph", "pid", "args"),
+}
+
+
+def validate_chrome_trace(payload: dict) -> dict:
+    """Validate a Chrome trace-event payload; raise ``ValueError`` listing
+    every violation found.
+
+    Checks the properties a trace UI depends on: required keys per event
+    type, non-decreasing ``ts`` over the event list, complete ``X``
+    spans properly nested per lane (within :data:`NESTING_EPSILON_US`),
+    matched ``B``/``E`` pairs, and — when ``metadata.dropped_spans`` is
+    nonzero — the presence of the ``trace_truncated`` marker.  Returns
+    summary statistics (event/span/counter counts) on success.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict) or not isinstance(payload.get("traceEvents"), list):
+        raise ValueError("not a trace payload: expected a dict with a 'traceEvents' list")
+    events = payload["traceEvents"]
+    last_ts = None
+    lanes: dict[tuple, list] = {}
+    begin_stack: dict[tuple, int] = {}
+    counts = {"events": len(events), "spans": 0, "counters": 0, "instants": 0}
+    truncated_marker = False
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _REQUIRED_KEYS:
+            problems.append(f"event {i}: unknown or missing ph {ph!r}")
+            continue
+        missing = [k for k in _REQUIRED_KEYS[ph] if k not in event]
+        if missing:
+            problems.append(f"event {i} (ph={ph}, name={event.get('name')!r}): missing {missing}")
+            continue
+        if event.get("name") == "trace_truncated":
+            truncated_marker = True
+        ts = event.get("ts")
+        if ts is not None:
+            if not isinstance(ts, (int, float)):
+                problems.append(f"event {i}: ts is not a number")
+                continue
+            if last_ts is not None and ts < last_ts:
+                problems.append(
+                    f"event {i} (name={event.get('name')!r}): ts {ts} < previous {last_ts}"
+                )
+            last_ts = ts
+        key = (event.get("pid"), event.get("tid"))
+        if ph == "X":
+            counts["spans"] += 1
+            dur = event["dur"]
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: bad dur {dur!r}")
+                continue
+            stack = lanes.setdefault(key, [])
+            while stack and stack[-1] <= ts + NESTING_EPSILON_US:
+                stack.pop()
+            if stack and ts + dur > stack[-1] + NESTING_EPSILON_US:
+                problems.append(
+                    f"event {i} (name={event.get('name')!r}): span [{ts}, {ts + dur}] "
+                    f"overlaps but does not nest inside enclosing span ending at "
+                    f"{stack[-1]} on lane {key}"
+                )
+                continue
+            stack.append(ts + dur)
+        elif ph == "B":
+            begin_stack[key] = begin_stack.get(key, 0) + 1
+        elif ph == "E":
+            depth = begin_stack.get(key, 0)
+            if depth <= 0:
+                problems.append(f"event {i}: 'E' with no open 'B' on lane {key}")
+            else:
+                begin_stack[key] = depth - 1
+        elif ph == "C":
+            counts["counters"] += 1
+            args = event.get("args")
+            if not isinstance(args, dict) or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                problems.append(f"event {i}: counter args must be numeric")
+        elif ph in ("i", "I"):
+            counts["instants"] += 1
+    for key, depth in begin_stack.items():
+        if depth:
+            problems.append(f"lane {key}: {depth} unmatched 'B' event(s)")
+    dropped = (payload.get("metadata") or {}).get("dropped_spans", 0)
+    if dropped and not truncated_marker:
+        problems.append(
+            f"metadata declares {dropped} dropped span(s) but no 'trace_truncated' marker"
+        )
+    if problems:
+        raise ValueError(
+            "invalid Chrome trace:\n" + "\n".join(f"  - {p}" for p in problems)
+        )
+    counts["dropped_spans"] = int(dropped)
+    return counts
+
+
+def validate_chrome_trace_file(path: str) -> dict:
+    """Load and validate a trace file; returns the summary statistics."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    return validate_chrome_trace(payload)

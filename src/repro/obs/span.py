@@ -1,0 +1,289 @@
+"""OpenTelemetry-flavoured span model for the whole stack.
+
+One :class:`Tracer` collects everything a run does into a single
+coherent trace tree: device kernel launches
+(:meth:`~repro.device.device.Device.kernel`), communicator transmissions
+(:class:`~repro.distributed.comm.SimulatedComm`), distributed-driver
+phases (:func:`~repro.distributed.driver.distributed_dbscan`), benchmark
+cells (:func:`~repro.bench.harness.run_once` /
+:func:`~repro.bench.harness.run_sweep`) and injected fault events
+(:class:`~repro.faults.FaultPlan`).  Each :class:`Span` carries
+
+- a **trace id** shared by every span the tracer records,
+- a unique **span id** and the **parent span id** (the span active when
+  it started), which is what turns four unrelated logs into one tree,
+- a **category** (``"kernel"``, ``"comm"``, ``"phase"``, ``"bench"``,
+  ...) that exporters map to display lanes,
+- free-form **attributes** (thread counts, byte volumes, counter
+  deltas) and timestamped **events** (fault injections, retransmits,
+  retries) — annotations pinned to a point inside the span.
+
+The model is dependency-free and synchronous: spans are opened/closed
+LIFO on one logical thread (exactly how the simulated stack executes),
+so parenthood is simply "top of the stack when the span started".
+
+Producers hold a *optional* tracer — every integration point accepts
+``tracer=None`` and skips all span work when absent, so the layer costs
+nothing when unused.  :data:`NULL_TRACER` is a no-op stand-in for call
+sites that prefer unconditional calls over ``if tracer`` guards.
+
+Like the device's kernel ring, the span store is bounded:
+:attr:`Tracer.dropped` counts evicted spans, and the exporters emit an
+explicit truncation marker instead of silently misaligning
+(see :mod:`repro.obs.export`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: Default capacity of the finished-span ring (oldest evicted first).
+DEFAULT_SPAN_MAXLEN = 65536
+
+_TRACE_IDS = itertools.count(1)
+
+
+@dataclass
+class Span:
+    """One timed operation in the trace tree.
+
+    ``t_start`` / ``seconds`` are relative to the owning tracer's epoch
+    (one clock for every producer — that is what makes kernel, comm and
+    driver spans comparable on a single timeline).  ``events`` holds
+    ``{"name", "t", "attributes"}`` annotations; ``status`` is ``"ok"``
+    or ``"error"`` (the span body raised).
+    """
+
+    name: str
+    category: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    t_start: float
+    seconds: float = 0.0
+    attributes: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+    status: str = "ok"
+
+    def add_event(self, name: str, t: float, attributes: dict | None = None) -> dict:
+        event = {"name": name, "t": float(t), "attributes": dict(attributes or {})}
+        self.events.append(event)
+        return event
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "t_start": self.t_start,
+            "seconds": self.seconds,
+            "attributes": dict(self.attributes),
+            "events": [dict(e) for e in self.events],
+            "status": self.status,
+        }
+
+
+class Tracer:
+    """Collects spans, events and counter samples for one trace.
+
+    Parameters
+    ----------
+    service:
+        Cosmetic name shown by exporters (the Chrome "process" name).
+    maxlen:
+        Finished-span ring capacity; :attr:`dropped` counts evictions.
+    """
+
+    def __init__(self, service: str = "repro", maxlen: int = DEFAULT_SPAN_MAXLEN):
+        self.service = service
+        self.trace_id = f"{next(_TRACE_IDS):016x}"
+        self.spans: "deque[Span]" = deque(maxlen=maxlen)
+        self.spans_total = 0
+        self.counter_samples: list[tuple[str, float, float]] = []  # (name, t, value)
+        self.orphan_events: list[dict] = []
+        self._stack: list[Span] = []
+        self._ids = itertools.count(1)
+        self._epoch = time.perf_counter()
+
+    # -- clock -----------------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since the tracer's epoch (the trace's time axis)."""
+        return time.perf_counter() - self._epoch
+
+    # -- span lifecycle --------------------------------------------------------
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span (parent of anything started now)."""
+        return self._stack[-1] if self._stack else None
+
+    def start(self, name: str, category: str = "span", attributes: dict | None = None) -> Span:
+        """Open a span as a child of the current one and make it current."""
+        span = Span(
+            name=name,
+            category=category,
+            trace_id=self.trace_id,
+            span_id=f"{next(self._ids):08x}",
+            parent_id=self.current.span_id if self.current else None,
+            t_start=self.now(),
+            attributes=dict(attributes or {}),
+        )
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span) -> Span:
+        """Close a span opened with :meth:`start`.
+
+        Spans normally close LIFO; closing an outer span while inner ones
+        are still open (an exception unwinding past them) closes the
+        abandoned inner spans too, marked ``status="error"`` — the trace
+        stays well-formed on every error path.
+        """
+        if span not in self._stack:
+            raise RuntimeError(f"span {span.name!r} is not open in this tracer")
+        now = self.now()
+        while True:
+            top = self._stack.pop()
+            top.seconds = now - top.t_start
+            if top is not span:
+                top.status = "error"
+            self._finish(top)
+            if top is span:
+                return span
+
+    @contextmanager
+    def span(self, name: str, category: str = "span", attributes: dict | None = None):
+        """Context manager form of :meth:`start` / :meth:`end`.
+
+        An exception inside the block marks the span ``status="error"``
+        (with an ``exception`` event naming the type) and re-raises.
+        """
+        span = self.start(name, category=category, attributes=attributes)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.add_event(
+                "exception", self.now(), {"type": type(exc).__name__, "message": str(exc)}
+            )
+            raise
+        finally:
+            self.end(span)
+
+    def add_span(
+        self,
+        name: str,
+        category: str,
+        t_start: float,
+        seconds: float,
+        attributes: dict | None = None,
+        status: str = "ok",
+    ) -> Span:
+        """Record an already-timed span (e.g. a replayed kernel launch).
+
+        The span is parented under the current open span but never made
+        current itself.
+        """
+        span = Span(
+            name=name,
+            category=category,
+            trace_id=self.trace_id,
+            span_id=f"{next(self._ids):08x}",
+            parent_id=self.current.span_id if self.current else None,
+            t_start=float(t_start),
+            seconds=float(seconds),
+            attributes=dict(attributes or {}),
+            status=status,
+        )
+        self._finish(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        self.spans.append(span)
+        self.spans_total += 1
+
+    # -- annotations -----------------------------------------------------------
+
+    def event(self, name: str, attributes: dict | None = None) -> dict:
+        """Attach a timestamped annotation to the current span.
+
+        With no span open the event is kept in :attr:`orphan_events`
+        (still exported, just unparented) — fault plans outlive any
+        single span, so their late events must not be lost.
+        """
+        if self.current is not None:
+            return self.current.add_event(name, self.now(), attributes)
+        event = {"name": name, "t": self.now(), "attributes": dict(attributes or {})}
+        self.orphan_events.append(event)
+        return event
+
+    def counter(self, name: str, value: float) -> None:
+        """Record one sample of a numeric track (frontier size, bytes...).
+
+        Exporters turn these into Chrome counter tracks (``"ph": "C"``).
+        """
+        self.counter_samples.append((name, self.now(), float(value)))
+
+    # -- views -----------------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Finished spans evicted from the bounded ring."""
+        return self.spans_total - len(self.spans)
+
+    def snapshot(self) -> list[dict]:
+        """Finished spans as plain dicts, oldest first."""
+        return [span.as_dict() for span in self.spans]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Tracer(service={self.service!r}, trace_id={self.trace_id}, "
+            f"spans={len(self.spans)}, dropped={self.dropped})"
+        )
+
+
+class _NullTracer:
+    """A no-op :class:`Tracer` stand-in: every method accepts anything
+    and records nothing, so producers may call it unconditionally."""
+
+    trace_id = "0" * 16
+    spans_total = 0
+    dropped = 0
+
+    @contextmanager
+    def span(self, name, category="span", attributes=None):
+        yield None
+
+    def start(self, *args, **kwargs):  # pragma: no cover - trivial
+        return None
+
+    def end(self, span):  # pragma: no cover - trivial
+        return None
+
+    def add_span(self, *args, **kwargs):
+        return None
+
+    def event(self, name, attributes=None):
+        return None
+
+    def counter(self, name, value):
+        return None
+
+    def now(self) -> float:
+        return 0.0
+
+    def snapshot(self) -> list:
+        return []
+
+
+#: Shared no-op tracer; ``tracer or NULL_TRACER`` is the idiom producers
+#: use to avoid sprinkling ``if tracer is not None`` checks.
+NULL_TRACER = _NullTracer()

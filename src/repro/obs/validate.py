@@ -1,0 +1,37 @@
+"""Command-line Chrome-trace validator: ``python -m repro.obs.validate``.
+
+CI's observability smoke job runs a tiny sweep with ``--trace-out`` and
+then this module against the emitted file; a nonzero exit names every
+schema violation (see :func:`repro.obs.export.validate_chrome_trace`).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.export import validate_chrome_trace_file
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.obs.validate TRACE.json [TRACE.json ...]")
+        return 2
+    status = 0
+    for path in argv:
+        try:
+            counts = validate_chrome_trace_file(path)
+        except (ValueError, OSError) as exc:
+            print(f"{path}: INVALID\n{exc}")
+            status = 1
+        else:
+            print(
+                f"{path}: ok — {counts['events']} events, {counts['spans']} spans, "
+                f"{counts['counters']} counter samples, {counts['instants']} instants, "
+                f"{counts['dropped_spans']} dropped"
+            )
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - thin wrapper
+    sys.exit(main())

@@ -218,6 +218,127 @@ class TestBenchCommand:
         assert "oom" in capsys.readouterr().out
 
 
+class TestObservabilityFlags:
+    def test_cluster_trace_out(self, points_file, tmp_path, capsys):
+        from repro.obs import validate_chrome_trace_file
+
+        path = str(tmp_path / "trace.json")
+        rc = main(
+            ["cluster", points_file, "--eps", "0.2", "--minpts", "5",
+             "--algorithm", "fdbscan", "--trace-out", path]
+        )
+        assert rc == 0
+        assert "trace written" in capsys.readouterr().out
+        counts = validate_chrome_trace_file(path)
+        assert counts["spans"] > 0
+
+    def test_cluster_trace_csv_format(self, points_file, tmp_path):
+        path = str(tmp_path / "trace.csv")
+        main(
+            ["cluster", points_file, "--eps", "0.2", "--minpts", "5",
+             "--algorithm", "fdbscan", "--trace-out", path,
+             "--trace-format", "csv"]
+        )
+        text = open(path).read()
+        assert text.startswith("trace_id,span_id,parent_id")
+        assert "bvh_build" in text
+
+    def test_cluster_cost_model_flag(self, points_file, capsys):
+        rc = main(
+            ["cluster", points_file, "--eps", "0.2", "--minpts", "5",
+             "--algorithm", "fdbscan", "--cost-model"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cost model" in out and "evals/s" in out
+
+    def test_bench_trace_records_distributed_and_kernels(self, points_file, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace_file
+
+        trace = str(tmp_path / "trace.json")
+        save = str(tmp_path / "sweep.json")
+        rc = main(
+            ["bench", points_file, "--eps", "0.2", "--minpts-sweep", "3,5",
+             "--algorithms", "fdbscan,distributed", "--ranks", "2",
+             "--faults", "0.1", "--trace-out", trace, "--save", save]
+        )
+        assert rc == 0
+        counts = validate_chrome_trace_file(trace)
+        assert counts["spans"] > 0
+        payload = json.load(open(trace))
+        cats = {e.get("cat") for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert {"bench", "kernel", "comm", "phase", "driver"} <= cats
+        # the sweep history records where its trace went
+        meta = json.load(open(save))["meta"]
+        assert meta["trace"]["path"] == trace
+        assert meta["trace"]["spans"] == counts["spans"]
+
+    def test_bench_time_budget_mode_flag(self, points_file, capsys):
+        rc = main(
+            ["bench", points_file, "--eps", "0.2", "--minpts-sweep", "3,5",
+             "--algorithms", "fdbscan", "--time-budget", "1000",
+             "--time-budget-mode", "cold"]
+        )
+        assert rc == 0
+        assert "status" in capsys.readouterr().out
+
+    def test_metrics_subcommand_prometheus(self, points_file, capsys):
+        rc = main(
+            ["metrics", points_file, "--eps", "0.2", "--minpts", "5",
+             "--algorithm", "fdbscan"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_distance_evals_total counter" in out
+        assert "repro_kernel_seconds_total" in out
+
+    def test_metrics_totals_equal_device_counters(self, points_file, capsys):
+        """Acceptance criterion: the exposition's counter totals equal the
+        KernelCounters values of an identical run."""
+        import re
+
+        from repro.cli import _load_input
+        from repro.core.api import dbscan
+        from repro.device.device import Device
+
+        rc = main(
+            ["metrics", points_file, "--eps", "0.2", "--minpts", "5",
+             "--algorithm", "fdbscan"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        exported = {
+            m.group(1): int(m.group(2))
+            for m in re.finditer(r"^repro_(\w+)_total (\d+)$", out, re.M)
+        }
+        device = Device()
+        dbscan(np.load(points_file), 0.2, 5, algorithm="fdbscan", device=device)
+        snap = device.counters.snapshot()
+        for name in ("distance_evals", "kernel_launches", "nodes_visited"):
+            assert exported[name] == snap[name]
+
+    def test_metrics_distributed_includes_comm(self, points_file, capsys):
+        rc = main(
+            ["metrics", points_file, "--eps", "0.2", "--minpts", "5",
+             "--ranks", "2", "--faults", "0.1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro_comm_messages_total" in out
+        assert "repro_comm_bytes_total" in out
+
+    def test_metrics_csv_format(self, points_file, capsys):
+        rc = main(
+            ["metrics", points_file, "--eps", "0.2", "--minpts", "5",
+             "--format", "csv"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("metric")
+
+
 class TestBenchHistory:
     def test_save_and_compare(self, points_file, tmp_path, capsys):
         path = str(tmp_path / "run.json")

@@ -82,6 +82,112 @@ class TestTraceRing:
         assert report["trace_dropped"] == 0
 
 
+class TestSelfTime:
+    """Inclusive vs exclusive time for nested kernel spans (the
+    ``Device.profile`` docstring's contract: ``seconds`` double-counts
+    nested wall time, ``self_seconds`` never does)."""
+
+    def _nested(self, dev, outer_sleep=0.01, inner_sleep=0.01):
+        with dev.kernel("outer", threads=1):
+            time.sleep(outer_sleep)
+            with dev.kernel("inner", threads=1):
+                time.sleep(inner_sleep)
+
+    def test_outer_self_time_excludes_inner(self, device):
+        self._nested(device)
+        prof = device.profile()
+        outer, inner = prof["outer"], prof["inner"]
+        # inclusive: the outer span contains the inner one
+        assert outer["seconds"] >= inner["seconds"]
+        # exclusive: outer self time subtracts the nested inner span
+        assert outer["self_seconds"] == pytest.approx(
+            outer["seconds"] - inner["seconds"], abs=1e-6
+        )
+        assert inner["self_seconds"] == pytest.approx(inner["seconds"])
+
+    def test_self_seconds_sum_never_exceeds_wall(self, device):
+        start = time.perf_counter()
+        self._nested(device)
+        wall = time.perf_counter() - start
+        prof = device.profile()
+        total_self = sum(row["self_seconds"] for row in prof.values())
+        total_inclusive = sum(row["seconds"] for row in prof.values())
+        assert total_self <= wall + 1e-3
+        # the naive inclusive sum double-counts the nested sleep
+        assert total_inclusive > total_self
+
+    def test_flat_launches_self_equals_inclusive(self, device):
+        _burn(device, name="a")
+        _burn(device, name="b")
+        for row in device.profile().values():
+            assert row["self_seconds"] == pytest.approx(row["seconds"])
+
+    def test_trace_snapshot_carries_self_seconds(self, device):
+        self._nested(device)
+        spans = {s["name"]: s for s in device.trace_snapshot()}
+        assert spans["outer"]["self_seconds"] < spans["outer"]["seconds"]
+
+    def test_deeper_nesting_subtracts_only_direct_children(self, device):
+        with device.kernel("a", threads=1):
+            time.sleep(0.004)
+            with device.kernel("b", threads=1):
+                time.sleep(0.004)
+                with device.kernel("c", threads=1):
+                    time.sleep(0.004)
+        prof = device.profile()
+        # b's self time subtracts c, a's subtracts b (which includes c)
+        assert prof["a"]["self_seconds"] == pytest.approx(
+            prof["a"]["seconds"] - prof["b"]["seconds"], abs=1e-6
+        )
+        assert prof["b"]["self_seconds"] == pytest.approx(
+            prof["b"]["seconds"] - prof["c"]["seconds"], abs=1e-6
+        )
+        total_self = sum(r["self_seconds"] for r in prof.values())
+        assert total_self <= prof["a"]["seconds"] + 1e-6
+
+
+class TestNestedEviction:
+    """Trace-ring eviction accounting when kernels nest: every finished
+    launch counts toward ``launches_total`` exactly once, so
+    ``trace_dropped`` stays exact under nesting."""
+
+    def test_nested_launches_counted_once(self):
+        dev = Device(trace_maxlen=4096)
+        with dev.kernel("outer", threads=1):
+            with dev.kernel("inner", threads=1):
+                pass
+        assert dev.launches_total == 2
+        assert dev.trace_dropped == 0
+
+    def test_eviction_under_nesting(self):
+        dev = Device(trace_maxlen=2)
+        for i in range(3):
+            with dev.kernel(f"outer{i}", threads=1):
+                with dev.kernel(f"inner{i}", threads=1):
+                    pass
+        assert dev.launches_total == 6
+        assert len(dev.launches) == 2
+        assert dev.trace_dropped == 4
+        # the ring keeps the newest pair; the inner span finished first
+        assert [s["name"] for s in dev.trace_snapshot()] == ["inner2", "outer2"]
+
+    def test_chrome_export_of_truncated_device_has_marker(self):
+        from repro.obs import chrome_trace, validate_chrome_trace
+
+        dev = Device(trace_maxlen=2)
+        for i in range(3):
+            with dev.kernel(f"o{i}", threads=1):
+                with dev.kernel(f"i{i}", threads=1):
+                    pass
+        payload = chrome_trace(dev)
+        assert payload["metadata"]["dropped_spans"] == 4
+        assert any(
+            e["name"] == "trace_truncated" for e in payload["traceEvents"]
+        )
+        counts = validate_chrome_trace(payload)
+        assert counts["dropped_spans"] == 4
+
+
 class TestRecordingReplay:
     def _record_build(self, dev):
         with dev.recording() as cost:

@@ -1,0 +1,584 @@
+"""Tests for repro.obs: spans, metrics, exporters, cost model, and the
+end-to-end trace/metrics integration across device, comm, driver and
+bench layers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import RunRecord, run_once, run_sweep
+from repro.bench.history import load_records, save_records
+from repro.bench.report import format_kernel_profile, merge_kernel_profiles
+from repro.datasets import gaussian_blobs
+from repro.device.device import Device
+from repro.distributed.comm import SimulatedComm
+from repro.distributed.driver import distributed_dbscan
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    cost_model_rows,
+    format_cost_model,
+    record_comm_stats,
+    record_kernel_counters,
+    record_kernel_profile,
+    spans_csv,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_trace,
+)
+
+
+@pytest.fixture
+def blobs():
+    return gaussian_blobs(300, centers=3, std=0.05, seed=0)
+
+
+class TestSpanModel:
+    def test_span_parenting_and_ids(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            assert tr.current is outer
+        assert outer.parent_id is None
+        assert outer.trace_id == inner.trace_id == tr.trace_id
+        assert outer.span_id != inner.span_id
+
+    def test_distinct_tracers_distinct_trace_ids(self):
+        assert Tracer().trace_id != Tracer().trace_id
+
+    def test_span_timing_is_monotonic(self):
+        tr = Tracer()
+        with tr.span("a") as a:
+            pass
+        with tr.span("b") as b:
+            pass
+        assert a.seconds >= 0 and b.seconds >= 0
+        assert b.t_start >= a.t_start
+
+    def test_events_attach_to_current_span(self):
+        tr = Tracer()
+        with tr.span("s") as s:
+            tr.event("hit", {"k": 1})
+        (event,) = s.events
+        assert event["name"] == "hit"
+        assert event["attributes"] == {"k": 1}
+        assert s.t_start <= event["t"]
+
+    def test_orphan_events_kept(self):
+        tr = Tracer()
+        tr.event("stray", {"x": 2})
+        assert tr.orphan_events[0]["name"] == "stray"
+
+    def test_exception_marks_error_status(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("boom"):
+                raise RuntimeError("no")
+        (span,) = tr.snapshot()
+        assert span["status"] == "error"
+        assert span["events"][0]["name"] == "exception"
+        assert span["events"][0]["attributes"]["type"] == "RuntimeError"
+
+    def test_end_unwinds_abandoned_children(self):
+        tr = Tracer()
+        root = tr.start("root")
+        tr.start("abandoned")
+        tr.end(root)  # closes the abandoned child too
+        spans = {s["name"]: s for s in tr.snapshot()}
+        assert spans["abandoned"]["status"] == "error"
+        assert spans["root"]["status"] == "ok"
+        assert tr.current is None
+
+    def test_end_unknown_span_raises(self):
+        tr = Tracer()
+        span = tr.start("a")
+        tr.end(span)
+        with pytest.raises(RuntimeError):
+            tr.end(span)
+
+    def test_add_span_parented_but_not_current(self):
+        tr = Tracer()
+        with tr.span("parent") as parent:
+            added = tr.add_span("replayed", "kernel.replayed", 0.0, 0.5)
+            assert added.parent_id == parent.span_id
+            assert tr.current is parent
+
+    def test_ring_bounded_with_dropped_count(self):
+        tr = Tracer(maxlen=3)
+        for i in range(7):
+            with tr.span(f"s{i}"):
+                pass
+        assert len(tr.spans) == 3
+        assert tr.spans_total == 7
+        assert tr.dropped == 4
+        assert [s["name"] for s in tr.snapshot()] == ["s4", "s5", "s6"]
+
+    def test_counter_samples(self):
+        tr = Tracer()
+        tr.counter("frontier", 12)
+        ((name, t, value),) = tr.counter_samples
+        assert name == "frontier" and value == 12.0 and t >= 0
+
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("x") as span:
+            assert span is None
+        assert NULL_TRACER.start("y") is None
+        assert NULL_TRACER.event("e") is None
+        assert NULL_TRACER.counter("c", 1) is None
+        assert NULL_TRACER.snapshot() == []
+        assert NULL_TRACER.dropped == 0
+
+
+class TestMetricsRegistry:
+    def test_counter_totals_and_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_x_total", "x")
+        c.inc(2)
+        c.inc(3, phase="a")
+        c.inc(5, phase="b")
+        assert c.total() == 10
+        text = reg.to_prometheus()
+        assert "# TYPE repro_x_total counter" in text
+        assert 'repro_x_total{phase="a"} 3' in text
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("repro_x_total", "x").inc(-1)
+
+    def test_gauge_set_and_observe_max(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("repro_peak", "peak")
+        g.observe_max(5)
+        g.observe_max(3)  # lower never regresses the watermark
+        assert "repro_peak 5" in reg.to_prometheus()
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_s", "seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 2.0):
+            h.observe(v)
+        text = reg.to_prometheus()
+        assert 'repro_s_bucket{le="0.1"} 1' in text
+        assert 'repro_s_bucket{le="1"} 2' in text
+        assert 'repro_s_bucket{le="+Inf"} 3' in text
+        assert "repro_s_count 3" in text
+
+    def test_csv_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", "x").inc(4, phase="p")
+        csv_text = reg.to_csv()
+        assert csv_text.splitlines()[0].startswith("metric")
+        assert "repro_x_total" in csv_text and "4" in csv_text
+
+    def test_kernel_counter_totals_equal_snapshot(self, device):
+        with device.kernel("k", threads=8):
+            device.counters.add("distance_evals", 123)
+            device.counters.observe_peak("frontier_peak", 77)
+        snap = device.counters.snapshot()
+        reg = MetricsRegistry()
+        record_kernel_counters(reg, snap)
+        text = reg.to_prometheus()
+        assert f"repro_distance_evals_total {snap['distance_evals']}" in text
+        assert f"repro_kernel_launches_total {snap['kernel_launches']}" in text
+        # watermark exported as a gauge, not a counter
+        assert "repro_frontier_peak 77" in text
+        assert "repro_frontier_peak_total" not in text
+
+    def test_comm_totals_equal_commstats(self):
+        comm = SimulatedComm(2)
+        comm.exchange("ghosts", [np.arange(4, dtype=np.float64)] * 2)
+        comm.gather("merge", [np.arange(2, dtype=np.float64)] * 2)
+        stats = comm.stats.as_dict()
+        reg = MetricsRegistry()
+        record_comm_stats(reg, stats)
+        messages = reg.counter("repro_comm_messages_total", "")
+        nbytes = reg.counter("repro_comm_bytes_total", "")
+        assert messages.total() == stats["messages"]
+        assert nbytes.total() == stats["bytes_sent"]
+
+    def test_kernel_profile_seconds_match(self, device):
+        with device.kernel("a", threads=1):
+            pass
+        with device.kernel("b", threads=1):
+            pass
+        profile = device.profile()
+        reg = MetricsRegistry()
+        record_kernel_profile(reg, profile)
+        seconds = reg.counter("repro_kernel_seconds_total", "")
+        assert seconds.total() == pytest.approx(
+            sum(row["seconds"] for row in profile.values())
+        )
+
+
+class TestChromeExport:
+    def _traced(self):
+        tr = Tracer()
+        with tr.span("phase", category="phase"):
+            with tr.span("k", category="kernel", attributes={"threads": 4}):
+                tr.event("fault:drop", {"rank": 0})
+            tr.counter("frontier_peak", 9)
+        return tr
+
+    def test_valid_payload(self):
+        payload = chrome_trace(self._traced())
+        counts = validate_chrome_trace(payload)
+        assert counts["spans"] == 2
+        assert counts["counters"] == 1
+        assert counts["instants"] == 1
+        assert counts["dropped_spans"] == 0
+
+    def test_lane_assignment_and_identity_args(self):
+        payload = chrome_trace(self._traced())
+        xs = {e["name"]: e for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert xs["phase"]["tid"] == 0  # control lane
+        assert xs["k"]["tid"] == 1  # kernel lane
+        assert xs["k"]["args"]["parent_id"] == xs["phase"]["args"]["span_id"]
+        assert xs["k"]["args"]["threads"] == 4
+
+    def test_metadata_thread_names(self):
+        payload = chrome_trace(self._traced())
+        names = {
+            e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"control", "device kernels"} <= names
+
+    def test_truncated_trace_emits_marker(self):
+        tr = Tracer(maxlen=2)
+        for i in range(5):
+            with tr.span(f"s{i}"):
+                pass
+        payload = chrome_trace(tr)
+        assert payload["metadata"]["dropped_spans"] == 3
+        markers = [
+            e for e in payload["traceEvents"] if e["name"] == "trace_truncated"
+        ]
+        assert len(markers) == 1
+        assert markers[0]["args"]["dropped_spans"] == 3
+        assert validate_chrome_trace(payload)["dropped_spans"] == 3
+
+    def test_validator_rejects_missing_truncation_marker(self):
+        payload = chrome_trace(self._traced())
+        payload["metadata"]["dropped_spans"] = 4  # declared but unmarked
+        with pytest.raises(ValueError, match="trace_truncated"):
+            validate_chrome_trace(payload)
+
+    def test_validator_rejects_non_monotonic_ts(self):
+        payload = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "ts": 10.0, "dur": 1.0, "pid": 0, "tid": 0},
+                {"name": "b", "ph": "X", "ts": 5.0, "dur": 1.0, "pid": 0, "tid": 0},
+            ]
+        }
+        with pytest.raises(ValueError, match="ts"):
+            validate_chrome_trace(payload)
+
+    def test_validator_rejects_bad_nesting(self):
+        payload = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "ts": 0.0, "dur": 10.0, "pid": 0, "tid": 0},
+                {"name": "b", "ph": "X", "ts": 5.0, "dur": 10.0, "pid": 0, "tid": 0},
+            ]
+        }
+        with pytest.raises(ValueError, match="nest"):
+            validate_chrome_trace(payload)
+
+    def test_validator_rejects_missing_keys_and_unmatched_begin(self):
+        payload = {
+            "traceEvents": [
+                {"ph": "X", "ts": 0.0, "pid": 0, "tid": 0},  # no name/dur
+                {"name": "open", "ph": "B", "ts": 1.0, "pid": 0, "tid": 0},
+            ]
+        }
+        with pytest.raises(ValueError) as err:
+            validate_chrome_trace(payload)
+        assert "missing" in str(err.value)
+        assert "unmatched 'B'" in str(err.value)
+
+    def test_device_as_source(self, device):
+        with device.kernel("k1", threads=2):
+            pass
+        payload = chrome_trace(device)
+        counts = validate_chrome_trace(payload)
+        assert counts["spans"] == 1
+        (x,) = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert x["tid"] == 1 and x["name"] == "k1"
+
+    def test_csv_export_and_truncation_row(self):
+        tr = Tracer(maxlen=2)
+        for i in range(4):
+            with tr.span(f"s{i}", attributes={"i": i}):
+                pass
+        text = spans_csv(tr)
+        lines = text.splitlines()
+        assert lines[0].startswith("trace_id,span_id,parent_id")
+        assert "__trace_truncated__" in lines[1]
+        assert "dropped_spans=2" in lines[1]
+        assert len(lines) == 2 + 2  # header + marker + the two surviving spans
+
+    def test_write_trace_formats(self, tmp_path):
+        tr = self._traced()
+        chrome_path = tmp_path / "t.json"
+        csv_path = tmp_path / "t.csv"
+        write_trace(str(chrome_path), tr, fmt="chrome")
+        write_trace(str(csv_path), tr, fmt="csv")
+        assert validate_chrome_trace_file(str(chrome_path))["spans"] == 2
+        assert "phase" in csv_path.read_text()
+        with pytest.raises(ValueError):
+            write_trace(str(chrome_path), tr, fmt="pdf")
+
+
+class TestCostModel:
+    def test_rows_join_seconds_and_counters(self, device):
+        with device.kernel("hot", threads=10) as launch:
+            launch.steps = 2
+            device.counters.add("distance_evals", 1000)
+        rows = cost_model_rows(device.profile())
+        (row,) = rows
+        assert row["kernel"] == "hot"
+        assert row["launches"] == 1
+        assert row["counters"]["distance_evals"] == 1000
+        if row["seconds"] > 0:
+            assert row["distance_evals_per_s"] == pytest.approx(
+                1000 / row["seconds"]
+            )
+
+    def test_rows_sorted_hottest_first(self, device):
+        import time
+
+        with device.kernel("slow", threads=1):
+            time.sleep(0.005)
+        with device.kernel("fast", threads=1):
+            pass
+        rows = cost_model_rows(device.profile())
+        assert rows[0]["kernel"] == "slow"
+
+    def test_format_cost_model(self, device):
+        with device.kernel("k", threads=1):
+            device.counters.add("distance_evals", 10)
+        out = format_cost_model(device.profile())
+        assert "cost model" in out
+        assert "k" in out and "evals/s" in out
+        assert format_cost_model({}) .startswith("-- cost model --")
+
+
+class TestTracedIntegration:
+    def test_device_kernels_nest_under_driver_phases(self, blobs):
+        tr = Tracer()
+        distributed_dbscan(blobs, 0.2, 5, n_ranks=2, tracer=tr)
+        spans = {s["span_id"]: s for s in tr.snapshot()}
+        by_cat = {}
+        for s in spans.values():
+            by_cat.setdefault(s["category"], []).append(s)
+        assert {"driver", "phase", "kernel", "comm"} <= set(by_cat)
+        # every non-root span's parent exists and the root is the driver span
+        (root,) = [s for s in spans.values() if s["parent_id"] is None]
+        assert root["name"] == "distributed_dbscan"
+        for s in spans.values():
+            if s["parent_id"] is not None:
+                assert s["parent_id"] in spans
+        # kernels are children of phase spans (never of the bare root)
+        for k in by_cat["kernel"]:
+            assert spans[k["parent_id"]]["category"] in ("phase", "kernel")
+
+    def test_fault_events_land_on_spans(self, blobs):
+        tr = Tracer()
+        plan = FaultPlan(seed=1, spec=FaultSpec.uniform(0.3, crash=0.2))
+        distributed_dbscan(blobs, 0.2, 5, n_ranks=3, fault_plan=plan, tracer=tr)
+        assert plan.log  # faults actually fired
+        traced = [
+            e
+            for s in tr.snapshot()
+            for e in s["events"]
+            if e["name"].startswith("fault:")
+        ] + [e for e in tr.orphan_events if e["name"].startswith("fault:")]
+        assert len(traced) == len(plan.log)
+
+    def test_sweep_produces_one_valid_trace(self, blobs, tmp_path):
+        """The acceptance scenario: one sweep over >= 2 cells with faults,
+        mixing single-device and distributed cells, yields a single valid
+        Chrome trace where kernel, comm and phase spans share a timeline."""
+        tr = Tracer()
+        plan = FaultPlan(seed=2, spec=FaultSpec.uniform(0.15))
+        records = run_sweep(
+            ["fdbscan", "distributed"],
+            [{"eps": 0.2, "min_samples": 5}, {"eps": 0.2, "min_samples": 3}],
+            lambda cell: blobs,
+            dataset="blobs",
+            fault_plan=plan,
+            tracer=tr,
+            n_ranks=2,
+        )
+        assert len(records) == 4
+        spans = tr.snapshot()
+        trace_ids = {s["trace_id"] for s in spans}
+        assert trace_ids == {tr.trace_id}
+        cats = {s["category"] for s in spans}
+        assert {"bench", "phase", "kernel", "comm", "driver"} <= cats
+        by_id = {s["span_id"]: s for s in spans}
+        (sweep_span,) = [s for s in spans if s["name"] == "sweep"]
+        cell_spans = [s for s in spans if s["category"] == "bench" and s is not sweep_span]
+        assert len(cell_spans) == 4
+        assert all(c["parent_id"] == sweep_span["span_id"] for c in cell_spans)
+        # a comm span's ancestry reaches a distributed cell span
+        comm_span = next(s for s in spans if s["category"] == "comm")
+        seen = set()
+        cur = comm_span
+        while cur["parent_id"] is not None:
+            cur = by_id[cur["parent_id"]]
+            seen.add(cur["name"])
+        assert "cell:distributed" in seen and "sweep" in seen
+        path = tmp_path / "trace.json"
+        write_trace(str(path), tr, fmt="chrome")
+        counts = validate_chrome_trace_file(str(path))
+        assert counts["spans"] == len(spans)
+
+    def test_replayed_builds_on_their_own_lane(self, blobs):
+        tr = Tracer()
+        run_sweep(
+            ["fdbscan"],
+            [{"eps": 0.2, "min_samples": 3}, {"eps": 0.2, "min_samples": 5}],
+            lambda cell: blobs,
+            tracer=tr,
+        )
+        replayed = [s for s in tr.snapshot() if s["category"] == "kernel.replayed"]
+        assert replayed  # the second cell replays the shared index build
+        payload = chrome_trace(tr)
+        validate_chrome_trace(payload)
+        lane = [
+            e
+            for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == "kernel.replayed"
+        ]
+        assert all(e["tid"] == 3 for e in lane)
+        # the lane is sequential: spans laid end-to-end, no fake overlaps
+        lane.sort(key=lambda e: e["ts"])
+        for prev, nxt in zip(lane, lane[1:]):
+            assert nxt["ts"] >= prev["ts"] + prev["dur"] - 1e-6
+
+
+class TestColdBudget:
+    def test_cold_equivalent_seconds(self):
+        rec = RunRecord(
+            algorithm="a", dataset="d", n=1, eps=0.1, min_samples=2,
+            seconds=0.25, replayed_build_seconds=0.75,
+        )
+        assert rec.cold_equivalent_seconds() == pytest.approx(1.0)
+        nan_rec = RunRecord(algorithm="a", dataset="d", n=1, eps=0.1, min_samples=2)
+        assert nan_rec.cold_equivalent_seconds() != nan_rec.cold_equivalent_seconds()
+
+    def test_replayed_build_seconds_captured(self, blobs):
+        from repro.core.index import DBSCANIndex
+
+        index = DBSCANIndex(blobs)
+        cold = run_once("fdbscan", blobs, 0.2, 5, index=index)  # builds live
+        warm = run_once("fdbscan", blobs, 0.2, 5, index=index)  # replays
+        assert cold.replayed_build_seconds == 0.0
+        assert warm.reused_index
+        assert warm.replayed_build_seconds > 0.0
+        assert warm.cold_equivalent_seconds() > warm.seconds
+
+    def test_cold_mode_trips_budget_wall_mode_does_not(self, blobs, monkeypatch):
+        """Regression: a warm cell whose replayed build pushes it past the
+        budget must be skipped under mode="cold" but not under "wall"."""
+        import repro.bench.harness as harness
+
+        def fake_run_once(algorithm, X, eps, min_samples, **kwargs):
+            return RunRecord(
+                algorithm=algorithm, dataset="d", n=int(X.shape[0]),
+                eps=float(eps), min_samples=int(min_samples),
+                seconds=0.01, replayed_build_seconds=5.0, status="ok",
+            )
+
+        monkeypatch.setattr(harness, "run_once", fake_run_once)
+        cells = [{"eps": 0.2, "min_samples": 3}, {"eps": 0.2, "min_samples": 5}]
+        wall = run_sweep(
+            ["fdbscan"], cells, lambda c: blobs, time_budget=1.0,
+            time_budget_mode="wall", reuse_index=False,
+        )
+        assert [r.status for r in wall] == ["ok", "ok"]
+        cold = run_sweep(
+            ["fdbscan"], cells, lambda c: blobs, time_budget=1.0,
+            time_budget_mode="cold", reuse_index=False,
+        )
+        assert [r.status for r in cold] == ["ok", "skipped"]
+        assert "cold-equivalent" in cold[1].detail
+
+    def test_bad_mode_rejected(self, blobs):
+        with pytest.raises(ValueError, match="time_budget_mode"):
+            run_sweep(
+                ["fdbscan"], [{"eps": 0.2, "min_samples": 3}], lambda c: blobs,
+                time_budget_mode="warm",
+            )
+
+
+class TestProfilePersistence:
+    def test_new_profile_fields_round_trip(self, blobs, tmp_path):
+        rec = run_once("fdbscan", blobs, 0.2, 5)
+        path = str(tmp_path / "run.json")
+        save_records(path, [rec])
+        (back,), _meta = load_records(path)
+        assert back.replayed_build_seconds == pytest.approx(
+            rec.replayed_build_seconds
+        )
+        for name, row in rec.kernels.items():
+            assert back.kernels[name]["self_seconds"] == pytest.approx(
+                row["self_seconds"]
+            )
+            assert back.kernels[name]["replayed_seconds"] == pytest.approx(
+                row["replayed_seconds"]
+            )
+            assert back.kernels[name]["counters"] == {
+                k: int(v) for k, v in row["counters"].items()
+            }
+
+    def test_old_payload_without_new_fields_loads(self, tmp_path):
+        payload = {
+            "meta": {},
+            "records": [
+                {
+                    "algorithm": "fdbscan", "dataset": "d", "n": 10, "eps": 0.1,
+                    "min_samples": 2, "seconds": 0.5, "status": "ok",
+                    "n_clusters": 1, "n_noise": 0, "dense_fraction": None,
+                    "peak_bytes": 100, "counters": {},
+                    "kernels": {
+                        "bvh_build": {
+                            "launches": 1, "replayed": 0, "seconds": 0.1,
+                            "threads": 10, "steps": 1,
+                        }
+                    },
+                }
+            ],
+        }
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(payload))
+        (rec,), _meta = load_records(str(path))
+        assert rec.replayed_build_seconds == 0.0
+        # the profile table still renders old rows (missing new keys)
+        out = format_kernel_profile([rec])
+        assert "bvh_build" in out and "self_s" in out
+
+    def test_merge_kernel_profiles_sums_counters(self, device):
+        with device.kernel("k", threads=1):
+            device.counters.add("distance_evals", 5)
+            device.counters.observe_peak("frontier_peak", 10)
+        rec1 = RunRecord(
+            algorithm="a", dataset="d", n=1, eps=0.1, min_samples=2,
+            kernels=device.profile(),
+        )
+        rec2 = RunRecord(
+            algorithm="a", dataset="d", n=1, eps=0.1, min_samples=2,
+            kernels=device.profile(),
+        )
+        merged = merge_kernel_profiles([rec1, rec2])
+        assert merged["k"]["launches"] == 2
+        assert merged["k"]["counters"]["distance_evals"] == 10
+        # watermark merges by max, never sums
+        assert merged["k"]["counters"]["frontier_peak"] == 10
