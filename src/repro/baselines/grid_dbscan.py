@@ -34,11 +34,15 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.core.framework import resolve_pairs
+from repro.core.framework import DEFAULT_PAIR_BUFFER, PairResolver
 from repro.core.labels import DBSCANResult, finalize_clusters
 from repro.core.validation import validate_params, validate_points
 from repro.device.device import Device, default_device
-from repro.device.primitives import concatenated_ranges, segment_ids_from_counts
+from repro.device.primitives import (
+    concatenated_ranges,
+    scatter_add,
+    segment_ids_from_counts,
+)
 from repro.grid.grid import build_grid, compact_cells
 from repro.unionfind.ecl import EclUnionFind
 
@@ -175,7 +179,7 @@ def _count_phase(index: _GridIndex, src, dst, minpts: int) -> np.ndarray:
             for pa, pb, _seg, _rows in index.expand_pairs(a, b):
                 steps += 1
                 hit = index.within(pa, pb)
-                np.add.at(counts, pa[hit], 1)
+                scatter_add(counts, pa[hit], counters=index.dev.counters)
         launch.steps = steps
     return counts
 
@@ -218,6 +222,7 @@ def grid_dbscan(
 
     # --- main phase ---------------------------------------------------------
     uf = EclUnionFind(n, device=dev)
+    resolver = PairResolver(uf, resolution_core, device=dev, buffer_pairs=DEFAULT_PAIR_BUFFER)
     with dev.kernel("grid_main", threads=n) as launch:
         steps = 0
         same = src == dst
@@ -247,7 +252,7 @@ def grid_dbscan(
             mixed = mixed[index.cell_counts[mixed] > 1]
             for pa, pb, _seg, _rows in index.expand_pairs(mixed, mixed):
                 keep = pa < pb
-                resolve_pairs(uf, resolution_core, pa[keep], pb[keep], dev)
+                resolver.add(pa[keep], pb[keep])
                 steps += 1
 
         # (2) cross-cell dense-dense: one hit decides the whole contact.
@@ -283,8 +288,9 @@ def grid_dbscan(
         a, b = cross_src[~dd], cross_dst[~dd]
         for pa, pb, _seg, _rows in index.expand_pairs(a, b):
             hit = index.within(pa, pb)
-            resolve_pairs(uf, resolution_core, pa[hit], pb[hit], dev)
+            resolver.add(pa[hit], pb[hit])
             steps += 1
+        resolver.finalize()
         launch.steps = steps
 
     labels, core_mask, n_clusters = finalize_clusters(uf.parents, is_core, dev.counters)

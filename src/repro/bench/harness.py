@@ -55,6 +55,20 @@ from repro.faults.plan import FaultPlan
 from repro.faults.retry import RetryPolicy
 from repro.obs.span import NULL_TRACER
 
+#: Work counters whose per-point *rates* are tracked across commits.
+#: A rate (counter / n) is size-normalised, so a regression in it is an
+#: algorithmic change — more distance evaluations per point — rather than
+#: machine noise, which is what makes rates the right per-commit metric
+#: next to wall seconds.
+RATE_COUNTERS = (
+    "distance_evals",
+    "nodes_visited",
+    "pairs_processed",
+    "box_tests",
+    "scatter_adds",
+    "thread_steps",
+)
+
 
 @dataclass
 class RunRecord:
@@ -93,6 +107,22 @@ class RunRecord:
             return self.seconds
         return self.seconds + self.replayed_build_seconds
 
+    def counter_rates(self) -> dict:
+        """Per-point rates of the tracked work counters.
+
+        ``{name: counters[name] / n}`` for every :data:`RATE_COUNTERS`
+        entry present in this cell's counter snapshot — the
+        size-normalised numbers the regression comparison tracks
+        alongside wall seconds.
+        """
+        if self.n <= 0:
+            return {}
+        return {
+            name: self.counters[name] / self.n
+            for name in RATE_COUNTERS
+            if name in self.counters
+        }
+
     def as_row(self) -> dict:
         """Flat dict for table formatting."""
         return {
@@ -107,6 +137,8 @@ class RunRecord:
             "noise": self.n_noise,
             "dense%": 100.0 * self.dense_fraction,
             "peak_MB": self.peak_bytes / 1e6,
+            "frontier_peak": self.counters.get("frontier_peak", 0),
+            "scatter_adds": self.counters.get("scatter_adds", 0),
             "retries": self.attempts - 1,
             "faults": self.faults,
         }

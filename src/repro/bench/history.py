@@ -9,6 +9,13 @@ Records round-trip losslessly through :func:`save_records` /
 :func:`load_records`; :func:`compare_records` matches cells by their
 identity (algorithm, dataset, n, eps, minpts) and reports per-cell
 speedups with a regression threshold.
+
+Besides wall seconds, the comparison tracks **per-point counter rates**
+(:meth:`~repro.bench.harness.RunRecord.counter_rates` —
+``distance_evals / n`` and friends).  Wall time is noisy across machines
+and loads; the rates are deterministic work measures, so a rate
+regression is an *algorithmic* alarm — the code started doing more work
+per point — even when the wall clock happens to look fine.
 """
 
 from __future__ import annotations
@@ -66,6 +73,11 @@ def save_records(path: str, records: list[RunRecord], meta: dict | None = None) 
                 "faults": int(r.faults),
                 "detail": r.detail,
                 "replayed_build_seconds": float(r.replayed_build_seconds),
+                # Derived from counters/n; saved so humans diffing the
+                # JSON see the tracked rates without recomputing them.
+                "counter_rates": {
+                    k: float(v) for k, v in r.counter_rates().items()
+                },
             }
             for r in records
         ],
@@ -112,6 +124,7 @@ def compare_records(
     baseline: list[RunRecord],
     current: list[RunRecord],
     regression_threshold: float = 1.25,
+    rate_threshold: float | None = None,
 ) -> dict:
     """Diff two runs cell by cell.
 
@@ -120,16 +133,24 @@ def compare_records(
     - ``regressions``: cells slower than ``regression_threshold`` x the
       baseline;
     - ``improvements``: cells faster than ``1 / threshold`` x baseline;
+    - ``rate_regressions`` / ``rate_improvements``: cells whose tracked
+      per-point counter rates (:meth:`RunRecord.counter_rates`) moved past
+      ``rate_threshold`` (defaults to ``regression_threshold``) — the
+      machine-independent work alarms;
     - ``status_changes``: cells whose status flipped (e.g. ok -> oom);
     - ``result_changes``: cells whose clustering output changed — these
       are *correctness* alarms, not performance ones;
     - ``unmatched``: cells present in only one run.
     """
+    if rate_threshold is None:
+        rate_threshold = regression_threshold
     base = {_key(r): r for r in baseline}
     cur = {_key(r): r for r in current}
     report = {
         "regressions": [],
         "improvements": [],
+        "rate_regressions": [],
+        "rate_improvements": [],
         "status_changes": [],
         "result_changes": [],
         "unmatched": sorted(
@@ -160,4 +181,21 @@ def compare_records(
                 report["regressions"].append(entry)
             elif ratio < 1.0 / regression_threshold:
                 report["improvements"].append(entry)
+        old_rates = old.counter_rates()
+        new_rates = new.counter_rates()
+        for name in sorted(set(old_rates) & set(new_rates)):
+            if old_rates[name] <= 0:
+                continue
+            ratio = new_rates[name] / old_rates[name]
+            entry = {
+                "cell": str(key),
+                "counter": name,
+                "ratio": ratio,
+                "before": old_rates[name],
+                "after": new_rates[name],
+            }
+            if ratio > rate_threshold:
+                report["rate_regressions"].append(entry)
+            elif ratio < 1.0 / rate_threshold:
+                report["rate_improvements"].append(entry)
     return report

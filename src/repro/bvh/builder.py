@@ -220,6 +220,9 @@ def build_bvh(
         codes=codes,
         levels=levels,
     )
+    # materialise the parent-major traversal layout now so the device
+    # charge below covers it (and release_bvh frees the same amount)
+    tree.packed_children()
     dev.memory.allocate(tree.nbytes(), tag="bvh")
     return tree
 

@@ -113,7 +113,9 @@ def knn_radii(
                     tree.node_lo[tree.n_internal + leaf_pos]
                     + tree.node_hi[tree.n_internal + leaf_pos]
                 )
-                collected_q.append(q_ids)
+                # q_ids is a pool-backed view only valid during the call;
+                # copy because the gather holds it across steps.
+                collected_q.append(q_ids.copy())
                 collected_d.append(np.einsum("ij,ij->i", diff, diff))
                 _ = prim
 

@@ -23,6 +23,23 @@ Three properties of the paper's algorithms map directly onto arguments:
   ``mask_positions[q] = p``, every subtree whose sorted-leaf range lies at
   or below ``p`` is hidden from query ``q``, so only neighbours at sorted
   positions ``> p`` are reported and each pair is processed exactly once.
+
+Two scheduling levers shape the constant factors without changing any
+result:
+
+- the **frontier pool**: all per-step arrays (the double-buffered
+  frontier, compacted hit/parent views, gathered boxes, predicates) live
+  in one grow-only scratch pool reused across steps and chunks, so the
+  hot loop performs no per-step ``concatenate``/fancy-index allocation.
+  The pool's high-water mark is charged to the memory model as a single
+  transient ``"frontier"`` allocation — the faithful analogue of a GPU's
+  preallocated traversal workspace;
+- **Morton query ordering** (``query_order="morton"``): queries are
+  chunked in Z-curve order instead of input order, so each wavefront
+  holds spatially coherent queries whose frontiers overlap — the locality
+  lever ArborX pulls by sorting queries along the space-filling curve.
+  The hit stream per query is unchanged (only the chunk membership
+  moves), so every derived result is identical.
 """
 
 from __future__ import annotations
@@ -32,11 +49,15 @@ from typing import Callable
 
 import numpy as np
 
-from repro.bvh.aabb import mindist_point_box_sq
 from repro.bvh.tree import BVH
+from repro.bvh.morton import morton_codes
 from repro.device.device import Device, default_device
+from repro.device.primitives import scatter_add
 
 LeafCallback = Callable[[np.ndarray, np.ndarray], None]
+
+#: Accepted values for ``query_order``.
+QUERY_ORDERS = ("input", "morton")
 
 
 @dataclass
@@ -67,17 +88,97 @@ class TraversalResult:
 DEFAULT_CHUNK_SIZE = 8192
 
 
+class _FrontierPool:
+    """Grow-only scratch pool backing the wavefront frontier.
+
+    Every per-step array the traversal needs — the frontier double buffer,
+    the compacted hit/parent views, the gathered query/box coordinates and
+    the boolean predicates — is a named slot here.  A slot grows to
+    exactly the largest size ever requested (no geometric slack), is never
+    shrunk, and is reused across steps and chunks, so after the first few
+    steps the hot loop allocates nothing.
+
+    Memory accounting: each growth is charged as a transient ``"frontier"``
+    allocation and the whole pool is freed once at the end of the
+    traversal, so ``peak_by_tag["frontier"]`` reports the pool's
+    high-water mark — monotone in ``chunk_size``, because a larger chunk's
+    frontier is the union of its sub-chunks' frontiers at every step.
+    """
+
+    def __init__(self, device: Device, dim: int):
+        self._dev = device
+        self._dim = dim
+        self._arrays: dict[str, np.ndarray] = {}
+        self.nbytes = 0
+
+    def _grow(self, name: str, shape: tuple, dtype) -> np.ndarray:
+        arr = self._arrays.get(name)
+        if arr is None or arr.shape[0] < shape[0]:
+            old_nbytes = 0 if arr is None else arr.nbytes
+            arr = np.empty(shape, dtype=dtype)
+            self._arrays[name] = arr
+            delta = arr.nbytes - old_nbytes
+            self.nbytes += delta
+            self._dev.memory.allocate(delta, "frontier", transient=True)
+        return arr
+
+    def take(self, name: str, size: int, dtype=np.int64) -> np.ndarray:
+        """A ``(size,)`` view of the named slot (grown if needed).
+
+        Growing a slot discards its previous contents; callers must have
+        consumed a slot's data before re-taking it with a larger size.
+        """
+        return self._grow(name, (size,), dtype)[:size]
+
+    def take2(self, name: str, size: int, dtype=np.int64) -> np.ndarray:
+        """A ``(size, 2)`` view of the named slot (one row per parent)."""
+        return self._grow(name, (size, 2), dtype)[:size]
+
+    def take2d(self, name: str, size: int) -> np.ndarray:
+        """A ``(size, dim)`` float64 view of the named slot."""
+        return self._grow(name, (size, self._dim), np.float64)[:size]
+
+    def take_boxes(self, name: str, size: int) -> np.ndarray:
+        """A ``(size, 2, dim)`` float64 view (both children's boxes)."""
+        return self._grow(name, (size, 2, self._dim), np.float64)[:size]
+
+    def release(self) -> None:
+        """Return the pool's footprint to the memory ledger."""
+        if self.nbytes:
+            self._dev.memory.free(self.nbytes, "frontier")
+            self.nbytes = 0
+
+
+def query_schedule(queries: np.ndarray, query_order: str) -> np.ndarray | None:
+    """The chunking permutation for ``query_order`` (``None`` = input order).
+
+    ``"morton"`` sorts queries along the Z-curve (stable, so ties keep
+    input order) and is a pure *scheduling* choice: the traversal stores
+    absolute query ids in the frontier, so callbacks, masks and early-exit
+    checks see the same ids either way and every per-query result is
+    bit-identical.
+    """
+    if query_order not in QUERY_ORDERS:
+        raise ValueError(
+            f"query_order must be one of {QUERY_ORDERS}; got {query_order!r}"
+        )
+    if query_order != "morton" or np.asarray(queries).shape[0] < 2:
+        return None
+    return np.argsort(morton_codes(queries), kind="stable").astype(np.int64)
+
+
 def for_each_leaf_hit(
     tree: BVH,
     queries: np.ndarray,
     eps: float,
     callback: LeafCallback,
     mask_positions: np.ndarray | None = None,
-    finished_fn: Callable[[], np.ndarray] | None = None,
+    finished_fn: Callable[[np.ndarray], np.ndarray] | None = None,
     device: Device | None = None,
     kernel_name: str = "bvh_traverse",
     leaf_test_is_distance: bool = True,
     chunk_size: int | None = DEFAULT_CHUNK_SIZE,
+    query_order: str = "input",
 ) -> TraversalResult:
     """Stream every ``(query, leaf)`` pair within ``eps`` to ``callback``.
 
@@ -95,15 +196,20 @@ def for_each_leaf_hit(
         ``callback(query_ids, leaf_positions)`` invoked once per wavefront
         step with the step's hits.  ``leaf_positions`` are *sorted* leaf
         positions; map through ``tree.order`` for the caller's primitive
-        ids.  The arrays are only valid for the duration of the call.
+        ids.  The arrays are pool-backed views, only valid for the
+        duration of the call.
     mask_positions:
         Optional ``(m,)`` int array; query ``q`` only sees leaves at sorted
         positions strictly greater than ``mask_positions[q]`` (the paper's
         traversal mask).  Pass ``-1`` entries for unmasked queries.
     finished_fn:
-        Optional nullary callable returning an ``(m,)`` boolean array;
-        queries marked ``True`` stop traversing (checked every step —
-        the early-termination hook).
+        Optional early-termination hook, called every step with the
+        frontier's *query ids* (one entry per expanding parent pair — both
+        children share the verdict) and returning a boolean array of the
+        same length; ``True`` entries stop traversing.  The check is
+        restricted to the ids actually on the frontier — never the full
+        ``(m,)`` query set.  The returned array must be freshly allocated
+        (the traversal negates it in place).
     device:
         Accounting device.
     leaf_test_is_distance:
@@ -114,6 +220,10 @@ def for_each_leaf_hit(
         Queries advanced per wavefront (``None`` = all at once).  Models
         the device's resident-thread limit and bounds the transient
         frontier memory; results are identical for any chunking.
+    query_order:
+        ``"input"`` (default) chunks queries in input order; ``"morton"``
+        chunks them in Z-curve order for spatial coherence.  Results are
+        identical either way — only the wavefront composition changes.
 
     Returns
     -------
@@ -135,68 +245,126 @@ def for_each_leaf_hit(
         return result
     if mask_positions is not None:
         mask_positions = np.asarray(mask_positions, dtype=np.int64)
+    schedule = query_schedule(queries, query_order)
     if chunk_size is None or chunk_size <= 0:
         chunk_size = m
 
-    with dev.kernel(kernel_name, threads=m) as launch:
-        for chunk_start in range(0, m, chunk_size):
-            chunk_ids = np.arange(
-                chunk_start, min(chunk_start + chunk_size, m), dtype=np.int64
-            )
-            # Seed the frontier with the root, testing it like any other
-            # node (also prunes queries entirely outside the scene).
-            root_lo = tree.node_lo[tree.root][None, :]
-            root_hi = tree.node_hi[tree.root][None, :]
-            ok = mindist_point_box_sq(queries[chunk_ids], root_lo, root_hi) <= eps2
-            if mask_positions is not None:
-                ok &= tree.node_range_hi[tree.root] > mask_positions[chunk_ids]
-            if finished_fn is not None:
-                ok &= ~finished_fn()[chunk_ids]
-            frontier_q = chunk_ids[ok]
-            frontier_n = np.full(frontier_q.shape[0], tree.root, dtype=np.int64)
-
-            while frontier_q.size:
-                result.steps += 1
-                size = frontier_q.size
-                result.frontier_peak = max(result.frontier_peak, size)
-                dev.counters.add("nodes_visited", size)
-                dev.counters.observe_peak("frontier_peak", size)
-                scratch = frontier_q.nbytes + frontier_n.nbytes
-                dev.memory.allocate(scratch, "frontier", transient=True)
-                dev.memory.free(scratch, "frontier")
-
-                is_leaf = frontier_n >= n_int
-                if is_leaf.any():
-                    hit_q = frontier_q[is_leaf]
-                    hit_pos = frontier_n[is_leaf] - n_int
-                    result.leaf_hits += hit_q.size
-                    callback(hit_q, hit_pos)
-
-                parent_q = frontier_q[~is_leaf]
-                parents = frontier_n[~is_leaf]
-                if parents.size == 0:
-                    break
-
-                children = np.concatenate([tree.left[parents], tree.right[parents]])
-                child_q = np.concatenate([parent_q, parent_q])
-                d2 = mindist_point_box_sq(
-                    queries[child_q], tree.node_lo[children], tree.node_hi[children]
-                )
-                child_is_leaf = children >= n_int
-                n_leaf_tests = int(child_is_leaf.sum())
-                if leaf_test_is_distance:
-                    dev.counters.add("distance_evals", n_leaf_tests)
-                    dev.counters.add("box_tests", children.size - n_leaf_tests)
+    ch_ids, ch_lo, ch_hi, ch_rng_hi = tree.packed_children()
+    # Narrow index dtypes wherever they fit — real traversal kernels carry
+    # 32-bit node/query ids, and on a bandwidth-bound wavefront halving the
+    # index traffic is a direct win.  Purely a storage choice: every id is
+    # exact in either width.
+    ndt = ch_ids.dtype
+    qdt = np.int32 if m <= np.iinfo(np.int32).max else np.int64
+    if schedule is not None:
+        schedule = schedule.astype(qdt, copy=False)
+    pool = _FrontierPool(dev, tree.dim)
+    try:
+        with dev.kernel(kernel_name, threads=m) as launch:
+            for chunk_start in range(0, m, chunk_size):
+                chunk_end = min(chunk_start + chunk_size, m)
+                if schedule is not None:
+                    chunk_ids = schedule[chunk_start:chunk_end]
                 else:
-                    dev.counters.add("box_tests", children.size)
-                ok = d2 <= eps2
+                    chunk_ids = np.arange(chunk_start, chunk_end, dtype=qdt)
+                # Seed the frontier with the root, testing it like any other
+                # node (also prunes queries entirely outside the scene).
+                root_lo = tree.node_lo[tree.root]
+                root_hi = tree.node_hi[tree.root]
+                clamped = np.clip(queries[chunk_ids], root_lo, root_hi)
+                diff = queries[chunk_ids] - clamped
+                ok = np.einsum("nd,nd->n", diff, diff) <= eps2
                 if mask_positions is not None:
-                    ok &= tree.node_range_hi[children] > mask_positions[child_q]
+                    ok &= tree.node_range_hi[tree.root] > mask_positions[chunk_ids]
                 if finished_fn is not None:
-                    ok &= ~finished_fn()[child_q]
-                frontier_q = child_q[ok]
-                frontier_n = children[ok]
-        launch.steps = result.steps
+                    ok &= ~finished_fn(chunk_ids)
+                size = int(np.count_nonzero(ok))
+                fr_q = pool.take("fr_q", size, dtype=qdt)
+                np.compress(ok, chunk_ids, out=fr_q)
+                fr_n = pool.take("fr_n", size, dtype=ndt)
+                fr_n.fill(tree.root)
+
+                while size:
+                    result.steps += 1
+                    result.frontier_peak = max(result.frontier_peak, size)
+                    dev.counters.add("nodes_visited", size)
+                    dev.counters.observe_peak("frontier_peak", size)
+
+                    # -- split the frontier into leaf hits and parents ------
+                    leaf = pool.take("leaf", size, dtype=bool)
+                    np.greater_equal(fr_n, n_int, out=leaf)
+                    n_hits = int(np.count_nonzero(leaf))
+                    n_par = size - n_hits
+                    if n_hits:
+                        hit_q = pool.take("hit_q", n_hits, dtype=qdt)
+                        hit_pos = pool.take("hit_pos", n_hits, dtype=ndt)
+                        np.compress(leaf, fr_q, out=hit_q)
+                        np.compress(leaf, fr_n, out=hit_pos)
+                        hit_pos -= n_int
+                        result.leaf_hits += n_hits
+                        callback(hit_q, hit_pos)
+                    if n_par == 0:
+                        break
+                    np.logical_not(leaf, out=leaf)
+                    par_q = pool.take("par_q", n_par, dtype=qdt)
+                    par_n = pool.take("par_n", n_par, dtype=ndt)
+                    np.compress(leaf, fr_q, out=par_q)
+                    np.compress(leaf, fr_n, out=par_n)
+
+                    # -- expand parents, parent-major: one gather over
+                    # par_n fetches both children's ids, boxes and ranges
+                    # (the interleaved layout from tree.packed_children) --
+                    two_k = 2 * n_par
+                    ex_q = pool.take2("ex_q", n_par, dtype=qdt)
+                    ex_n = pool.take2("ex_n", n_par, dtype=ndt)
+                    ex_q[:] = par_q[:, None]
+                    np.take(ch_ids, par_n, axis=0, out=ex_n)
+
+                    # -- test the children against the search sphere --------
+                    g_pts = pool.take2d("g_pts", n_par)
+                    g_lo = pool.take_boxes("g_lo", n_par)
+                    g_hi = pool.take_boxes("g_hi", n_par)
+                    np.take(queries, par_q, axis=0, out=g_pts)
+                    np.take(ch_lo, par_n, axis=0, out=g_lo)
+                    np.take(ch_hi, par_n, axis=0, out=g_hi)
+                    d2 = pool.take2("d2", n_par, dtype=np.float64)
+                    pts = g_pts[:, None, :]
+                    np.clip(pts, g_lo, g_hi, out=g_lo)
+                    np.subtract(pts, g_lo, out=g_lo)
+                    np.einsum("nkd,nkd->nk", g_lo, g_lo, out=d2)
+
+                    keep = pool.take2("keep", n_par, dtype=bool)
+                    np.greater_equal(ex_n, n_int, out=keep)
+                    n_leaf_tests = int(np.count_nonzero(keep))
+                    if leaf_test_is_distance:
+                        dev.counters.add("distance_evals", n_leaf_tests)
+                        dev.counters.add("box_tests", two_k - n_leaf_tests)
+                    else:
+                        dev.counters.add("box_tests", two_k)
+                    np.less_equal(d2, eps2, out=keep)
+                    if mask_positions is not None:
+                        rng_hi = pool.take2("rng_hi", n_par, dtype=ndt)
+                        q_mask = pool.take("q_mask", n_par)
+                        np.take(ch_rng_hi, par_n, axis=0, out=rng_hi)
+                        np.take(mask_positions, par_q, out=q_mask)
+                        visible = pool.take2("visible", n_par, dtype=bool)
+                        np.greater(rng_hi, q_mask[:, None], out=visible)
+                        keep &= visible
+                    if finished_fn is not None:
+                        fin = finished_fn(par_q)
+                        np.logical_not(fin, out=fin)
+                        keep &= fin[:, None]
+
+                    # -- compact the survivors back into the frontier -------
+                    size = int(np.count_nonzero(keep))
+                    fr_q = pool.take("fr_q", size, dtype=qdt)
+                    fr_n = pool.take("fr_n", size, dtype=ndt)
+                    flat = keep.reshape(two_k)
+                    np.compress(flat, ex_q.reshape(two_k), out=fr_q)
+                    np.compress(flat, ex_n.reshape(two_k), out=fr_n)
+            launch.steps = result.steps
+    finally:
+        pool.release()
     return result
 
 
@@ -209,6 +377,7 @@ def count_within(
     device: Device | None = None,
     chunk_size: int | None = DEFAULT_CHUNK_SIZE,
     leaf_weights: np.ndarray | None = None,
+    query_order: str = "input",
 ) -> np.ndarray:
     """Count leaves within ``eps`` of each query (point-leaf trees).
 
@@ -228,6 +397,12 @@ def count_within(
       and the threshold test ``counts >= stop_at`` downstream is
       unaffected.
 
+    The early-exit check is evaluated per step against the *frontier's*
+    query ids only — an O(frontier) gather, not an O(m) recompute — and a
+    query's per-step hit batches depend only on its own tree path, so the
+    returned counts are identical for every ``chunk_size`` and
+    ``query_order``.
+
     ``stop_at`` may be fractional when ``leaf_weights`` is given (weights
     are arbitrary positive floats, so any finite threshold is meaningful);
     it must be positive and finite either way.
@@ -240,12 +415,13 @@ def count_within(
     A query point that is itself a primitive of the tree counts itself
     (distance 0).
     """
+    dev = default_device(device)
     m = np.asarray(queries).shape[0]
     if leaf_weights is None:
         counts = np.zeros(m, dtype=np.int64)
 
         def on_hits(q_ids: np.ndarray, _pos: np.ndarray) -> None:
-            np.add.at(counts, q_ids, 1)
+            scatter_add(counts, q_ids, counters=dev.counters)
 
     else:
         leaf_weights = np.asarray(leaf_weights, dtype=np.float64)
@@ -256,15 +432,15 @@ def count_within(
         counts = np.zeros(m, dtype=np.float64)
 
         def on_hits(q_ids: np.ndarray, pos: np.ndarray) -> None:
-            np.add.at(counts, q_ids, leaf_weights[pos])
+            scatter_add(counts, q_ids, leaf_weights[pos], counters=dev.counters)
 
     finished_fn = None
     if stop_at is not None:
         if not np.isfinite(stop_at) or stop_at <= 0:
             raise ValueError(f"stop_at must be positive and finite; got {stop_at}")
 
-        def finished_fn() -> np.ndarray:
-            return counts >= stop_at
+        def finished_fn(ids: np.ndarray) -> np.ndarray:
+            return counts[ids] >= stop_at
 
     for_each_leaf_hit(
         tree,
@@ -273,8 +449,9 @@ def count_within(
         on_hits,
         mask_positions=mask_positions,
         finished_fn=finished_fn,
-        device=device,
+        device=dev,
         kernel_name="bvh_count",
         chunk_size=chunk_size,
+        query_order=query_order,
     )
     return counts

@@ -18,7 +18,7 @@ hidden from the query at sorted position ``p`` exactly when its
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -65,6 +65,9 @@ class BVH:
     position: np.ndarray
     codes: np.ndarray
     levels: list[np.ndarray]
+    #: Parent-major traversal layout (see :meth:`packed_children`); built
+    #: lazily and cached.
+    _packed: tuple | None = field(default=None, repr=False, compare=False)
 
     @property
     def n_internal(self) -> int:
@@ -84,8 +87,46 @@ class BVH:
         """Node ids of the leaves at the given sorted positions."""
         return np.asarray(positions) + self.n_internal
 
+    def packed_children(self) -> tuple:
+        """Parent-major child layout for the wavefront traversal.
+
+        Returns ``(child, child_lo, child_hi, child_range_hi)`` where
+        ``child`` is ``(n_internal, 2)`` node ids and the box/range arrays
+        hold both children's data contiguously per parent —
+        ``child_lo[p, 0]`` is the left child's box, ``child_lo[p, 1]`` the
+        right's.  One gather over parent ids then fetches everything a
+        frontier step needs, instead of two gathers over a
+        doubled-and-concatenated child list; this is the interleaved node
+        layout GPU BVHs store for exactly this reason.  (lo and hi stay
+        separate arrays so the downstream box tests run over contiguous
+        memory — numpy's ufunc fast path.)  Ids and ranges are int32
+        whenever they fit (they do until ~1e9 primitives), halving the
+        index traffic like a real implementation would.
+
+        The layout is derived from ``left``/``right``/``node_lo``/
+        ``node_hi`` on first use and cached; anything that mutates the
+        fitted boxes afterwards (an out-of-builder refit) must call
+        :meth:`invalidate_packed`.
+        """
+        if self._packed is None:
+            child = np.stack([self.left, self.right], axis=1)
+            if 2 * self.n_primitives - 1 <= np.iinfo(np.int32).max:
+                child = child.astype(np.int32)
+            self._packed = (
+                child,
+                np.ascontiguousarray(self.node_lo[child]),
+                np.ascontiguousarray(self.node_hi[child]),
+                np.ascontiguousarray(self.node_range_hi[child].astype(child.dtype)),
+            )
+        return self._packed
+
+    def invalidate_packed(self) -> None:
+        """Drop the cached parent-major layout (after a box refit)."""
+        self._packed = None
+
     def nbytes(self) -> int:
-        """Device footprint of the tree's arrays."""
+        """Device footprint of the tree's arrays (incl. the packed
+        traversal layout, materialised eagerly by the builder)."""
         total = 0
         for arr in (
             self.node_lo,
@@ -100,6 +141,8 @@ class BVH:
             self.codes,
         ):
             total += arr.nbytes
+        if self._packed is not None:
+            total += sum(arr.nbytes for arr in self._packed)
         return total
 
     def validate(self) -> None:

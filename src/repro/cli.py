@@ -207,6 +207,9 @@ def _cmd_bench(args) -> int:
         x_key = "min_samples"
     plan, policy = _fault_machinery(args)
     tracer = _tracer_for(args)
+    tree_kwargs = {}
+    if args.query_order != "input":
+        tree_kwargs["query_order"] = args.query_order
     records = run_sweep(
         algorithms,
         cells,
@@ -215,6 +218,7 @@ def _cmd_bench(args) -> int:
         time_budget=args.time_budget,
         time_budget_mode=args.time_budget_mode,
         capacity_bytes=args.memory_cap,
+        tree_kwargs=tree_kwargs or None,
         reuse_index=not args.no_reuse_index,
         retry_policy=policy,
         fault_plan=plan,
@@ -233,7 +237,9 @@ def _cmd_bench(args) -> int:
     if args.save:
         from repro.bench.history import save_records
 
-        meta = {"argv": sys.argv[1:]}
+        # the argv main() actually parsed — replayable by bench.smoke even
+        # when main() is invoked programmatically (sys.argv would lie then)
+        meta = {"argv": getattr(args, "argv", sys.argv[1:])}
         if trace_meta is not None:
             meta["trace"] = trace_meta
         save_records(args.save, records, meta=meta)
@@ -244,10 +250,20 @@ def _cmd_bench(args) -> int:
         baseline, _ = load_records(args.compare)
         report = compare_records(baseline, records)
         print("-- comparison vs", args.compare, "--")
-        for kind in ("regressions", "improvements", "status_changes", "result_changes"):
+        for kind in (
+            "regressions",
+            "improvements",
+            "rate_regressions",
+            "rate_improvements",
+            "status_changes",
+            "result_changes",
+        ):
             for entry in report[kind]:
                 print(f"  {kind[:-1]}: {entry}")
-        if not any(report[k] for k in ("regressions", "status_changes", "result_changes")):
+        alarm_kinds = (
+            "regressions", "rate_regressions", "status_changes", "result_changes"
+        )
+        if not any(report[k] for k in alarm_kinds):
             print("  no regressions")
     return 0
 
@@ -361,6 +377,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cost_model_flag(bench)
     bench.add_argument(
+        "--query-order", choices=("input", "morton"), default="input",
+        help="traversal query scheduling for the tree algorithms: chunk "
+        "queries in input order or along the Morton curve (identical "
+        "labels and work counters either way — an ablation lever)",
+    )
+    bench.add_argument(
         "--no-reuse-index",
         action="store_true",
         help="rebuild the spatial index cold in every cell (default: build once "
@@ -380,7 +402,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
     args = build_parser().parse_args(argv)
+    args.argv = list(argv)
     return args.func(args)
 
 

@@ -34,12 +34,16 @@ import time
 import numpy as np
 
 from repro.bvh.traversal import DEFAULT_CHUNK_SIZE, for_each_leaf_hit
-from repro.core.framework import attach_border, resolve_pairs
+from repro.core.framework import DEFAULT_PAIR_BUFFER, PairResolver
 from repro.core.index import DBSCANIndex
 from repro.core.labels import DBSCANResult, finalize_clusters
 from repro.core.validation import validate_params, validate_points, validate_weights
 from repro.device.device import Device, default_device
-from repro.device.primitives import concatenated_ranges, segment_ids_from_counts
+from repro.device.primitives import (
+    concatenated_ranges,
+    scatter_add,
+    segment_ids_from_counts,
+)
 from repro.grid.dense_cells import DenseDecomposition
 from repro.unionfind.ecl import EclUnionFind
 
@@ -88,12 +92,16 @@ def fdbscan_densebox(
     chunk_size: int | None = None,
     sample_weight=None,
     index: DBSCANIndex | None = None,
+    query_order: str = "input",
+    pair_buffer: int | None = DEFAULT_PAIR_BUFFER,
 ) -> DBSCANResult:
     """Cluster ``X`` with FDBSCAN-DenseBox.
 
     Arguments match :func:`repro.core.fdbscan.fdbscan` (including the
     weighted-density ``sample_weight``: dense cells then threshold summed
-    member weight, and the all-members-core guarantee carries over).
+    member weight, and the all-members-core guarantee carries over;
+    ``query_order``/``pair_buffer`` are the same output-preserving
+    scheduling levers).
     ``info`` additionally carries ``dense_fraction`` (share of points
     inside dense cells — the regime indicator the paper reports),
     ``n_dense_cells`` and ``total_cells`` (the virtual grid size).
@@ -159,12 +167,13 @@ def fdbscan_densebox(
                     # degenerate-box) distance test; the query's own
                     # primitive contributes its self-count here.
                     if weights is None:
-                        np.add.at(counts, q_ids[pt_hits], 1)
+                        scatter_add(counts, q_ids[pt_hits], counters=dev.counters)
                     else:
-                        np.add.at(
+                        scatter_add(
                             counts,
                             q_ids[pt_hits],
                             weights[deco.prim_point[prim[pt_hits]]],
+                            counters=dev.counters,
                         )
                     dev.counters.add("distance_evals", int(pt_hits.sum()))
                 if box.any():
@@ -174,16 +183,21 @@ def fdbscan_densebox(
                         X, deco, queries, qb, ranks, eps2
                     )
                     if weights is None:
-                        np.add.at(counts, qb[seg], within.astype(np.int64))
+                        scatter_add(counts, qb[seg], within, counters=dev.counters)
                     else:
-                        np.add.at(counts, qb[seg], within * weights[box_members])
+                        scatter_add(
+                            counts,
+                            qb[seg],
+                            within * weights[box_members],
+                            counters=dev.counters,
+                        )
                     dev.counters.add("distance_evals", int(within.shape[0]))
 
             finished_fn = None
             if early_exit:
 
-                def finished_fn() -> np.ndarray:
-                    return counts >= minpts
+                def finished_fn(ids: np.ndarray) -> np.ndarray:
+                    return counts[ids] >= minpts
 
             for_each_leaf_hit(
                 tree,
@@ -195,6 +209,7 @@ def fdbscan_densebox(
                 kernel_name="densebox_preprocess",
                 leaf_test_is_distance=False,
                 chunk_size=chunk_size,
+                query_order=query_order,
             )
             is_core[deco.isolated_idx] = counts >= minpts
             if not early_exit:
@@ -205,6 +220,7 @@ def fdbscan_densebox(
 
     # --- main phase ------------------------------------------------------------
     uf = EclUnionFind(n, device=dev)
+    resolver = PairResolver(uf, resolution_core, device=dev, buffer_pairs=pair_buffer)
 
     # (a) union all points within each dense cell.
     if deco.n_dense:
@@ -233,7 +249,7 @@ def fdbscan_densebox(
             nbr = deco.prim_point[prim[pt_hits]]
             q = q_ids[pt_hits]
             keep = nbr != q  # self-pairs only occur unmasked
-            resolve_pairs(uf, resolution_core, q[keep], nbr[keep], dev)
+            resolver.add(q[keep], nbr[keep])
             dev.counters.add("distance_evals", int(pt_hits.sum()))
         if box.any():
             qb = q_ids[box]
@@ -260,14 +276,11 @@ def fdbscan_densebox(
             q_hit = qb[has]
             member_starts = deco.dense_members(ranks[has])[0]
             first_member = deco.members[member_starts + first_slot[has]]
-            dev.counters.add("pairs_processed", q_hit.shape[0])
-            core_q = resolution_core[q_hit]
-            if core_q.any():
-                uf.union(q_hit[core_q], first_member[core_q])
-            if (~core_q).any():
-                # The member is a dense-cell point, hence core: attach the
-                # non-core query to its cluster.
-                attach_border(uf, first_member[~core_q], q_hit[~core_q], dev)
+            # The member is a dense-cell point, hence core: a core query is
+            # unioned into the cell's cluster, a non-core query becomes a
+            # border candidate of it — both are exactly the resolver's
+            # per-edge rule for a (query, core member) pair.
+            resolver.add(q_hit, first_member)
 
     for_each_leaf_hit(
         tree,
@@ -279,7 +292,9 @@ def fdbscan_densebox(
         kernel_name="densebox_main",
         leaf_test_is_distance=False,
         chunk_size=chunk_size,
+        query_order=query_order,
     )
+    resolver.finalize()
     t3 = time.perf_counter()
     info["t_main"] = t3 - t2
 

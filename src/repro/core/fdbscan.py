@@ -25,7 +25,7 @@ import time
 import numpy as np
 
 from repro.bvh.traversal import DEFAULT_CHUNK_SIZE, count_within, for_each_leaf_hit
-from repro.core.framework import resolve_pairs
+from repro.core.framework import DEFAULT_PAIR_BUFFER, PairResolver
 from repro.core.index import DBSCANIndex
 from repro.core.labels import DBSCANResult, finalize_clusters
 from repro.core.validation import validate_params, validate_points, validate_weights
@@ -43,6 +43,8 @@ def fdbscan(
     chunk_size: int | None = None,
     sample_weight=None,
     index: DBSCANIndex | None = None,
+    query_order: str = "input",
+    pair_buffer: int | None = DEFAULT_PAIR_BUFFER,
 ) -> DBSCANResult:
     """Cluster ``X`` with FDBSCAN.
 
@@ -83,6 +85,15 @@ def fdbscan(
         so counters and memory peaks stay comparable to a cold run; the
         index used (built here if none was given) is returned in
         ``info["index"]`` for reuse.
+    query_order:
+        Traversal scheduling: ``"input"`` chunks queries in input order,
+        ``"morton"`` in Z-curve order for spatially coherent wavefronts
+        (smaller frontiers, better locality).  Labels and work-counter
+        totals are identical either way.
+    pair_buffer:
+        Pairs accumulated before each union-find launch in the main phase
+        (``None`` = resolve every traversal step's batch immediately).
+        Output is identical for any buffering.
 
     Returns
     -------
@@ -123,6 +134,7 @@ def fdbscan(
             device=dev,
             chunk_size=chunk_size,
             leaf_weights=weights[tree.order],
+            query_order=query_order,
         )
         is_core = counts >= minpts
         resolution_core = is_core
@@ -145,6 +157,7 @@ def fdbscan(
             stop_at=minpts if early_exit else None,
             device=dev,
             chunk_size=chunk_size,
+            query_order=query_order,
         )
         is_core = counts >= minpts
         resolution_core = is_core
@@ -157,6 +170,7 @@ def fdbscan(
     uf = EclUnionFind(n, device=dev)
     mask_positions = tree.position if use_mask else None
     order = tree.order
+    resolver = PairResolver(uf, resolution_core, device=dev, buffer_pairs=pair_buffer)
 
     def on_hits(q_ids: np.ndarray, leaf_pos: np.ndarray) -> None:
         nbr = order[leaf_pos]
@@ -166,7 +180,7 @@ def fdbscan(
             nb = nbr[keep]
         else:
             q, nb = q_ids, nbr
-        resolve_pairs(uf, resolution_core, q, nb, dev)
+        resolver.add(q, nb)
 
     for_each_leaf_hit(
         tree,
@@ -177,7 +191,9 @@ def fdbscan(
         device=dev,
         kernel_name="fdbscan_main",
         chunk_size=chunk_size,
+        query_order=query_order,
     )
+    resolver.finalize()
     t3 = time.perf_counter()
     info["t_main"] = t3 - t2
 

@@ -24,6 +24,15 @@ FDBSCAN and FDBSCAN-DenseBox (the two algorithms differ only in how pairs
 are *discovered*).  Pairs arrive in per-traversal-step batches and are
 consumed immediately — the fused, on-the-fly processing that keeps memory
 linear in ``n``.
+
+:class:`PairResolver` is the batched evolution of that resolution: it
+buffers the per-step micro-batches to a target size before launching the
+union-find kernels (small per-step batches pay a fixed launch overhead
+each — exactly the behaviour the paper's fused kernels avoid on real
+hardware), and it replaces the *first-wins* CAS border attachment with a
+commutative scatter-min over candidate core neighbours, making the final
+labels independent of pair arrival order — and hence identical across
+chunk sizes, query orders and buffering choices.
 """
 
 from __future__ import annotations
@@ -33,6 +42,10 @@ import numpy as np
 from repro.device.atomics import atomic_cas_batch
 from repro.device.device import Device, default_device
 from repro.unionfind.ecl import EclUnionFind
+
+#: Default pair-buffer target (pairs accumulated before one union-find
+#: launch).  Roughly the batch a GPU needs to hide kernel-launch latency.
+DEFAULT_PAIR_BUFFER = 1 << 16
 
 
 def attach_border(
@@ -90,3 +103,119 @@ def resolve_pairs(
     y_only = cy & ~cx
     if y_only.any():
         attach_border(uf, y[y_only], x[y_only], dev)
+
+
+class PairResolver:
+    """Buffered, schedule-independent resolution of discovered pairs.
+
+    A drop-in consumer for the pair stream the traversals emit:
+    :meth:`add` takes each ``(x, y)`` batch (every unordered pair presented
+    once, either orientation, ``dist <= eps`` already established) and
+    :meth:`finalize` must be called once after the stream ends, before the
+    labels are read.
+
+    Two deliberate differences from streaming :func:`resolve_pairs`:
+
+    - **buffering**: batches accumulate until ``buffer_pairs`` pairs are
+      held, then one union-find launch consumes them all — per-step
+      micro-batches stop paying the fixed launch overhead.
+      ``buffer_pairs=None`` flushes on every ``add`` (the unbuffered
+      ablation).  Core-core unions commute and the ECL union-find hooks
+      the larger root under the smaller, so the final components — and
+      therefore the labels — do not depend on batch boundaries.
+    - **deterministic border attachment**: instead of first-wins CAS (a
+      race whose winner depends on traversal schedule), every non-core
+      endpoint records the *minimum* core-neighbour index seen across the
+      whole stream (a commutative scatter-min, ``atomicMin`` on a GPU);
+      :meth:`finalize` then CAS-attaches each pending border point to
+      ``Find(min core neighbour)``.  Each border point is attached exactly
+      once, so every CAS succeeds and the labels are identical for any
+      arrival order — the bridging-prevention guarantee (one cluster per
+      border point) is preserved.
+
+    ``pairs_processed`` totals match the streaming path; ``cas_attempts``
+    now counts one attempt per attached border point (the deterministic
+    schedule has no losing requests).
+    """
+
+    def __init__(
+        self,
+        uf: EclUnionFind,
+        is_core: np.ndarray,
+        device: Device | None = None,
+        buffer_pairs: int | None = DEFAULT_PAIR_BUFFER,
+    ):
+        self.uf = uf
+        self.is_core = is_core
+        self.dev = default_device(device)
+        self.buffer_pairs = buffer_pairs
+        n = is_core.shape[0]
+        self._n = n
+        #: per-point minimum core neighbour seen (sentinel ``n`` = none).
+        self._border_min = np.full(n, n, dtype=np.int64)
+        self.dev.memory.allocate(self._border_min.nbytes, "border", transient=True)
+        self._buf_x: list[np.ndarray] = []
+        self._buf_y: list[np.ndarray] = []
+        self._buffered = 0
+        self._finalized = False
+
+    def add(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Buffer one batch of discovered pairs (flushing at the target).
+
+        The arrays may be scratch views owned by the traversal — they are
+        copied when held across calls.
+        """
+        if x.shape[0] == 0:
+            return
+        if self.buffer_pairs is None:
+            self._resolve(np.asarray(x), np.asarray(y))
+            return
+        self._buf_x.append(np.array(x, dtype=np.int64, copy=True))
+        self._buf_y.append(np.array(y, dtype=np.int64, copy=True))
+        self._buffered += x.shape[0]
+        if self._buffered >= self.buffer_pairs:
+            self.flush()
+
+    def flush(self) -> None:
+        """Resolve every buffered pair now."""
+        if not self._buffered:
+            return
+        if len(self._buf_x) == 1:
+            x, y = self._buf_x[0], self._buf_y[0]
+        else:
+            x = np.concatenate(self._buf_x)
+            y = np.concatenate(self._buf_y)
+        self._buf_x.clear()
+        self._buf_y.clear()
+        self._buffered = 0
+        self._resolve(x, y)
+
+    def _resolve(self, x: np.ndarray, y: np.ndarray) -> None:
+        dev = self.dev
+        dev.counters.add("pairs_processed", x.shape[0])
+        cx = self.is_core[x]
+        cy = self.is_core[y]
+        both = cx & cy
+        if both.any():
+            self.uf.union(x[both], y[both])
+        x_only = cx & ~cy
+        if x_only.any():
+            np.minimum.at(self._border_min, y[x_only], x[x_only])
+        y_only = cy & ~cx
+        if y_only.any():
+            np.minimum.at(self._border_min, x[y_only], y[y_only])
+
+    def finalize(self) -> None:
+        """Flush, then attach every pending border point.
+
+        Idempotent; must run before the union-find's parents are turned
+        into labels.
+        """
+        if self._finalized:
+            return
+        self.flush()
+        self._finalized = True
+        pending = np.flatnonzero(self._border_min < self._n)
+        if pending.size:
+            attach_border(self.uf, self._border_min[pending], pending, self.dev)
+        self.dev.memory.free(self._border_min.nbytes, "border")

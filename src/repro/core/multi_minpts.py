@@ -31,7 +31,7 @@ import numpy as np
 from repro.bvh.aabb import boxes_from_points
 from repro.bvh.builder import build_bvh
 from repro.bvh.traversal import DEFAULT_CHUNK_SIZE, count_within, for_each_leaf_hit
-from repro.core.framework import resolve_pairs
+from repro.core.framework import PairResolver
 from repro.core.labels import DBSCANResult, finalize_clusters
 from repro.core.validation import validate_params, validate_points
 from repro.device.device import Device, default_device
@@ -102,9 +102,10 @@ def dbscan_minpts_sweep(
             resolution_core = is_core
 
         uf = EclUnionFind(n, device=dev)
+        resolver = PairResolver(uf, resolution_core, device=dev)
 
         def on_hits(q_ids: np.ndarray, leaf_pos: np.ndarray) -> None:
-            resolve_pairs(uf, resolution_core, q_ids, order[leaf_pos], dev)
+            resolver.add(q_ids, order[leaf_pos])
 
         for_each_leaf_hit(
             tree,
@@ -116,6 +117,7 @@ def dbscan_minpts_sweep(
             kernel_name=f"sweep_main_mp{mp}",
             chunk_size=chunk_size,
         )
+        resolver.finalize()
         labels, core_mask, n_clusters = finalize_clusters(uf.parents, is_core, dev.counters)
         results[mp] = DBSCANResult(
             labels=labels,

@@ -85,6 +85,54 @@ def run_length_encode(sorted_keys: np.ndarray):
     return sorted_keys[run_starts], run_starts, run_lengths
 
 
+def scatter_add(
+    out: np.ndarray,
+    index: np.ndarray,
+    values: np.ndarray | None = None,
+    counters=None,
+) -> np.ndarray:
+    """Deterministic scatter-add: ``out[index[i]] += values[i]`` for all ``i``.
+
+    The numpy idiom for this, ``np.add.at``, is an order-of-magnitude
+    slower than a histogram because it dispatches per element; this helper
+    routes every scatter through ``np.bincount``, which models what a GPU
+    kernel actually does — each output bin is reduced independently — while
+    accumulating each bin's contributions *in input order*, exactly like
+    ``np.add.at``, so integer results are equal and float results are
+    bit-identical.
+
+    ``values`` may be omitted (each hit contributes 1), a boolean mask
+    (each ``True`` hit contributes 1 — the predicated-increment form), or
+    a numeric array of per-element contributions.  ``out`` is modified in
+    place and returned.  Out-of-range indices raise ``ValueError``.
+
+    ``counters`` (a :class:`~repro.device.counters.KernelCounters`)
+    accumulates the number of scattered elements in ``scatter_adds`` so
+    benchmark records can track scatter traffic.
+    """
+    index = np.asarray(index, dtype=np.intp)
+    n = out.shape[0]
+    if index.size and (index.min() < 0 or index.max() >= n):
+        raise ValueError("scatter_add index out of range")
+    if counters is not None:
+        counters.add("scatter_adds", index.shape[0])
+    if index.size == 0:
+        return out
+    if values is None:
+        out += np.bincount(index, minlength=n).astype(out.dtype, copy=False)
+        return out
+    values = np.asarray(values)
+    if values.dtype == bool:
+        hit = index[values]
+        if hit.size:
+            out += np.bincount(hit, minlength=n).astype(out.dtype, copy=False)
+        return out
+    out += np.bincount(index, weights=values, minlength=n).astype(
+        out.dtype, copy=False
+    )
+    return out
+
+
 def segmented_reduce(values: np.ndarray, segment_ids: np.ndarray, num_segments: int, op: str = "sum"):
     """Reduce ``values`` per segment (segments given by id, not necessarily sorted).
 
@@ -96,7 +144,10 @@ def segmented_reduce(values: np.ndarray, segment_ids: np.ndarray, num_segments: 
     segment_ids = np.asarray(segment_ids, dtype=np.intp)
     if op == "sum":
         out = np.zeros(num_segments, dtype=values.dtype)
-        np.add.at(out, segment_ids, values)
+        if values.ndim == 1:
+            scatter_add(out, segment_ids, values)
+        else:
+            np.add.at(out, segment_ids, values)
         return out
     if op == "min":
         ident = np.inf if values.dtype.kind == "f" else np.iinfo(values.dtype).max

@@ -21,7 +21,70 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.device.device import Device, default_device
+from repro.device.primitives import scatter_add
 from repro.grid.grid import RegularGrid, build_grid, compact_cells
+
+
+@dataclass
+class GridBinning:
+    """The eps-only half of the dense-cell decomposition.
+
+    Grid geometry, per-point cell ids and the CSR cell membership depend
+    only on the *points* and ``eps`` — never on ``minpts`` or sample
+    weights.  Splitting them out lets a ``minpts`` sweep at fixed ``eps``
+    bin the points once and re-threshold per parameter
+    (:meth:`repro.core.index.DBSCANIndex.grid_binning` caches these).
+    """
+
+    grid: RegularGrid
+    cell_of_point: np.ndarray
+    n_cells: int
+    cell_counts: np.ndarray
+    members: np.ndarray
+    cell_starts: np.ndarray
+
+    def nbytes(self) -> int:
+        return (
+            self.cell_of_point.nbytes
+            + self.cell_counts.nbytes
+            + self.members.nbytes
+            + self.cell_starts.nbytes
+        )
+
+
+def bin_points(
+    points: np.ndarray,
+    eps: float,
+    device: Device | None = None,
+) -> GridBinning:
+    """Bin ``points`` into the eps-grid (the minpts-independent stage).
+
+    Builds the virtual grid of cell length ``eps / sqrt(d)``, assigns
+    every point its compacted occupied-cell index and produces the CSR
+    membership arrays.  Each call increments the device's
+    ``grid_binnings`` counter — the number the grid-reuse tests assert on.
+    """
+    dev = default_device(device)
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    n = points.shape[0]
+    dev.counters.add("grid_binnings", 1)
+    with dev.kernel("grid_bin", threads=n) as launch:
+        grid = build_grid(points, eps)
+        coords = grid.cell_coords(points)
+        cell_of_point, n_cells, members, cell_starts, cell_counts = compact_cells(
+            grid, coords
+        )
+        launch.steps = 1
+    binning = GridBinning(
+        grid=grid,
+        cell_of_point=cell_of_point,
+        n_cells=n_cells,
+        cell_counts=cell_counts,
+        members=members,
+        cell_starts=cell_starts,
+    )
+    dev.memory.allocate(binning.nbytes(), tag="grid")
+    return binning
 
 
 @dataclass
@@ -124,18 +187,19 @@ class DenseDecomposition:
         return total
 
 
-def decompose(
+def threshold_binning(
     points: np.ndarray,
-    eps: float,
+    binning: GridBinning,
     minpts: int,
     device: Device | None = None,
     sample_weight: np.ndarray | None = None,
 ) -> DenseDecomposition:
-    """Run the dense-cell preprocessing of FDBSCAN-DenseBox.
+    """Threshold a :class:`GridBinning` into a full decomposition.
 
-    Computes the grid, classifies cells, and assembles the mixed primitive
-    set.  The number of points absorbed into dense cells is recorded in
-    the device's ``dense_cell_points`` counter.
+    The minpts-dependent stage: classify cells as dense, derive the
+    per-point dense flags and assemble the mixed primitive set over the
+    *existing* binning.  The number of points absorbed into dense cells is
+    recorded in the device's ``dense_cell_points`` counter.
 
     With ``sample_weight`` a cell is dense when its members' summed weight
     reaches ``minpts`` (the weighted-density generalisation; the dense-cell
@@ -145,15 +209,18 @@ def decompose(
     dev = default_device(device)
     points = np.ascontiguousarray(points, dtype=np.float64)
     n = points.shape[0]
-    with dev.kernel("dense_decompose", threads=n) as launch:
-        grid = build_grid(points, eps)
-        coords = grid.cell_coords(points)
-        cell_of_point, n_cells, members, cell_starts, cell_counts = compact_cells(grid, coords)
+    grid = binning.grid
+    cell_of_point = binning.cell_of_point
+    n_cells = binning.n_cells
+    cell_counts = binning.cell_counts
+    members = binning.members
+    cell_starts = binning.cell_starts
+    with dev.kernel("dense_threshold", threads=n) as launch:
         if sample_weight is None:
             dense_mask = cell_counts >= int(minpts)
         else:
             cell_weights = np.zeros(n_cells, dtype=np.float64)
-            np.add.at(cell_weights, cell_of_point, sample_weight)
+            scatter_add(cell_weights, cell_of_point, sample_weight, counters=dev.counters)
             dense_mask = cell_weights >= float(minpts)
         is_dense_point = dense_mask[cell_of_point]
         isolated_idx = np.flatnonzero(~is_dense_point).astype(np.int64)
@@ -205,5 +272,29 @@ def decompose(
         prim_is_box=prim_is_box,
         prim_point=prim_point,
     )
-    dev.memory.allocate(deco.nbytes(), tag="grid")
+    # The binning arrays were already charged by bin_points; charge only
+    # the threshold stage's additions so the total matches one decompose.
+    dev.memory.allocate(deco.nbytes() - binning.nbytes(), tag="grid")
     return deco
+
+
+def decompose(
+    points: np.ndarray,
+    eps: float,
+    minpts: int,
+    device: Device | None = None,
+    sample_weight: np.ndarray | None = None,
+) -> DenseDecomposition:
+    """Run the dense-cell preprocessing of FDBSCAN-DenseBox.
+
+    Convenience composition of the two stages: :func:`bin_points` (the
+    eps-only grid binning) followed by :func:`threshold_binning` (the
+    minpts classification and mixed primitive assembly).  Callers sweeping
+    ``minpts`` at fixed ``eps`` should hold on to the binning — or use
+    :class:`repro.core.index.DBSCANIndex`, which caches it — instead of
+    calling this per parameter.
+    """
+    binning = bin_points(points, eps, device=device)
+    return threshold_binning(
+        points, binning, minpts, device=device, sample_weight=sample_weight
+    )

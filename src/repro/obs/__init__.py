@@ -30,6 +30,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     record_comm_stats,
+    record_counter_rates,
     record_fault_summary,
     record_kernel_counters,
     record_kernel_profile,
@@ -53,6 +54,7 @@ __all__ = [
     "record_fault_summary",
     "record_kernel_counters",
     "record_kernel_profile",
+    "record_counter_rates",
     "record_launch_seconds",
     "record_run_records",
     "spans_csv",

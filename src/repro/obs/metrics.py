@@ -369,3 +369,32 @@ def record_run_records(registry: MetricsRegistry, records, **labels) -> None:
             f"{PREFIX}_index_cache_hit_ratio",
             "fraction of ok cells that reused a cached index build",
         ).set(n_reused / (n_reused + n_built), **labels)
+
+
+def record_counter_rates(registry: MetricsRegistry, records, **labels) -> None:
+    """Export each ``ok`` cell's per-point counter rates as gauges.
+
+    One ``repro_bench_counter_rate`` series per
+    :meth:`~repro.bench.harness.RunRecord.counter_rates` entry, labelled
+    by counter name and cell identity — the size-normalised work numbers
+    the regression comparison tracks across commits (wall seconds are
+    machine-dependent; ``distance_evals / n`` is not).
+    """
+    gauge = registry.gauge(
+        f"{PREFIX}_bench_counter_rate",
+        "per-point work-counter rate (counter value / n) per benchmark cell",
+    )
+    for rec in records:
+        if rec.status != "ok":
+            continue
+        for name, value in rec.counter_rates().items():
+            gauge.set(
+                value,
+                counter=name,
+                algorithm=rec.algorithm,
+                dataset=rec.dataset,
+                n=rec.n,
+                eps=rec.eps,
+                minpts=rec.min_samples,
+                **labels,
+            )

@@ -90,7 +90,10 @@ class TestDecompose:
         deco = decompose(X, eps=0.1, minpts=10, device=dev)
         assert dev.counters.dense_cell_points == deco.n_dense_points
         assert dev.memory.live_by_tag["grid"] == deco.nbytes()
-        assert any(l.name == "dense_decompose" for l in dev.launches)
+        # decompose = eps-only binning followed by the minpts threshold
+        assert any(l.name == "grid_bin" for l in dev.launches)
+        assert any(l.name == "dense_threshold" for l in dev.launches)
+        assert dev.counters.extra.get("grid_binnings") == 1
 
     def test_all_duplicate_points(self):
         X = np.ones((30, 2))

@@ -155,6 +155,6 @@ class TestApiIntegration:
         dbscan(blobs_2d, 0.2, 5, algorithm="fdbscan", index=index)
         dbscan(blobs_2d, 0.2, 5, algorithm="fdbscan-densebox", index=index)
         secs = index.build_seconds()
-        assert set(secs) == {"points", "dense eps=0.2 minpts=5"}
+        assert set(secs) == {"points", "binning eps=0.2", "dense eps=0.2 minpts=5"}
         assert all(s >= 0 for s in secs.values())
         assert index.nbytes() > 0

@@ -2,11 +2,13 @@
 
 The paper's batched traversal processes queries in chunks (the
 resident-thread limit) and the sweep harness reuses prebuilt indexes —
-both are *schedule* choices and must not change the clustering.  Chunking
-is compared with :func:`assert_dbscan_equivalent` (a border point within
-``eps`` of two clusters' cores may legally join either, and the CAS
-winner depends on batch order); warm-vs-cold index reuse replays the
-identical schedule, so there the labels must match bit for bit.
+both are *schedule* choices and must not change the clustering.  The
+buffered pair resolver attaches each border point to its *minimum* core
+neighbour, a commutative reduction — so labels match bit for bit across
+chunkings, not merely up to the border-tie equivalence of
+:func:`assert_dbscan_equivalent` (still asserted as the semantic floor).
+Warm-vs-cold index reuse replays the identical schedule, so there the
+labels trivially must match too.
 """
 
 import numpy as np
@@ -52,6 +54,11 @@ class TestScheduleInvariance:
                 baseline.is_core,
                 err_msg=f"{name} core mask changed at chunk_size={chunk}",
             )
+            np.testing.assert_array_equal(
+                result.labels,
+                baseline.labels,
+                err_msg=f"{name} labels changed at chunk_size={chunk}",
+            )
             assert_dbscan_equivalent(result, baseline, X, eps)
 
     @pytest.mark.parametrize("name", sorted(ALGORITHMS))
@@ -81,4 +88,5 @@ class TestScheduleInvariance:
                 if baseline is None:
                     baseline = result
                 else:
+                    np.testing.assert_array_equal(result.labels, baseline.labels)
                     assert_dbscan_equivalent(result, baseline, X, 0.1)
