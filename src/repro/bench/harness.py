@@ -65,9 +65,13 @@ RATE_COUNTERS = (
     "nodes_visited",
     "pairs_processed",
     "box_tests",
+    "group_box_tests",
     "scatter_adds",
     "thread_steps",
 )
+# ``box_tests_saved`` is deliberately NOT rate-tracked: it *grows* when the
+# dual engine prunes better, and the regression comparison would misread
+# that improvement as a rate regression.
 
 
 @dataclass
@@ -79,6 +83,10 @@ class RunRecord:
     n: int
     eps: float
     min_samples: int
+    #: traversal engine the cell ran under ("single"/"dual").  Recorded on
+    #: every cell — including non-tree algorithms, which ignore the engine
+    #: but keep the history key unique when a sweep runs both modes.
+    traversal: str = "single"
     seconds: float = float("nan")
     status: str = "ok"  # "ok" | "oom" | "skipped" | "error"
     n_clusters: int = -1
@@ -131,6 +139,7 @@ class RunRecord:
             "n": self.n,
             "eps": self.eps,
             "minpts": self.min_samples,
+            "traversal": self.traversal,
             "seconds": self.seconds,
             "status": self.status,
             "clusters": self.n_clusters,
@@ -183,6 +192,7 @@ def run_once(
     retry_policy: RetryPolicy | None = None,
     fault_plan: FaultPlan | None = None,
     tracer=None,
+    traversal: str = "single",
     **kwargs,
 ) -> RunRecord:
     """Execute one benchmark cell on a fresh device (fresh per attempt).
@@ -209,6 +219,11 @@ def run_once(
     ``cell:<algorithm>`` span (category ``"bench"``) with the device's
     kernel spans — and, for distributed cells, the driver's phase and
     comm spans — nested inside it.
+
+    ``traversal`` selects the BVH traversal engine for tree-based and
+    distributed cells (``"single"``/``"dual"``; baselines ignore it) and
+    is recorded on every cell so both-mode sweeps stay distinguishable in
+    the history.
     """
     rec = RunRecord(
         algorithm=algorithm,
@@ -216,12 +231,15 @@ def run_once(
         n=int(np.asarray(X).shape[0]),
         eps=float(eps),
         min_samples=int(min_samples),
+        traversal=str(traversal),
     )
     is_tree = algorithm.lower() in TREE_ALGORITHMS
     is_distributed = algorithm.lower() in DISTRIBUTED_ALGORITHMS
     n_ranks = int(kwargs.pop("n_ranks", 4))
     if tree_kwargs and is_tree:
         kwargs = {**kwargs, **tree_kwargs}
+    if is_tree or is_distributed:
+        kwargs = {**kwargs, "traversal": traversal}
     if index is not None and is_tree:
         kwargs = {**kwargs, "index": index}
     phase = _cell_phase(algorithm, dataset, rec.n, rec.eps, rec.min_samples)
@@ -316,6 +334,7 @@ def run_sweep(
     retry_policy: RetryPolicy | None = None,
     fault_plan: FaultPlan | None = None,
     tracer=None,
+    traversal: str = "single",
     **kwargs,
 ) -> list[RunRecord]:
     """Run a figure panel: every algorithm over every cell.
@@ -360,6 +379,11 @@ def run_sweep(
         ``sweep`` root span with every cell (and everything inside it —
         kernels, comm, distributed phases, replayed builds) as children
         on a single shared timeline.
+    traversal:
+        Traversal engine for every tree/distributed cell of the sweep
+        (recorded on every record; see :func:`run_once`).  Run the sweep
+        twice — once per engine — for a both-mode comparison; records
+        stay distinguishable by their ``traversal`` field.
     """
     if time_budget_mode not in ("wall", "cold"):
         raise ValueError(
@@ -384,7 +408,7 @@ def run_sweep(
         _run_sweep_cells(
             records, over_budget, indexes, any_tree, algorithms, cells, data_for,
             dataset, time_budget, time_budget_mode, capacity_bytes, tree_kwargs,
-            reuse_index, retry_policy, fault_plan, tracer, kwargs,
+            reuse_index, retry_policy, fault_plan, tracer, traversal, kwargs,
         )
     finally:
         tr.end(sweep_span)
@@ -394,7 +418,7 @@ def run_sweep(
 def _run_sweep_cells(
     records, over_budget, indexes, any_tree, algorithms, cells, data_for, dataset,
     time_budget, time_budget_mode, capacity_bytes, tree_kwargs, reuse_index,
-    retry_policy, fault_plan, tracer, kwargs,
+    retry_policy, fault_plan, tracer, traversal, kwargs,
 ) -> None:
     """The cell loop of :func:`run_sweep` (split out so the sweep span can
     bracket it on every exit path)."""
@@ -419,6 +443,7 @@ def _run_sweep_cells(
                         n=int(X.shape[0]),
                         eps=float(cell["eps"]),
                         min_samples=int(cell["min_samples"]),
+                        traversal=str(traversal),
                         status="skipped",
                         detail=over_budget[algorithm],
                     )
@@ -436,6 +461,7 @@ def _run_sweep_cells(
                 retry_policy=retry_policy,
                 fault_plan=fault_plan,
                 tracer=tracer,
+                traversal=traversal,
                 **kwargs,
             )
             records.append(rec)

@@ -16,6 +16,16 @@ fails (exit 1) when the fresh records regress:
 - any **status change** (ok -> oom) or **result change** (labels
   summary moved) — correctness alarms, never threshold-gated.
 
+A baseline saved from a ``--traversal both`` sweep replays both engines
+(the sweep runs once per engine, exactly like the CLI), and the smoke
+additionally gates on the **dual engine's pruning win**: for every tree
+cell present under both engines, the dual engine's total pruning work
+``box_tests + group_box_tests + nodes_visited`` must stay at or below
+``BENCH_SMOKE_DUAL_RATIO`` (default 0.7) times the single engine's
+``box_tests + nodes_visited``.  That is the machine-independent form of
+the dual engine's reason to exist — a code change that silently degrades
+group pruning fails CI even when wall seconds stay flat.
+
 The smoke run never writes the baseline; refreshing it is an explicit
 ``repro bench ... --save`` on a maintainer's machine.
 """
@@ -35,6 +45,9 @@ DEFAULT_BASELINE = "BENCH_sweep.json"
 WALL_THRESHOLD_ENV = "BENCH_SMOKE_WALL_THRESHOLD"
 RATE_THRESHOLD_ENV = "BENCH_SMOKE_RATE_THRESHOLD"
 
+#: Ceiling on dual/single pruning work per cell of a both-mode sweep.
+DUAL_RATIO_ENV = "BENCH_SMOKE_DUAL_RATIO"
+
 #: Alarm categories that fail the smoke run.
 ALARM_KINDS = ("regressions", "rate_regressions", "status_changes", "result_changes")
 
@@ -47,6 +60,55 @@ def _threshold(env: str, default: float) -> float:
     if value <= 1.0:
         raise ValueError(f"{env} must be > 1.0; got {raw!r}")
     return value
+
+
+def _dual_ratio_threshold(default: float = 0.7) -> float:
+    raw = os.environ.get(DUAL_RATIO_ENV)
+    if raw is None:
+        return default
+    value = float(raw)
+    if value <= 0.0:
+        raise ValueError(f"{DUAL_RATIO_ENV} must be > 0; got {raw!r}")
+    return value
+
+
+def _pruning_work(rec, dual: bool) -> int:
+    """The machine-independent pruning total of one tree cell."""
+    total = rec.counters.get("box_tests", 0) + rec.counters.get("nodes_visited", 0)
+    if dual:
+        total += rec.counters.get("group_box_tests", 0)
+    return total
+
+
+def dual_ratio_alarms(records, threshold: float) -> list[str]:
+    """Cells of a both-mode sweep where the dual engine's pruning work
+    exceeds ``threshold`` times the single engine's.
+
+    Cells are paired by their full parameter key minus ``traversal``;
+    only ``"ok"`` cells that performed box tests under the single engine
+    participate (baselines and failed cells carry no pruning signal).
+    """
+    singles = {}
+    for rec in records:
+        if rec.traversal == "single" and rec.status == "ok":
+            key = (rec.algorithm, rec.dataset, rec.n, rec.eps, rec.min_samples)
+            singles[key] = rec
+    alarms = []
+    for rec in records:
+        if rec.traversal != "dual" or rec.status != "ok":
+            continue
+        key = (rec.algorithm, rec.dataset, rec.n, rec.eps, rec.min_samples)
+        base = singles.get(key)
+        if base is None or not base.counters.get("box_tests", 0):
+            continue
+        ratio = _pruning_work(rec, dual=True) / _pruning_work(base, dual=False)
+        if ratio > threshold:
+            alarms.append(
+                f"{rec.algorithm} [{rec.dataset} n={rec.n} eps={rec.eps:g} "
+                f"minpts={rec.min_samples}] dual/single pruning work "
+                f"{ratio:.3f} > {threshold:g}"
+            )
+    return alarms
 
 
 def _strip_option(argv: list[str], name: str) -> list[str]:
@@ -115,16 +177,21 @@ def run_smoke(
     tree_kwargs = (
         {"query_order": args.query_order} if args.query_order != "input" else None
     )
-    records = run_sweep(
-        args.algorithms.split(","),
-        cells,
-        lambda cell: X,
-        dataset=args.dataset or args.input,
-        capacity_bytes=args.memory_cap,
-        tree_kwargs=tree_kwargs,
-        reuse_index=not args.no_reuse_index,
-        n_ranks=args.ranks or 4,
-    )
+    traversal = getattr(args, "traversal", "single")
+    modes = ("single", "dual") if traversal == "both" else (traversal,)
+    records = []
+    for mode in modes:
+        records += run_sweep(
+            args.algorithms.split(","),
+            cells,
+            lambda cell: X,
+            dataset=args.dataset or args.input,
+            capacity_bytes=args.memory_cap,
+            tree_kwargs=tree_kwargs,
+            reuse_index=not args.no_reuse_index,
+            traversal=mode,
+            n_ranks=args.ranks or 4,
+        )
     report = compare_records(
         baseline,
         records,
@@ -142,6 +209,11 @@ def run_smoke(
             print(f"  {kind[:-1] if kind.endswith('s') else kind}: {entry}")
             if kind in ALARM_KINDS:
                 failed = True
+    if len(modes) == 2:
+        ratio = _dual_ratio_threshold()
+        for entry in dual_ratio_alarms(records, ratio):
+            print(f"  dual_ratio_regression: {entry}")
+            failed = True
     if not failed:
         print("  ok: no wall, rate, status or result regressions")
     return 1 if failed else 0

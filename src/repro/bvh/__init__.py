@@ -30,7 +30,15 @@ vectorised reproduction:
     time").  Provides early termination at ``minpts`` (preprocessing),
     streaming leaf-hit callbacks that never materialise neighbour lists
     (the fused main phase) and the leaf-index *mask* of Section 4.1 that
-    processes each neighbour pair exactly once.
+    processes each neighbour pair exactly once.  Two engines share this
+    interface: ``traversal="single"`` (one frontier row per query) and
+    ``traversal="dual"`` (query-aggregated: groups of Morton-adjacent
+    queries pruned per node in one box test).
+
+``qgroups``
+    The query-side hierarchy backing the dual engine: fixed-size groups of
+    Morton-sorted queries, aggregated into supergroups, in the same packed
+    layout style as the tree.
 """
 
 from repro.bvh.aabb import (
@@ -41,19 +49,30 @@ from repro.bvh.aabb import (
 )
 from repro.bvh.builder import build_bvh
 from repro.bvh.morton import morton_codes, normalize_to_grid
-from repro.bvh.traversal import TraversalResult, count_within, for_each_leaf_hit
+from repro.bvh.qgroups import QueryGroups, build_query_groups
+from repro.bvh.refit import refit_bvh
+from repro.bvh.traversal import (
+    TRAVERSALS,
+    TraversalResult,
+    count_within,
+    for_each_leaf_hit,
+)
 from repro.bvh.tree import BVH
 
 __all__ = [
     "BVH",
+    "QueryGroups",
+    "TRAVERSALS",
     "TraversalResult",
     "boxes_from_points",
     "build_bvh",
+    "build_query_groups",
     "count_within",
     "for_each_leaf_hit",
     "merge_aabbs",
     "mindist_point_box_sq",
     "morton_codes",
     "normalize_to_grid",
+    "refit_bvh",
     "scene_bounds",
 ]

@@ -1,0 +1,167 @@
+"""Query-side hierarchy for the dual-tree (query-aggregated) traversal.
+
+The single-query wavefront carries one frontier row per ``(query, node)``
+pair, so Morton-adjacent queries that visit nearly identical subtrees each
+pay the same box tests again.  The dual engine instead aggregates the
+chunk's Morton-sorted queries into a *shallow query-side hierarchy* — the
+query-grouping JZ-Tree uses and the ArborX exascale follow-up ships as
+aggregated traversal:
+
+- a **group** covers ``group_size`` consecutive queries of the sorted
+  chunk (the Z-curve makes consecutive = spatially close);
+- a **supergroup** covers ``fanout`` consecutive groups.
+
+Both levels live in the same packed layout style as
+:meth:`repro.bvh.tree.BVH.packed_children`: one id space (supergroups
+first, then groups — mirroring the internal-then-leaf node numbering of
+``bvh/tree.py``), flat box arrays, and CSR-ish ``[lo, hi)`` ranges for
+members (chunk positions) and children (group ids).  A query node's box
+is the tight AABB of its member *points* (not eps-inflated): testing
+``mindist(group_box, node_box) <= eps`` is the exact Minkowski form of
+"the eps-inflated group AABB intersects the node box" under the L2
+metric — tighter than inflating by eps per axis, and for a single-member
+group it degenerates to exactly the per-query sphere/box test the single
+engine runs.
+
+All arrays are taken from the caller's scratch pool (duck-typed — any
+object with the :class:`repro.bvh.traversal._FrontierPool` ``take``
+methods), so the hierarchy's footprint is charged to the memory model
+under the pool's tag and reused across chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Default queries per group.  32 mirrors a warp: the group is the unit
+#: whose members share one box test, exactly as a warp's threads share a
+#: cooperatively-tested node.
+DEFAULT_GROUP_SIZE = 32
+
+#: Default groups per supergroup (so one supergroup covers
+#: ``fanout * group_size`` queries at the default sizes).
+DEFAULT_SUPER_FANOUT = 8
+
+
+@dataclass
+class QueryGroups:
+    """Packed two-level query hierarchy over one sorted chunk.
+
+    Node ids: supergroups are ``0 .. n_super-1``, groups (the leaf level)
+    are ``n_super .. n_super+n_groups-1`` — the internal-before-leaf id
+    convention of :class:`repro.bvh.tree.BVH`.
+
+    Attributes
+    ----------
+    lo, hi:
+        ``(n_nodes, d)`` tight member-point AABB per query node.
+    mem_lo, mem_hi:
+        ``(n_nodes,)`` member range ``[lo, hi)`` in *chunk positions* —
+        contiguous by construction at both levels.
+    child_lo, child_hi:
+        ``(n_super,)`` child-group id range per supergroup.
+    ext:
+        ``(n_nodes,)`` longest box edge — the split heuristic compares it
+        against the tree node's extent.
+    mask_min:
+        ``(n_nodes,)`` minimum traversal-mask position over members (or
+        ``None``): a subtree with ``range_hi <= mask_min`` is hidden from
+        *every* member, so the whole query node skips it in one test.
+    top:
+        Seed node ids (the supergroups, or the lone group).
+    """
+
+    n_super: int
+    n_groups: int
+    lo: np.ndarray
+    hi: np.ndarray
+    mem_lo: np.ndarray
+    mem_hi: np.ndarray
+    child_lo: np.ndarray
+    child_hi: np.ndarray
+    ext: np.ndarray
+    mask_min: np.ndarray | None
+    top: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        return self.n_super + self.n_groups
+
+
+def build_query_groups(
+    points: np.ndarray,
+    mask: np.ndarray | None,
+    group_size: int,
+    fanout: int,
+    pool,
+) -> QueryGroups:
+    """Build the two-level hierarchy over one chunk's sorted query points.
+
+    ``points`` are the chunk's queries in schedule (Morton) order;
+    ``mask`` the matching traversal-mask positions (or ``None``).  Output
+    arrays are views into ``pool`` slots (grown once, reused per chunk).
+    """
+    cn, _dim = points.shape
+    group_size = max(1, int(group_size))
+    fanout = max(2, int(fanout))
+    n_groups = -(-cn // group_size)
+    n_super = -(-n_groups // fanout) if n_groups >= 2 else 0
+    n_nodes = n_super + n_groups
+
+    lo = pool.take2d("qg_lo", n_nodes)
+    hi = pool.take2d("qg_hi", n_nodes)
+    mem_lo = pool.take("qg_mem_lo", n_nodes)
+    mem_hi = pool.take("qg_mem_hi", n_nodes)
+
+    gstarts = np.arange(n_groups, dtype=np.int64) * group_size
+    # reduceat handles the ragged last group (segments run to the next
+    # start, the final one to the end of the chunk).
+    np.minimum.reduceat(points, gstarts, axis=0, out=lo[n_super:])
+    np.maximum.reduceat(points, gstarts, axis=0, out=hi[n_super:])
+    mem_lo[n_super:] = gstarts
+    mem_hi[n_super:] = np.minimum(gstarts + group_size, cn)
+
+    if n_super:
+        sstarts = np.arange(n_super, dtype=np.int64) * fanout
+        # through temporaries: reduceat in/out views sharing one base
+        # array is an aliasing hazard.
+        lo[:n_super] = np.minimum.reduceat(lo[n_super:], sstarts, axis=0)
+        hi[:n_super] = np.maximum.reduceat(hi[n_super:], sstarts, axis=0)
+        mem_lo[:n_super] = sstarts * group_size
+        mem_hi[:n_super] = np.minimum((sstarts + fanout) * group_size, cn)
+        child_lo = pool.take("qg_child_lo", n_super)
+        child_hi = pool.take("qg_child_hi", n_super)
+        child_lo[:] = n_super + sstarts
+        child_hi[:] = n_super + np.minimum(sstarts + fanout, n_groups)
+        top = np.arange(n_super, dtype=np.int32)
+    else:
+        child_lo = child_hi = np.zeros(0, dtype=np.int64)
+        top = np.arange(n_nodes, dtype=np.int32)
+
+    ext = pool.take("qg_ext", n_nodes, dtype=np.float64)
+    span = pool.take2d("qg_span", n_nodes)
+    np.subtract(hi, lo, out=span)
+    span.max(axis=1, out=ext)
+
+    mask_min = None
+    if mask is not None:
+        mask_min = pool.take("qg_mask", n_nodes)
+        np.minimum.reduceat(mask, gstarts, out=mask_min[n_super:])
+        if n_super:
+            mask_min[:n_super] = np.minimum.reduceat(mask_min[n_super:], sstarts)
+
+    return QueryGroups(
+        n_super=n_super,
+        n_groups=n_groups,
+        lo=lo,
+        hi=hi,
+        mem_lo=mem_lo,
+        mem_hi=mem_hi,
+        child_lo=child_lo,
+        child_hi=child_hi,
+        ext=ext,
+        mask_min=mask_min,
+        top=top,
+    )

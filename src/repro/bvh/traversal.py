@@ -40,6 +40,14 @@ result:
   lever ArborX pulls by sorting queries along the space-filling curve.
   The hit stream per query is unchanged (only the chunk membership
   moves), so every derived result is identical.
+
+A second engine, ``traversal="dual"`` (:func:`_dual_leaf_hits`),
+aggregates Morton-adjacent queries into a shallow query-side hierarchy
+(:mod:`repro.bvh.qgroups`) and advances *(query group, tree node)* pairs
+instead: one box-box test prunes a whole group per node, collapsing the
+(queries × visited nodes) box-test bill to (groups × visited nodes) while
+reproducing the single engine's hits, labels and ``distance_evals``
+bit-for-bit.
 """
 
 from __future__ import annotations
@@ -51,13 +59,27 @@ import numpy as np
 
 from repro.bvh.tree import BVH
 from repro.bvh.morton import morton_codes
+from repro.bvh.qgroups import (
+    DEFAULT_GROUP_SIZE,
+    DEFAULT_SUPER_FANOUT,
+    build_query_groups,
+)
 from repro.device.device import Device, default_device
-from repro.device.primitives import scatter_add
+from repro.device.primitives import (
+    concatenated_ranges,
+    scatter_add,
+    segment_ids_from_counts,
+)
 
 LeafCallback = Callable[[np.ndarray, np.ndarray], None]
 
 #: Accepted values for ``query_order``.
 QUERY_ORDERS = ("input", "morton")
+
+#: Accepted values for ``traversal``: ``"single"`` walks one frontier row
+#: per query; ``"dual"`` aggregates Morton-adjacent queries into groups and
+#: prunes whole groups per node (see :func:`_dual_leaf_hits`).
+TRAVERSALS = ("single", "dual")
 
 
 @dataclass
@@ -105,9 +127,10 @@ class _FrontierPool:
     frontier is the union of its sub-chunks' frontiers at every step.
     """
 
-    def __init__(self, device: Device, dim: int):
+    def __init__(self, device: Device, dim: int, tag: str = "frontier"):
         self._dev = device
         self._dim = dim
+        self._tag = tag
         self._arrays: dict[str, np.ndarray] = {}
         self.nbytes = 0
 
@@ -119,7 +142,7 @@ class _FrontierPool:
             self._arrays[name] = arr
             delta = arr.nbytes - old_nbytes
             self.nbytes += delta
-            self._dev.memory.allocate(delta, "frontier", transient=True)
+            self._dev.memory.allocate(delta, self._tag, transient=True)
         return arr
 
     def take(self, name: str, size: int, dtype=np.int64) -> np.ndarray:
@@ -145,7 +168,7 @@ class _FrontierPool:
     def release(self) -> None:
         """Return the pool's footprint to the memory ledger."""
         if self.nbytes:
-            self._dev.memory.free(self.nbytes, "frontier")
+            self._dev.memory.free(self.nbytes, self._tag)
             self.nbytes = 0
 
 
@@ -179,6 +202,8 @@ def for_each_leaf_hit(
     leaf_test_is_distance: bool = True,
     chunk_size: int | None = DEFAULT_CHUNK_SIZE,
     query_order: str = "input",
+    traversal: str = "single",
+    group_size: int | None = None,
 ) -> TraversalResult:
     """Stream every ``(query, leaf)`` pair within ``eps`` to ``callback``.
 
@@ -224,12 +249,37 @@ def for_each_leaf_hit(
         ``"input"`` (default) chunks queries in input order; ``"morton"``
         chunks them in Z-curve order for spatial coherence.  Results are
         identical either way — only the wavefront composition changes.
+    traversal:
+        ``"single"`` (default) walks one frontier row per query;
+        ``"dual"`` aggregates Morton-sorted queries into groups and prunes
+        whole groups against each node in one box test, expanding to the
+        per-query path only where a node has leaf children.  Labels,
+        delivered hits and ``distance_evals`` are bit-identical between
+        the engines; ``box_tests``/``nodes_visited`` drop (group pruning
+        is the point) while new ``group_box_tests``/``box_tests_saved``
+        counters account the aggregated work.  The dual engine requires a
+        *monotone* ``finished_fn`` (once finished, always finished) —
+        true of every early-exit in this codebase — and always schedules
+        queries in Morton order (``query_order`` is validated but does
+        not change results in either engine).
+    group_size:
+        Queries per group for ``traversal="dual"`` (default
+        :data:`~repro.bvh.qgroups.DEFAULT_GROUP_SIZE`); ``1`` degenerates
+        to per-query traversal.
 
     Returns
     -------
     :class:`TraversalResult`
     """
     dev = default_device(device)
+    if traversal not in TRAVERSALS:
+        raise ValueError(
+            f"traversal must be one of {TRAVERSALS}; got {traversal!r}"
+        )
+    if query_order not in QUERY_ORDERS:
+        raise ValueError(
+            f"query_order must be one of {QUERY_ORDERS}; got {query_order!r}"
+        )
     queries = np.ascontiguousarray(queries, dtype=np.float64)
     if queries.ndim != 2 or queries.shape[1] != tree.dim:
         raise ValueError(
@@ -245,9 +295,23 @@ def for_each_leaf_hit(
         return result
     if mask_positions is not None:
         mask_positions = np.asarray(mask_positions, dtype=np.int64)
-    schedule = query_schedule(queries, query_order)
     if chunk_size is None or chunk_size <= 0:
         chunk_size = m
+    if traversal == "dual":
+        return _dual_leaf_hits(
+            tree,
+            queries,
+            eps2,
+            callback,
+            mask_positions,
+            finished_fn,
+            dev,
+            kernel_name,
+            leaf_test_is_distance,
+            chunk_size,
+            group_size if group_size is not None else DEFAULT_GROUP_SIZE,
+        )
+    schedule = query_schedule(queries, query_order)
 
     ch_ids, ch_lo, ch_hi, ch_rng_hi = tree.packed_children()
     # Narrow index dtypes wherever they fit — real traversal kernels carry
@@ -368,6 +432,357 @@ def for_each_leaf_hit(
     return result
 
 
+def _dual_leaf_hits(
+    tree: BVH,
+    queries: np.ndarray,
+    eps2: float,
+    callback: LeafCallback,
+    mask_positions: np.ndarray | None,
+    finished_fn: Callable[[np.ndarray], np.ndarray] | None,
+    dev: Device,
+    kernel_name: str,
+    leaf_test_is_distance: bool,
+    chunk_size: int,
+    group_size: int,
+) -> TraversalResult:
+    """Dual-tree (query-aggregated) wavefront traversal.
+
+    Queries are Morton-sorted, packed into groups of ``group_size`` (and
+    supergroups of :data:`~repro.bvh.qgroups.DEFAULT_SUPER_FANOUT` groups)
+    and the frontier carries ``(query_node, tree_node)`` pairs: one
+    box-box test decides a whole group's descent (``group_box_tests``),
+    so the per-query sphere-box tests the single engine pays at every
+    internal node collapse to one test per group (``box_tests_saved``).
+
+    **Why results are bit-identical to the single engine.**  Child boxes
+    nest inside parent boxes and leaf visibility ranges nest inside their
+    ancestors', and ``finished_fn`` is monotone, so "query ``q`` reaches
+    node ``P``" in the single engine is the *local* predicate
+
+    ``d2(q, P.box) <= eps²  and  range_hi(P) > mask[q]  and  not
+    finished(q, at P's generation)``
+
+    — independent of the path taken to ``P``.  The dual engine therefore
+    defers all per-query decisions to the nodes where they matter:
+    whenever a frontier entry's tree node has a leaf child, the engine
+    re-evaluates that reach predicate per member (the parent re-test,
+    charged to ``box_tests``), counts one leaf test per reaching member
+    per leaf child (exactly the single engine's ``distance_evals``), and
+    emits hits through the same per-query predicate the single engine
+    applies.  Both engines advance strictly level-by-level and deliver a
+    depth-``d`` leaf's hits on step ``d+1``, so the ``finished_fn``
+    generations line up: hits computed on step ``s`` are gated by the
+    finished state *after* step ``s``'s deliveries (``fin_now``) and
+    counted work by the state that admitted the frontier (``fin_prev``),
+    mirroring the single engine's admit-then-expand ordering.  Per-query
+    hit streams are chunk- and order-invariant (each query's path and
+    early-exit depend only on its own hits), so forcing Morton order here
+    changes no result.
+
+    Group scratch (sorted chunk coordinates, the group hierarchy, the
+    finished double-buffer) is charged to the memory model under the
+    ``"qgroups"`` tag; the frontier itself stays under ``"frontier"``.
+    """
+    m = queries.shape[0]
+    n_int = tree.n_internal
+    result = TraversalResult()
+    leaf_counter = "distance_evals" if leaf_test_is_distance else "box_tests"
+    schedule = query_schedule(queries, "morton")
+    qdt = np.int32 if m <= np.iinfo(np.int32).max else np.int64
+    if schedule is not None:
+        schedule = schedule.astype(qdt, copy=False)
+    node_lo, node_hi = tree.node_lo, tree.node_hi
+    node_rng_hi = tree.node_range_hi
+    ch_ids, ch_lo, ch_hi, ch_rng_hi = tree.packed_children()
+    ndt = ch_ids.dtype
+    root = tree.root
+    pool = _FrontierPool(dev, tree.dim)
+    qpool = _FrontierPool(dev, tree.dim, tag="qgroups")
+    try:
+        with dev.kernel(kernel_name, threads=m) as launch:
+            for chunk_start in range(0, m, chunk_size):
+                chunk_end = min(chunk_start + chunk_size, m)
+                if schedule is not None:
+                    chunk_ids = schedule[chunk_start:chunk_end]
+                else:
+                    chunk_ids = np.arange(chunk_start, chunk_end, dtype=qdt)
+                cn = chunk_ids.shape[0]
+                chunk_pts = qpool.take2d("chunk_pts", cn)
+                np.take(queries, chunk_ids, axis=0, out=chunk_pts)
+                chunk_mask = None
+                if mask_positions is not None:
+                    chunk_mask = qpool.take("chunk_mask", cn)
+                    np.take(mask_positions, chunk_ids, out=chunk_mask)
+
+                if n_int == 0:
+                    # Single-leaf tree: mirror the single engine's one
+                    # seed-and-deliver step (seed test uncounted).
+                    clamped = np.clip(chunk_pts, node_lo[root], node_hi[root])
+                    diff = chunk_pts - clamped
+                    ok = np.einsum("nd,nd->n", diff, diff) <= eps2
+                    if chunk_mask is not None:
+                        ok &= node_rng_hi[root] > chunk_mask
+                    if finished_fn is not None:
+                        ok &= ~finished_fn(chunk_ids)
+                    n_hits = int(np.count_nonzero(ok))
+                    if n_hits:
+                        result.steps += 1
+                        result.frontier_peak = max(result.frontier_peak, n_hits)
+                        dev.counters.add("nodes_visited", n_hits)
+                        dev.counters.observe_peak("frontier_peak", n_hits)
+                        result.leaf_hits += n_hits
+                        callback(chunk_ids[ok], np.zeros(n_hits, dtype=ndt))
+                    continue
+
+                qg = build_query_groups(
+                    chunk_pts, chunk_mask, group_size, DEFAULT_SUPER_FANOUT, qpool
+                )
+                n_super = qg.n_super
+
+                fin_prev = fin_now = cumfin = None
+                if finished_fn is not None:
+                    fin_now = qpool.take("fin_a", cn, dtype=bool)
+                    fin_prev = qpool.take("fin_b", cn, dtype=bool)
+                    fin_now[:] = finished_fn(chunk_ids)
+                    cumfin = qpool.take("cumfin", cn + 1)
+
+                # Seed: every top-level query node against the root, with
+                # the uncounted group-box analogue of the single engine's
+                # seed test.
+                top = qg.top
+                gap = np.maximum(
+                    0.0,
+                    np.maximum(node_lo[root] - qg.hi[top], qg.lo[top] - node_hi[root]),
+                )
+                okt = np.einsum("nd,nd->n", gap, gap) <= eps2
+                if chunk_mask is not None:
+                    okt &= node_rng_hi[root] > qg.mask_min[top]
+                size = int(np.count_nonzero(okt))
+                fr_g = pool.take("fr_g", size, dtype=np.int32)
+                fr_n = pool.take("fr_n", size, dtype=ndt)
+                np.compress(okt, top, out=fr_g)
+                fr_n.fill(root)
+                pend_q: list[np.ndarray] = []
+                pend_p: list[np.ndarray] = []
+                n_pend = 0
+
+                while size or n_pend:
+                    result.steps += 1
+                    foot = size + n_pend
+                    result.frontier_peak = max(result.frontier_peak, foot)
+                    dev.counters.add("nodes_visited", size)
+                    dev.counters.observe_peak("frontier_peak", foot)
+
+                    # -- (1) deliver the previous step's leaf hits --------
+                    if n_pend:
+                        hit_q = pend_q[0] if len(pend_q) == 1 else np.concatenate(pend_q)
+                        hit_pos = pend_p[0] if len(pend_p) == 1 else np.concatenate(pend_p)
+                        pend_q.clear()
+                        pend_p.clear()
+                        n_pend = 0
+                        # The single engine hands each query its step's
+                        # hits in ascending leaf position (children expand
+                        # left-then-right and compaction is stable).
+                        # Restore that order so even float accumulations
+                        # (weighted counts) match bit-for-bit.
+                        order = np.lexsort((hit_pos, hit_q))
+                        hit_q = hit_q[order]
+                        hit_pos = hit_pos[order]
+                        result.leaf_hits += hit_q.shape[0]
+                        callback(hit_q, hit_pos)
+                    if size == 0:
+                        break
+
+                    # -- (2) roll the finished generations ----------------
+                    # fin_prev = the state that admitted this frontier;
+                    # fin_now = the state after this step's deliveries
+                    # (monotone, so only not-yet-finished ids re-checked).
+                    if finished_fn is not None:
+                        fin_prev, fin_now = fin_now, fin_prev
+                        np.copyto(fin_now, fin_prev)
+                        live_idx = np.flatnonzero(~fin_prev)
+                        if live_idx.size:
+                            fin_now[live_idx] = finished_fn(chunk_ids[live_idx])
+                        cumfin[0] = 0
+                        np.cumsum(fin_prev, out=cumfin[1:])
+                        # Drop entries whose members have all finished
+                        # (uncounted — the single engine's frontier loses
+                        # finished queries the same way).
+                        mlo = qg.mem_lo[fr_g]
+                        mhi = qg.mem_hi[fr_g]
+                        lcount = (mhi - mlo) - (cumfin[mhi] - cumfin[mlo])
+                        alive = lcount > 0
+                        if not alive.all():
+                            fr_g = fr_g[alive]
+                            fr_n = fr_n[alive]
+                            size = fr_g.shape[0]
+                            if size == 0:
+                                continue
+
+                    # -- (3) gather both children of every entry ----------
+                    ch = ch_ids[fr_n]
+                    crng = ch_rng_hi[fr_n]
+                    clo = ch_lo[fr_n]
+                    chi = ch_hi[fr_n]
+                    is_leaf = ch >= n_int
+                    has_leaf = is_leaf[:, 0] | is_leaf[:, 1]
+
+                    # -- (4) per-member expansion at leaf parents ---------
+                    # Counters here measure the *logical* per-query work
+                    # (exactly what the single engine performs); the
+                    # entry-level min/max-distance classifications below
+                    # are uncounted vectorisation shortcuts that resolve
+                    # whole groups of member tests collectively with
+                    # bit-identical outcomes — the same licence the device
+                    # model's bincount-backed scatter_add takes.
+                    sel = np.flatnonzero(has_leaf)
+                    if sel.size:
+                        e_g = fr_g[sel]
+                        e_n = fr_n[sel]
+                        starts = qg.mem_lo[e_g]
+                        cnts = qg.mem_hi[e_g] - starts
+                        mpos = concatenated_ranges(starts, cnts)
+                        seg = segment_ids_from_counts(cnts)
+                        live = None
+                        if finished_fn is not None:
+                            live = ~fin_prev[mpos]
+                        if chunk_mask is not None:
+                            vis = node_rng_hi[e_n][seg] > chunk_mask[mpos]
+                            live = vis if live is None else live & vis
+                        # Admission guarantees mindist(group, node) <= eps;
+                        # when even the farthest member corner is within
+                        # eps, every member reaches — no per-member test.
+                        far = np.maximum(
+                            node_hi[e_n] - qg.lo[e_g], qg.hi[e_g] - node_lo[e_n]
+                        )
+                        allin = np.einsum("nd,nd->n", far, far) <= eps2
+                        reach = allin[seg] if live is None else allin[seg] & live
+                        need = ~allin[seg]
+                        if live is not None:
+                            need &= live
+                        ridx = np.flatnonzero(need)
+                        if ridx.size:
+                            pn = e_n[seg[ridx]]
+                            pts_r = chunk_pts[mpos[ridx]]
+                            d = pts_r - np.clip(pts_r, node_lo[pn], node_hi[pn])
+                            reach[ridx] = np.einsum("nd,nd->n", d, d) <= eps2
+                        dev.counters.add(
+                            "box_tests",
+                            mpos.shape[0] if live is None
+                            else int(np.count_nonzero(live)),
+                        )
+                        for k in (0, 1):
+                            lk = is_leaf[sel, k]
+                            if not lk.any():
+                                continue
+                            idx = np.flatnonzero(lk[seg] & reach)
+                            dev.counters.add(leaf_counter, idx.shape[0])
+                            if idx.shape[0] == 0:
+                                continue
+                            # Entry-level leaf classification: members of a
+                            # group whose box cannot reach the leaf all
+                            # miss; members of a group entirely within eps
+                            # of the whole leaf box all hit.  Only the
+                            # ambiguous band computes per-member distances.
+                            lo_k = clo[sel, k]
+                            hi_k = chi[sel, k]
+                            gapl = np.maximum(
+                                0.0,
+                                np.maximum(lo_k - qg.hi[e_g], qg.lo[e_g] - hi_k),
+                            )
+                            near = np.einsum("nd,nd->n", gapl, gapl) <= eps2
+                            farl = np.maximum(
+                                hi_k - qg.lo[e_g], qg.hi[e_g] - lo_k
+                            )
+                            allhit = np.einsum("nd,nd->n", farl, farl) <= eps2
+                            sidx = seg[idx]
+                            hit = allhit[sidx]
+                            sub = np.flatnonzero((near & ~allhit)[sidx])
+                            if sub.size:
+                                li = idx[sub]
+                                leaf_n = ch[sel, k][seg[li]]
+                                lpts = chunk_pts[mpos[li]]
+                                dd = lpts - np.clip(
+                                    lpts, node_lo[leaf_n], node_hi[leaf_n]
+                                )
+                                hit[sub] = np.einsum("nd,nd->n", dd, dd) <= eps2
+                            if chunk_mask is not None:
+                                hit &= crng[sel, k][sidx] > chunk_mask[mpos[idx]]
+                            if finished_fn is not None:
+                                hit &= ~fin_now[mpos[idx]]
+                            h = np.flatnonzero(hit)
+                            if h.size:
+                                pend_q.append(chunk_ids[mpos[idx[h]]])
+                                pend_p.append(
+                                    (ch[sel, k][seg[idx[h]]] - n_int).astype(
+                                        ndt, copy=False
+                                    )
+                                )
+                                n_pend += h.shape[0]
+
+                    # -- (5) group-level descent into internal children ---
+                    fe, fk = np.nonzero(~is_leaf)
+                    if fe.size == 0:
+                        size = 0
+                        continue
+                    cand_q = fr_g[fe]
+                    cand_n = ch[fe, fk]
+                    cand_lo = clo[fe, fk]
+                    cand_hi = chi[fe, fk]
+                    cand_rng = crng[fe, fk]
+                    if n_super:
+                        # Refine a supergroup to its groups once its box
+                        # outgrows the tree node's — counters-only
+                        # heuristic, never results.
+                        child_ext = (cand_hi - cand_lo).max(axis=1)
+                        split = (cand_q < n_super) & (qg.ext[cand_q] > child_ext)
+                        if split.any():
+                            stay = ~split
+                            s_q = cand_q[split]
+                            s_lo = qg.child_lo[s_q]
+                            s_cnt = qg.child_hi[s_q] - s_lo
+                            sub_q = concatenated_ranges(s_lo, s_cnt)
+                            sub = segment_ids_from_counts(s_cnt)
+                            cand_q = np.concatenate(
+                                [cand_q[stay], sub_q.astype(np.int32)]
+                            )
+                            cand_n = np.concatenate([cand_n[stay], cand_n[split][sub]])
+                            cand_lo = np.concatenate([cand_lo[stay], cand_lo[split][sub]])
+                            cand_hi = np.concatenate([cand_hi[stay], cand_hi[split][sub]])
+                            cand_rng = np.concatenate([cand_rng[stay], cand_rng[split][sub]])
+                    # One box-box test per (query node, tree child): the
+                    # exact Minkowski form of "eps-inflated group AABB
+                    # intersects node box".
+                    gap = np.maximum(
+                        0.0,
+                        np.maximum(cand_lo - qg.hi[cand_q], qg.lo[cand_q] - cand_hi),
+                    )
+                    d2g = np.einsum("nd,nd->n", gap, gap)
+                    dev.counters.add("group_box_tests", cand_q.shape[0])
+                    mlo = qg.mem_lo[cand_q]
+                    mhi = qg.mem_hi[cand_q]
+                    if finished_fn is not None:
+                        lcount = (mhi - mlo) - (cumfin[mhi] - cumfin[mlo])
+                    else:
+                        lcount = mhi - mlo
+                    dev.counters.add(
+                        "box_tests_saved", int(np.maximum(lcount - 1, 0).sum())
+                    )
+                    keep = d2g <= eps2
+                    if chunk_mask is not None:
+                        keep &= cand_rng > qg.mask_min[cand_q]
+                    size = int(np.count_nonzero(keep))
+                    fr_g = pool.take("fr_g", size, dtype=np.int32)
+                    fr_n = pool.take("fr_n", size, dtype=ndt)
+                    np.compress(keep, cand_q, out=fr_g)
+                    np.compress(keep, cand_n, out=fr_n)
+            launch.steps = result.steps
+    finally:
+        qpool.release()
+        pool.release()
+    return result
+
+
 def count_within(
     tree: BVH,
     queries: np.ndarray,
@@ -378,6 +793,8 @@ def count_within(
     chunk_size: int | None = DEFAULT_CHUNK_SIZE,
     leaf_weights: np.ndarray | None = None,
     query_order: str = "input",
+    traversal: str = "single",
+    group_size: int | None = None,
 ) -> np.ndarray:
     """Count leaves within ``eps`` of each query (point-leaf trees).
 
@@ -400,8 +817,8 @@ def count_within(
     The early-exit check is evaluated per step against the *frontier's*
     query ids only — an O(frontier) gather, not an O(m) recompute — and a
     query's per-step hit batches depend only on its own tree path, so the
-    returned counts are identical for every ``chunk_size`` and
-    ``query_order``.
+    returned counts are identical for every ``chunk_size``,
+    ``query_order`` and ``traversal`` engine.
 
     ``stop_at`` may be fractional when ``leaf_weights`` is given (weights
     are arbitrary positive floats, so any finite threshold is meaningful);
@@ -453,5 +870,7 @@ def count_within(
         kernel_name="bvh_count",
         chunk_size=chunk_size,
         query_order=query_order,
+        traversal=traversal,
+        group_size=group_size,
     )
     return counts

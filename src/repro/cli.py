@@ -121,25 +121,48 @@ def _load_input(args) -> np.ndarray:
     return X
 
 
+#: Single-device algorithms that accept the traversal options
+#: (``query_order=`` / ``traversal=``); baselines take neither.
+_TREE_ALGORITHMS = {"auto", "fdbscan", "fdbscan-densebox", "densebox"}
+
+
+def _traversal_kwargs(args) -> dict:
+    """Non-default ``query_order``/``traversal`` kwargs from CLI flags."""
+    kwargs = {}
+    if getattr(args, "query_order", "input") != "input":
+        kwargs["query_order"] = args.query_order
+    if getattr(args, "traversal", "single") != "single":
+        kwargs["traversal"] = args.traversal
+    return kwargs
+
+
 def _cluster_run(args, device: Device, tracer: Tracer | None):
     """Run the cluster/metrics subcommands' single clustering."""
     X = _load_input(args)
     plan, policy = _fault_machinery(args)
+    trav_kwargs = _traversal_kwargs(args)
     if args.ranks:
         from repro.distributed import distributed_dbscan
 
         result = distributed_dbscan(
             X, args.eps, args.minpts, n_ranks=args.ranks, device=device,
-            fault_plan=plan, retry_policy=policy, tracer=tracer,
+            fault_plan=plan, retry_policy=policy, tracer=tracer, **trav_kwargs,
         )
     elif plan is not None:
         raise SystemExit("--faults requires --ranks (faults are injected into "
                          "the distributed driver); use bench --faults for cells")
     else:
+        if trav_kwargs and args.algorithm.lower() not in _TREE_ALGORITHMS:
+            raise SystemExit(
+                f"--query-order/--traversal only apply to the tree algorithms "
+                f"({', '.join(sorted(_TREE_ALGORITHMS))}) or --ranks runs; "
+                f"got --algorithm {args.algorithm}"
+            )
         if tracer is not None:
             device.tracer = tracer
         result = dbscan(
-            X, args.eps, args.minpts, algorithm=args.algorithm, device=device
+            X, args.eps, args.minpts, algorithm=args.algorithm, device=device,
+            **trav_kwargs,
         )
     return result
 
@@ -210,21 +233,28 @@ def _cmd_bench(args) -> int:
     tree_kwargs = {}
     if args.query_order != "input":
         tree_kwargs["query_order"] = args.query_order
-    records = run_sweep(
-        algorithms,
-        cells,
-        lambda cell: X,
-        dataset=args.dataset or args.input,
-        time_budget=args.time_budget,
-        time_budget_mode=args.time_budget_mode,
-        capacity_bytes=args.memory_cap,
-        tree_kwargs=tree_kwargs or None,
-        reuse_index=not args.no_reuse_index,
-        retry_policy=policy,
-        fault_plan=plan,
-        tracer=tracer,
-        n_ranks=args.ranks or 4,
-    )
+    # "both" sweeps the single engine first, then the dual engine over the
+    # same cells — the records stay distinguishable by their ``traversal``
+    # field, so the history diff can gate on the dual engine's pruning.
+    modes = ("single", "dual") if args.traversal == "both" else (args.traversal,)
+    records = []
+    for mode in modes:
+        records += run_sweep(
+            algorithms,
+            cells,
+            lambda cell: X,
+            dataset=args.dataset or args.input,
+            time_budget=args.time_budget,
+            time_budget_mode=args.time_budget_mode,
+            capacity_bytes=args.memory_cap,
+            tree_kwargs=tree_kwargs or None,
+            reuse_index=not args.no_reuse_index,
+            retry_policy=policy,
+            fault_plan=plan,
+            tracer=tracer,
+            traversal=mode,
+            n_ranks=args.ranks or 4,
+        )
     print(format_series(records, x_key=x_key, title="seconds"))
     print()
     print(format_records(records))
@@ -313,6 +343,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="trace file format for --trace-out (default: chrome)",
         )
 
+    def traversal_flags(p, both: bool = False):
+        p.add_argument(
+            "--query-order", choices=("input", "morton"), default="input",
+            help="traversal query scheduling for the tree algorithms: chunk "
+            "queries in input order or along the Morton curve (identical "
+            "labels and work counters either way — an ablation lever)",
+        )
+        choices = ("single", "dual", "both") if both else ("single", "dual")
+        p.add_argument(
+            "--traversal", choices=choices, default="single",
+            help="BVH traversal engine for the tree algorithms: 'single' "
+            "keeps one frontier row per query, 'dual' prunes Morton-adjacent "
+            "query groups against each node in one box test (identical "
+            "labels and distance counts)"
+            + ("; 'both' runs the sweep once per engine" if both else ""),
+        )
+
     def cost_model_flag(p):
         p.add_argument(
             "--cost-model", action="store_true",
@@ -335,6 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--profile", action="store_true", help="print the per-kernel time breakdown"
     )
+    traversal_flags(cluster)
     cost_model_flag(cluster)
     cluster.set_defaults(func=_cmd_cluster)
 
@@ -353,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("prometheus", "csv"), default="prometheus",
         help="exposition format (default: prometheus text)",
     )
+    traversal_flags(metrics)
     metrics.set_defaults(func=_cmd_metrics)
 
     bench = sub.add_parser("bench", help="run a parameter sweep")
@@ -376,12 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
         "cold-equivalent seconds (wall + replayed index-build seconds)",
     )
     cost_model_flag(bench)
-    bench.add_argument(
-        "--query-order", choices=("input", "morton"), default="input",
-        help="traversal query scheduling for the tree algorithms: chunk "
-        "queries in input order or along the Morton curve (identical "
-        "labels and work counters either way — an ablation lever)",
-    )
+    traversal_flags(bench, both=True)
     bench.add_argument(
         "--no-reuse-index",
         action="store_true",

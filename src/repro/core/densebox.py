@@ -94,14 +94,17 @@ def fdbscan_densebox(
     index: DBSCANIndex | None = None,
     query_order: str = "input",
     pair_buffer: int | None = DEFAULT_PAIR_BUFFER,
+    traversal: str | None = None,
 ) -> DBSCANResult:
     """Cluster ``X`` with FDBSCAN-DenseBox.
 
     Arguments match :func:`repro.core.fdbscan.fdbscan` (including the
     weighted-density ``sample_weight``: dense cells then threshold summed
     member weight, and the all-members-core guarantee carries over;
-    ``query_order``/``pair_buffer`` are the same output-preserving
-    scheduling levers).
+    ``query_order``/``pair_buffer``/``traversal`` are the same
+    output-preserving scheduling levers — both the isolated-point
+    preprocessing and the mixed-primitive main traversal honour the
+    chosen engine).
     ``info`` additionally carries ``dense_fraction`` (share of points
     inside dense cells — the regime indicator the paper reports),
     ``n_dense_cells`` and ``total_cells`` (the virtual grid size).
@@ -134,6 +137,9 @@ def fdbscan_densebox(
         eps, minpts, device=dev, sample_weight=weights
     )
     order = tree.order
+    if traversal is None:
+        traversal = index.traversal or "single"
+    info["traversal"] = traversal
     t1 = time.perf_counter()
     info["t_build"] = t1 - t0
     info["index"] = index
@@ -210,6 +216,7 @@ def fdbscan_densebox(
                 leaf_test_is_distance=False,
                 chunk_size=chunk_size,
                 query_order=query_order,
+                traversal=traversal,
             )
             is_core[deco.isolated_idx] = counts >= minpts
             if not early_exit:
@@ -293,6 +300,7 @@ def fdbscan_densebox(
         leaf_test_is_distance=False,
         chunk_size=chunk_size,
         query_order=query_order,
+        traversal=traversal,
     )
     resolver.finalize()
     t3 = time.perf_counter()

@@ -45,6 +45,7 @@ def fdbscan(
     index: DBSCANIndex | None = None,
     query_order: str = "input",
     pair_buffer: int | None = DEFAULT_PAIR_BUFFER,
+    traversal: str | None = None,
 ) -> DBSCANResult:
     """Cluster ``X`` with FDBSCAN.
 
@@ -94,6 +95,11 @@ def fdbscan(
         Pairs accumulated before each union-find launch in the main phase
         (``None`` = resolve every traversal step's batch immediately).
         Output is identical for any buffering.
+    traversal:
+        Traversal engine for both phases: ``"single"`` (per-query
+        frontier) or ``"dual"`` (query-aggregated group pruning); ``None``
+        defers to the index's stored preference (default ``"single"``).
+        Labels and ``distance_evals`` are bit-identical between engines.
 
     Returns
     -------
@@ -117,6 +123,9 @@ def fdbscan(
     else:
         index.check_points(X)
     tree, reused = index.points_tree(dev)
+    if traversal is None:
+        traversal = index.traversal or "single"
+    info["traversal"] = traversal
     t1 = time.perf_counter()
     info["t_build"] = t1 - t0
     info["index"] = index
@@ -135,6 +144,7 @@ def fdbscan(
             chunk_size=chunk_size,
             leaf_weights=weights[tree.order],
             query_order=query_order,
+            traversal=traversal,
         )
         is_core = counts >= minpts
         resolution_core = is_core
@@ -158,6 +168,7 @@ def fdbscan(
             device=dev,
             chunk_size=chunk_size,
             query_order=query_order,
+            traversal=traversal,
         )
         is_core = counts >= minpts
         resolution_core = is_core
@@ -192,6 +203,7 @@ def fdbscan(
         kernel_name="fdbscan_main",
         chunk_size=chunk_size,
         query_order=query_order,
+        traversal=traversal,
     )
     resolver.finalize()
     t3 = time.perf_counter()

@@ -131,6 +131,12 @@ class DBSCANIndex:
         points validate them.
     max_dense_entries:
         Bound on the cached DenseBox decompositions (FIFO eviction).
+    traversal:
+        Stored traversal-engine preference (``"single"``/``"dual"``)
+        applied by runs that pass ``traversal=None``; an explicit
+        per-call ``traversal=`` always wins.  A pure scheduling choice —
+        the cached structures are engine-independent, so one index serves
+        both engines.
     """
 
     def __init__(
@@ -138,6 +144,7 @@ class DBSCANIndex:
         X: np.ndarray,
         max_dense_entries: int = DEFAULT_MAX_DENSE_ENTRIES,
         max_binnings: int = DEFAULT_MAX_BINNINGS,
+        traversal: str | None = None,
     ):
         X = validate_points(X)
         self._X = X
@@ -145,6 +152,11 @@ class DBSCANIndex:
         self.fingerprint = points_fingerprint(X)
         self.max_dense_entries = int(max_dense_entries)
         self.max_binnings = int(max_binnings)
+        if traversal is not None and traversal not in ("single", "dual"):
+            raise ValueError(
+                f"traversal must be 'single', 'dual' or None; got {traversal!r}"
+            )
+        self.traversal = traversal
         self._points: _PointsEntry | None = None
         self._dense: "OrderedDict[tuple, _DenseEntry]" = OrderedDict()
         self._binnings: "OrderedDict[float, _BinningEntry]" = OrderedDict()

@@ -84,6 +84,8 @@ def _local_phase(
     eps: float,
     minpts: int,
     dev: Device,
+    query_order: str = "input",
+    traversal: str = "single",
 ):
     """One rank's work: core flags for owned points + local clustering.
 
@@ -113,7 +115,10 @@ def _local_phase(
         local_core = np.ones(local_ids.shape[0], dtype=bool)
         owned_core = np.ones(n_owned, dtype=bool)
     else:
-        counts = count_within(tree, owned_pts, eps, stop_at=minpts, device=dev)
+        counts = count_within(
+            tree, owned_pts, eps, stop_at=minpts, device=dev,
+            query_order=query_order, traversal=traversal,
+        )
         owned_core = counts >= minpts
         local_core = np.zeros(local_ids.shape[0], dtype=bool)
         local_core[:n_owned] = owned_core
@@ -170,6 +175,8 @@ def distributed_dbscan(
     fault_plan: FaultPlan | None = None,
     retry_policy: RetryPolicy | None = None,
     tracer=None,
+    query_order: str = "input",
+    traversal: str = "single",
 ) -> DBSCANResult:
     """Cluster ``X`` across ``n_ranks`` simulated ranks.
 
@@ -179,6 +186,14 @@ def distributed_dbscan(
     surviving rank set.  Output is DBSCAN-equivalent to any single-device
     algorithm in the registry, including under any seeded ``fault_plan``
     that leaves at least one rank alive.
+
+    ``query_order`` / ``traversal`` are each rank's local traversal
+    options (see :func:`repro.bvh.traversal.for_each_leaf_hit`): Morton
+    query scheduling sorts every rank's owned+halo queries along the
+    Z-curve, and the dual engine prunes its query groups collectively.
+    Both are pure work-scheduling choices — the labelling is identical —
+    and both apply identically on recovery reruns, so fault-time recompute
+    stays equivalent too.
 
     ``retry_policy`` governs the transient-failure retries of rank-local
     compute and of message delivery; with a ``fault_plan`` present its
@@ -382,6 +397,8 @@ def distributed_dbscan(
                     on_hits,
                     device=dev,
                     kernel_name=f"dist_main_rank{p}",
+                    query_order=query_order,
+                    traversal=traversal,
                 )
                 return uf.finalize()
 
@@ -404,7 +421,8 @@ def distributed_dbscan(
                 "local",
                 p,
                 lambda p=p: _local_phase(
-                    X, local_ids_per_rank[p], owned_lists[p].shape[0], eps, minpts, dev
+                    X, local_ids_per_rank[p], owned_lists[p].shape[0], eps, minpts,
+                    dev, query_order=query_order, traversal=traversal,
                 ),
             )
             trees[p] = (tree, local_core)
@@ -487,6 +505,8 @@ def distributed_dbscan(
             "eps": eps,
             "min_samples": minpts,
             "n_ranks": n_ranks,
+            "query_order": query_order,
+            "traversal": traversal,
             "owned_per_rank": partition.counts().tolist(),
             "ghosts_per_rank": [int(g.shape[0]) for g in halo.ghosts],
             "alive_ranks": sorted(alive),
