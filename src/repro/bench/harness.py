@@ -164,6 +164,14 @@ TREE_ALGORITHMS = {"auto", "fdbscan", "fdbscan-densebox", "densebox"}
 #: and comm spans inside the same benchmark cell span.
 DISTRIBUTED_ALGORITHMS = {"distributed", "distributed-fdbscan"}
 
+#: Names routed to :func:`repro.hierarchy.hdbscan` instead of the flat
+#: registry.  Hierarchy cells ignore ``eps`` (it is recorded on the cell
+#: for grid bookkeeping only) and derive ``min_cluster_size`` from the
+#: cell's ``min_samples`` unless one is passed through ``kwargs``.  They
+#: accept a prebuilt ``index=`` and the ``traversal=`` engine selector
+#: like the tree algorithms do.
+HIERARCHY_ALGORITHMS = {"hdbscan"}
+
 
 def _capture_device(rec: RunRecord, dev: Device) -> None:
     """Copy the device's accounting into the record (every exit path)."""
@@ -197,11 +205,17 @@ def run_once(
 ) -> RunRecord:
     """Execute one benchmark cell on a fresh device (fresh per attempt).
 
-    ``tree_kwargs`` (e.g. ``{"chunk_size": 4096, "use_mask": False}``) and
-    ``index`` (a prebuilt :class:`~repro.core.index.DBSCANIndex`) are
-    forwarded only to the tree-based algorithms; ``kwargs`` go to every
-    algorithm.  The record's ``counters`` / ``kernels`` / ``peak_bytes``
-    are captured on the ``"oom"`` and ``"error"`` paths too.
+    ``tree_kwargs`` (e.g. ``{"chunk_size": 4096, "use_mask": False}``) is
+    forwarded only to the tree-based algorithms; ``index`` (a prebuilt
+    :class:`~repro.core.index.DBSCANIndex`) goes to tree-based and
+    hierarchy cells; ``kwargs`` go to every algorithm.  The record's
+    ``counters`` / ``kernels`` / ``peak_bytes`` are captured on the
+    ``"oom"`` and ``"error"`` paths too.
+
+    An ``algorithm`` in :data:`HIERARCHY_ALGORITHMS` runs
+    :func:`repro.hierarchy.hdbscan` instead of the flat registry: ``eps``
+    is recorded but unused, and ``min_cluster_size`` defaults to
+    ``max(2, min_samples)`` unless passed explicitly in ``kwargs``.
 
     An ``algorithm`` in :data:`DISTRIBUTED_ALGORITHMS` runs
     :func:`repro.distributed.distributed_dbscan` instead of the registry
@@ -235,12 +249,16 @@ def run_once(
     )
     is_tree = algorithm.lower() in TREE_ALGORITHMS
     is_distributed = algorithm.lower() in DISTRIBUTED_ALGORITHMS
+    is_hierarchy = algorithm.lower() in HIERARCHY_ALGORITHMS
     n_ranks = int(kwargs.pop("n_ranks", 4))
+    min_cluster_size = int(
+        kwargs.pop("min_cluster_size", 0) or max(2, int(min_samples))
+    )
     if tree_kwargs and is_tree:
         kwargs = {**kwargs, **tree_kwargs}
-    if is_tree or is_distributed:
+    if is_tree or is_distributed or is_hierarchy:
         kwargs = {**kwargs, "traversal": traversal}
-    if index is not None and is_tree:
+    if index is not None and (is_tree or is_hierarchy):
         kwargs = {**kwargs, "index": index}
     phase = _cell_phase(algorithm, dataset, rec.n, rec.eps, rec.min_samples)
     tr = tracer if tracer is not None else NULL_TRACER
@@ -281,6 +299,13 @@ def run_once(
                             X, eps, min_samples, n_ranks=n_ranks, device=dev,
                             fault_plan=fault_plan, retry_policy=retry_policy,
                             tracer=tracer, **kwargs,
+                        )
+                    elif is_hierarchy:
+                        from repro.hierarchy import hdbscan as hdbscan_fn
+
+                        result = hdbscan_fn(
+                            X, min_cluster_size=min_cluster_size,
+                            min_samples=min_samples, device=dev, **kwargs,
                         )
                     else:
                         result = dbscan(
@@ -392,7 +417,10 @@ def run_sweep(
     records: list[RunRecord] = []
     over_budget: dict[str, str] = {}
     indexes: dict[str, DBSCANIndex] = {}
-    any_tree = any(a.lower() in TREE_ALGORITHMS for a in algorithms)
+    any_tree = any(
+        a.lower() in TREE_ALGORITHMS or a.lower() in HIERARCHY_ALGORITHMS
+        for a in algorithms
+    )
     tr = tracer if tracer is not None else NULL_TRACER
     sweep_span = tr.start(
         "sweep",

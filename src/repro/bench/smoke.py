@@ -26,6 +26,18 @@ cell present under both engines, the dual engine's total pruning work
 the dual engine's reason to exist — a code change that silently degrades
 group pruning fails CI even when wall seconds stay flat.
 
+A baseline that includes hierarchy cells (``--algorithms ...,hdbscan``)
+replays the full hierarchy path — BVH core distances, BVH-Borůvka
+mutual-reachability MST, condensed-tree extraction — and the smoke
+additionally gates on the **Borůvka engine's pruning win**: for every ok
+hdbscan cell, the MST traversal's own distance work (the ``boruvka_nn``
+kernel's ``distance_evals``) must stay at or below
+``BENCH_SMOKE_MST_RATIO`` (default 0.25) times ``n * (n - 1)`` — the
+distance count the retained O(n²) Prim baseline pays by construction.
+That is the paper's reason to run Borůvka over the tree at all; a change
+that silently degrades the component masking or the bound-capped radius
+schedule fails CI even when wall seconds stay flat.
+
 The smoke run never writes the baseline; refreshing it is an explicit
 ``repro bench ... --save`` on a maintainer's machine.
 """
@@ -35,7 +47,7 @@ from __future__ import annotations
 import os
 import sys
 
-from repro.bench.harness import run_sweep
+from repro.bench.harness import HIERARCHY_ALGORITHMS, run_sweep
 from repro.bench.history import compare_records, load_records
 
 #: Default baseline path (the committed sweep records).
@@ -47,6 +59,10 @@ RATE_THRESHOLD_ENV = "BENCH_SMOKE_RATE_THRESHOLD"
 
 #: Ceiling on dual/single pruning work per cell of a both-mode sweep.
 DUAL_RATIO_ENV = "BENCH_SMOKE_DUAL_RATIO"
+
+#: Ceiling on the Borůvka MST traversal's distance work per hierarchy
+#: cell, as a fraction of Prim's n(n-1) distance evaluations.
+MST_RATIO_ENV = "BENCH_SMOKE_MST_RATIO"
 
 #: Alarm categories that fail the smoke run.
 ALARM_KINDS = ("regressions", "rate_regressions", "status_changes", "result_changes")
@@ -70,6 +86,44 @@ def _dual_ratio_threshold(default: float = 0.7) -> float:
     if value <= 0.0:
         raise ValueError(f"{DUAL_RATIO_ENV} must be > 0; got {raw!r}")
     return value
+
+
+def _mst_ratio_threshold(default: float = 0.25) -> float:
+    raw = os.environ.get(MST_RATIO_ENV)
+    if raw is None:
+        return default
+    value = float(raw)
+    if value <= 0.0:
+        raise ValueError(f"{MST_RATIO_ENV} must be > 0; got {raw!r}")
+    return value
+
+
+def mst_ratio_alarms(records, threshold: float) -> list[str]:
+    """Hierarchy cells whose Borůvka MST traversal did more distance work
+    than ``threshold`` times Prim's ``n * (n - 1)``.
+
+    Only ``"ok"`` hierarchy cells that actually ran the ``boruvka_nn``
+    kernel participate — a ``mst_algorithm="prim"`` cell (or a failed
+    one) carries no tree-traversal signal to gate on.
+    """
+    alarms = []
+    for rec in records:
+        if rec.algorithm.lower() not in HIERARCHY_ALGORITHMS:
+            continue
+        if rec.status != "ok" or rec.n < 2:
+            continue
+        kernel = (rec.kernels or {}).get("boruvka_nn")
+        if not kernel:
+            continue
+        evals = kernel.get("counters", {}).get("distance_evals", 0)
+        ratio = evals / float(rec.n * (rec.n - 1))
+        if ratio > threshold:
+            alarms.append(
+                f"{rec.algorithm} [{rec.dataset} n={rec.n} eps={rec.eps:g} "
+                f"minpts={rec.min_samples} {rec.traversal}] boruvka_nn "
+                f"distance_evals / n(n-1) = {ratio:.3f} > {threshold:g}"
+            )
+    return alarms
 
 
 def _pruning_work(rec, dual: bool) -> int:
@@ -213,6 +267,11 @@ def run_smoke(
         ratio = _dual_ratio_threshold()
         for entry in dual_ratio_alarms(records, ratio):
             print(f"  dual_ratio_regression: {entry}")
+            failed = True
+    if any(a.lower() in HIERARCHY_ALGORITHMS for a in args.algorithms.split(",")):
+        mst_ratio = _mst_ratio_threshold()
+        for entry in mst_ratio_alarms(records, mst_ratio):
+            print(f"  mst_ratio_regression: {entry}")
             failed = True
     if not failed:
         print("  ok: no wall, rate, status or result regressions")

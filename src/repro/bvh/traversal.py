@@ -204,6 +204,8 @@ def for_each_leaf_hit(
     query_order: str = "input",
     traversal: str = "single",
     group_size: int | None = None,
+    component_of: np.ndarray | None = None,
+    node_components: np.ndarray | None = None,
 ) -> TraversalResult:
     """Stream every ``(query, leaf)`` pair within ``eps`` to ``callback``.
 
@@ -266,6 +268,20 @@ def for_each_leaf_hit(
         Queries per group for ``traversal="dual"`` (default
         :data:`~repro.bvh.qgroups.DEFAULT_GROUP_SIZE`); ``1`` degenerates
         to per-query traversal.
+    component_of / node_components:
+        Optional *component mask* (passed together): ``component_of[q]``
+        is query ``q``'s component id (``>= 0``) and
+        ``node_components[v]`` is tree node ``v``'s component — uniform
+        id when every primitive below ``v`` shares one component, ``-1``
+        when mixed.  A query never sees leaves of its own component, and
+        subtrees uniform in the query's component are pruned without
+        descending (Borůvka's "nearest neighbour outside my component"
+        query).  Because a subtree uniform in component ``c`` contains
+        only ``c``-leaves, internal pruning is a pure work optimisation:
+        the delivered hit stream equals leaf-level filtering exactly, in
+        both engines.  Same-component leaf children are not counted as
+        leaf tests (they are resolved by the id comparison, not a
+        distance computation).
 
     Returns
     -------
@@ -295,6 +311,22 @@ def for_each_leaf_hit(
         return result
     if mask_positions is not None:
         mask_positions = np.asarray(mask_positions, dtype=np.int64)
+    if (component_of is None) != (node_components is None):
+        raise ValueError(
+            "component_of and node_components must be passed together"
+        )
+    if component_of is not None:
+        component_of = np.asarray(component_of, dtype=np.int64)
+        if component_of.shape != (m,):
+            raise ValueError(
+                f"component_of must be ({m},); got {component_of.shape}"
+            )
+        node_components = np.asarray(node_components, dtype=np.int64)
+        n_nodes = tree.node_lo.shape[0]
+        if node_components.shape != (n_nodes,):
+            raise ValueError(
+                f"node_components must be ({n_nodes},); got {node_components.shape}"
+            )
     if chunk_size is None or chunk_size <= 0:
         chunk_size = m
     if traversal == "dual":
@@ -310,6 +342,8 @@ def for_each_leaf_hit(
             leaf_test_is_distance,
             chunk_size,
             group_size if group_size is not None else DEFAULT_GROUP_SIZE,
+            component_of,
+            node_components,
         )
     schedule = query_schedule(queries, query_order)
 
@@ -340,6 +374,8 @@ def for_each_leaf_hit(
                 ok = np.einsum("nd,nd->n", diff, diff) <= eps2
                 if mask_positions is not None:
                     ok &= tree.node_range_hi[tree.root] > mask_positions[chunk_ids]
+                if component_of is not None:
+                    ok &= node_components[tree.root] != component_of[chunk_ids]
                 if finished_fn is not None:
                     ok &= ~finished_fn(chunk_ids)
                 size = int(np.count_nonzero(ok))
@@ -399,13 +435,31 @@ def for_each_leaf_hit(
 
                     keep = pool.take2("keep", n_par, dtype=bool)
                     np.greater_equal(ex_n, n_int, out=keep)
-                    n_leaf_tests = int(np.count_nonzero(keep))
+                    tested = None
+                    if component_of is not None:
+                        # Children whose subtree is uniform in the query's
+                        # component are pruned by the id comparison alone —
+                        # no box or distance work is performed (or counted)
+                        # for them.
+                        ncomp = pool.take2("ncomp", n_par)
+                        qcomp = pool.take("qcomp", n_par)
+                        np.take(node_components, ex_n, out=ncomp)
+                        np.take(component_of, par_q, out=qcomp)
+                        tested = pool.take2("ctest", n_par, dtype=bool)
+                        np.not_equal(ncomp, qcomp[:, None], out=tested)
+                        n_tested = int(np.count_nonzero(tested))
+                        n_leaf_tests = int(np.count_nonzero(keep & tested))
+                    else:
+                        n_tested = two_k
+                        n_leaf_tests = int(np.count_nonzero(keep))
                     if leaf_test_is_distance:
                         dev.counters.add("distance_evals", n_leaf_tests)
-                        dev.counters.add("box_tests", two_k - n_leaf_tests)
+                        dev.counters.add("box_tests", n_tested - n_leaf_tests)
                     else:
-                        dev.counters.add("box_tests", two_k)
+                        dev.counters.add("box_tests", n_tested)
                     np.less_equal(d2, eps2, out=keep)
+                    if tested is not None:
+                        keep &= tested
                     if mask_positions is not None:
                         rng_hi = pool.take2("rng_hi", n_par, dtype=ndt)
                         q_mask = pool.take("q_mask", n_par)
@@ -444,6 +498,8 @@ def _dual_leaf_hits(
     leaf_test_is_distance: bool,
     chunk_size: int,
     group_size: int,
+    component_of: np.ndarray | None = None,
+    node_components: np.ndarray | None = None,
 ) -> TraversalResult:
     """Dual-tree (query-aggregated) wavefront traversal.
 
@@ -482,6 +538,14 @@ def _dual_leaf_hits(
     Group scratch (sorted chunk coordinates, the group hierarchy, the
     finished double-buffer) is charged to the memory model under the
     ``"qgroups"`` tag; the frontier itself stays under ``"frontier"``.
+
+    Component masking extends the reach predicate with "``node``'s
+    subtree is not uniform in ``q``'s component": query nodes carry a
+    uniform-component summary (computed by the same reduceat cascade as
+    the group AABBs), so a (group, node) pair whose components provably
+    coincide is pruned in one comparison, and the per-member leaf test
+    applies the exact leaf-vs-query component check the single engine
+    applies.
     """
     m = queries.shape[0]
     n_int = tree.n_internal
@@ -513,6 +577,10 @@ def _dual_leaf_hits(
                 if mask_positions is not None:
                     chunk_mask = qpool.take("chunk_mask", cn)
                     np.take(mask_positions, chunk_ids, out=chunk_mask)
+                chunk_comp = None
+                if component_of is not None:
+                    chunk_comp = qpool.take("chunk_comp", cn)
+                    np.take(component_of, chunk_ids, out=chunk_comp)
 
                 if n_int == 0:
                     # Single-leaf tree: mirror the single engine's one
@@ -522,6 +590,8 @@ def _dual_leaf_hits(
                     ok = np.einsum("nd,nd->n", diff, diff) <= eps2
                     if chunk_mask is not None:
                         ok &= node_rng_hi[root] > chunk_mask
+                    if chunk_comp is not None:
+                        ok &= node_components[root] != chunk_comp
                     if finished_fn is not None:
                         ok &= ~finished_fn(chunk_ids)
                     n_hits = int(np.count_nonzero(ok))
@@ -538,6 +608,23 @@ def _dual_leaf_hits(
                     chunk_pts, chunk_mask, group_size, DEFAULT_SUPER_FANOUT, qpool
                 )
                 n_super = qg.n_super
+
+                # Uniform-component summary per query node (-1 = mixed):
+                # the component analogue of the group AABB, built by the
+                # same reduceat cascade (groups tile the chunk; supergroups
+                # tile the groups).
+                ucomp = None
+                if chunk_comp is not None:
+                    gstarts = qg.mem_lo[n_super:]
+                    gmin = np.minimum.reduceat(chunk_comp, gstarts)
+                    gmax = np.maximum.reduceat(chunk_comp, gstarts)
+                    ucomp = qpool.take("ucomp", qg.n_nodes)
+                    np.copyto(ucomp[n_super:], np.where(gmin == gmax, gmin, -1))
+                    if n_super:
+                        sstarts = qg.child_lo - n_super
+                        smin = np.minimum.reduceat(gmin, sstarts)
+                        smax = np.maximum.reduceat(gmax, sstarts)
+                        np.copyto(ucomp[:n_super], np.where(smin == smax, smin, -1))
 
                 fin_prev = fin_now = cumfin = None
                 if finished_fn is not None:
@@ -557,6 +644,9 @@ def _dual_leaf_hits(
                 okt = np.einsum("nd,nd->n", gap, gap) <= eps2
                 if chunk_mask is not None:
                     okt &= node_rng_hi[root] > qg.mask_min[top]
+                if ucomp is not None:
+                    uct = ucomp[top]
+                    okt &= ~((uct >= 0) & (uct == node_components[root]))
                 size = int(np.count_nonzero(okt))
                 fr_g = pool.take("fr_g", size, dtype=np.int32)
                 fr_n = pool.take("fr_n", size, dtype=ndt)
@@ -649,6 +739,12 @@ def _dual_leaf_hits(
                         if chunk_mask is not None:
                             vis = node_rng_hi[e_n][seg] > chunk_mask[mpos]
                             live = vis if live is None else live & vis
+                        if chunk_comp is not None:
+                            # A member whose component fills this node's
+                            # subtree never reached it in the single
+                            # engine — drop it from the parent re-test.
+                            cok = node_components[e_n][seg] != chunk_comp[mpos]
+                            live = cok if live is None else live & cok
                         # Admission guarantees mindist(group, node) <= eps;
                         # when even the farthest member corner is within
                         # eps, every member reaches — no per-member test.
@@ -675,7 +771,15 @@ def _dual_leaf_hits(
                             lk = is_leaf[sel, k]
                             if not lk.any():
                                 continue
-                            idx = np.flatnonzero(lk[seg] & reach)
+                            take = lk[seg] & reach
+                            if chunk_comp is not None:
+                                # Leaf-vs-member component check — the
+                                # exact gate the single engine applies
+                                # before testing a leaf child (a leaf's
+                                # component is always uniform).
+                                lcomp = node_components[ch[sel, k]]
+                                take &= lcomp[seg] != chunk_comp[mpos]
+                            idx = np.flatnonzero(take)
                             dev.counters.add(leaf_counter, idx.shape[0])
                             if idx.shape[0] == 0:
                                 continue
@@ -771,6 +875,13 @@ def _dual_leaf_hits(
                     keep = d2g <= eps2
                     if chunk_mask is not None:
                         keep &= cand_rng > qg.mask_min[cand_q]
+                    if ucomp is not None:
+                        # Prune a (query node, tree node) pair whose
+                        # components provably coincide: both uniform and
+                        # equal means every member/leaf pair below is
+                        # same-component.
+                        ucq = ucomp[cand_q]
+                        keep &= ~((ucq >= 0) & (ucq == node_components[cand_n]))
                     size = int(np.count_nonzero(keep))
                     fr_g = pool.take("fr_g", size, dtype=np.int32)
                     fr_n = pool.take("fr_n", size, dtype=ndt)

@@ -57,7 +57,7 @@ from repro.datasets.io import load_points, subsample
 from repro.datasets.registry import DATASETS, load_dataset
 from repro.device.device import Device
 from repro.faults import FaultPlan, FaultSpec, RetryPolicy
-from repro.metrics.stats import clustering_summary
+from repro.metrics.stats import clustering_summary, hierarchy_summary
 from repro.obs import (
     MetricsRegistry,
     Tracer,
@@ -141,6 +141,10 @@ def _cluster_run(args, device: Device, tracer: Tracer | None):
     X = _load_input(args)
     plan, policy = _fault_machinery(args)
     trav_kwargs = _traversal_kwargs(args)
+    if args.eps is None and (args.ranks or args.algorithm.lower() != "hdbscan"):
+        raise SystemExit(
+            "--eps is required (only --algorithm hdbscan runs without it)"
+        )
     if args.ranks:
         from repro.distributed import distributed_dbscan
 
@@ -151,12 +155,25 @@ def _cluster_run(args, device: Device, tracer: Tracer | None):
     elif plan is not None:
         raise SystemExit("--faults requires --ranks (faults are injected into "
                          "the distributed driver); use bench --faults for cells")
+    elif args.algorithm.lower() == "hdbscan":
+        from repro.hierarchy import hdbscan
+
+        if tracer is not None:
+            device.tracer = tracer
+        result = hdbscan(
+            X,
+            min_cluster_size=getattr(args, "min_cluster_size", None) or max(2, args.minpts),
+            min_samples=args.minpts,
+            device=device,
+            mst_algorithm=getattr(args, "mst", "boruvka"),
+            **trav_kwargs,
+        )
     else:
         if trav_kwargs and args.algorithm.lower() not in _TREE_ALGORITHMS:
             raise SystemExit(
                 f"--query-order/--traversal only apply to the tree algorithms "
-                f"({', '.join(sorted(_TREE_ALGORITHMS))}) or --ranks runs; "
-                f"got --algorithm {args.algorithm}"
+                f"({', '.join(sorted(_TREE_ALGORITHMS))}, hdbscan) or --ranks "
+                f"runs; got --algorithm {args.algorithm}"
             )
         if tracer is not None:
             device.tracer = tracer
@@ -172,7 +189,12 @@ def _cmd_cluster(args) -> int:
     tracer = _tracer_for(args)
     result = _cluster_run(args, device, tracer)
     print(f"algorithm : {result.info.get('algorithm', args.algorithm)}")
-    for key, value in clustering_summary(result).items():
+    if result.info.get("algorithm") == "hdbscan":
+        summary = hierarchy_summary(result)
+        summary["mst_algorithm"] = result.info["mst_algorithm"]
+    else:
+        summary = clustering_summary(result)
+    for key, value in summary.items():
         print(f"{key:>18} : {value}")
     if args.ranks:
         print(f"{'alive_ranks':>18} : {result.info['alive_ranks']}")
@@ -215,6 +237,8 @@ def _cmd_metrics(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.eps is None and not args.eps_sweep:
+        raise SystemExit("bench requires --eps (or --eps-sweep)")
     X = _load_input(args)
     algorithms = args.algorithms.split(",")
     if args.minpts_sweep:
@@ -315,7 +339,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--n", type=int, default=10_000, help="points to generate/sample")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--dim", type=int, help="row width for raw .bin inputs")
-        p.add_argument("--eps", type=float, required=True)
+        p.add_argument(
+            "--eps", type=float, default=None,
+            help="neighbourhood radius (required except for "
+            "--algorithm hdbscan, which has no eps)",
+        )
         p.add_argument(
             "--memory-cap", type=int, help="device memory cap in bytes (OOM simulation)"
         )
@@ -367,10 +395,24 @@ def build_parser() -> argparse.ArgumentParser:
             "machine-independent work counters and their rates)",
         )
 
+    def hierarchy_flags(p):
+        p.add_argument(
+            "--min-cluster-size", type=int, default=None,
+            help="smallest condensed cluster for --algorithm hdbscan "
+            "(default: max(2, minpts)); --eps is ignored by hdbscan",
+        )
+        p.add_argument(
+            "--mst", choices=("boruvka", "prim"), default="boruvka",
+            help="mutual-reachability MST engine for --algorithm hdbscan: "
+            "'boruvka' streams through the BVH, 'prim' is the O(n²) "
+            "reference (identical dendrogram heights)",
+        )
+
     cluster = sub.add_parser("cluster", help="cluster a point set")
     common(cluster)
     cluster.add_argument("--minpts", type=int, required=True)
     cluster.add_argument("--algorithm", default="auto")
+    hierarchy_flags(cluster)
     cluster.add_argument(
         "--ranks", type=int,
         help="run the distributed driver with this many simulated ranks",
@@ -393,6 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(metrics)
     metrics.add_argument("--minpts", type=int, required=True)
     metrics.add_argument("--algorithm", default="auto")
+    hierarchy_flags(metrics)
     metrics.add_argument(
         "--ranks", type=int,
         help="run the distributed driver with this many simulated ranks",

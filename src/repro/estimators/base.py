@@ -1,0 +1,173 @@
+"""Estimator plumbing: sklearn's calling convention without sklearn.
+
+The estimators in this package are *drop-in* replacements for their
+scikit-learn counterparts, so they reproduce the two contracts sklearn
+pipelines rely on besides ``fit``/``fit_predict``:
+
+``get_params`` / ``set_params``
+    Parameter introspection driven by the ``__init__`` signature (the
+    clone/grid-search protocol).  :class:`BaseEstimator` implements both
+    from the signature alone — subclasses only write ``__init__`` storing
+    each argument verbatim on ``self``.
+
+parameter validation
+    Deferred to ``fit`` (sklearn validates at fit time, never in
+    ``__init__``) and phrased exactly like sklearn's
+    ``InvalidParameterError`` messages::
+
+        The 'eps' parameter of DBSCAN must be a float in the range
+        (0.0, inf). Got -1 instead.
+
+    Constraints are declared per class in ``_parameter_constraints`` as
+    lists of :class:`Interval` / :class:`StrOptions` / type / ``None``
+    alternatives, mirroring sklearn's ``_param_validation`` vocabulary.
+"""
+
+from __future__ import annotations
+
+import inspect
+from numbers import Integral, Real
+
+
+class Interval:
+    """Numeric range constraint, sklearn-style.
+
+    ``Interval(Real, 0, None, closed="neither")`` reads "a float in the
+    range (0.0, inf)".  ``type`` is :class:`numbers.Real` or
+    :class:`numbers.Integral`; ``closed`` one of ``"left"``, ``"right"``,
+    ``"both"``, ``"neither"``.
+    """
+
+    def __init__(self, type, left, right, *, closed="left"):
+        self.type = type
+        self.left = left
+        self.right = right
+        self.closed = closed
+
+    def is_satisfied_by(self, value) -> bool:
+        if not isinstance(value, self.type) or isinstance(value, bool):
+            return False
+        left_ok = (
+            self.left is None
+            or (value >= self.left if self.closed in ("left", "both") else value > self.left)
+        )
+        right_ok = (
+            self.right is None
+            or (value <= self.right if self.closed in ("right", "both") else value < self.right)
+        )
+        return bool(left_ok and right_ok)
+
+    def __str__(self) -> str:
+        kind = "an int" if self.type is Integral else "a float"
+        lb = "[" if self.closed in ("left", "both") else "("
+        rb = "]" if self.closed in ("right", "both") else ")"
+        left = "-inf" if self.left is None else repr(
+            float(self.left) if self.type is Real else self.left
+        )
+        right = "inf" if self.right is None else repr(
+            float(self.right) if self.type is Real else self.right
+        )
+        return f"{kind} in the range {lb}{left}, {right}{rb}"
+
+
+class StrOptions:
+    """Categorical string constraint: one of a fixed set of options."""
+
+    def __init__(self, options: set[str]):
+        self.options = set(options)
+
+    def is_satisfied_by(self, value) -> bool:
+        return isinstance(value, str) and value in self.options
+
+    def __str__(self) -> str:
+        opts = sorted(self.options)
+        quoted = [repr(o) for o in opts]
+        if len(quoted) == 1:
+            return f"a str among {{{quoted[0]}}}"
+        return "a str among {" + ", ".join(quoted[:-1]) + " or " + quoted[-1] + "}"
+
+
+def _constraint_str(constraint) -> str:
+    if constraint is None:
+        return "None"
+    if isinstance(constraint, (Interval, StrOptions)):
+        return str(constraint)
+    if isinstance(constraint, type):
+        return f"an instance of {constraint.__qualname__!r}"
+    return str(constraint)
+
+
+def _satisfies(value, constraint) -> bool:
+    if constraint is None:
+        return value is None
+    if isinstance(constraint, (Interval, StrOptions)):
+        return constraint.is_satisfied_by(value)
+    if isinstance(constraint, type):
+        return isinstance(value, constraint)
+    raise TypeError(f"unsupported constraint {constraint!r}")
+
+
+def validate_parameter_constraints(constraints: dict, params: dict, caller_name: str) -> None:
+    """Raise ``ValueError`` (sklearn's ``InvalidParameterError`` wording)
+    for the first parameter violating every one of its alternatives."""
+    for name, alternatives in constraints.items():
+        if name not in params:
+            continue
+        value = params[name]
+        if any(_satisfies(value, c) for c in alternatives):
+            continue
+        descs = [_constraint_str(c) for c in alternatives]
+        if len(descs) == 1:
+            desc = descs[0]
+        else:
+            desc = ", ".join(descs[:-1]) + f" or {descs[-1]}"
+        raise ValueError(
+            f"The {name!r} parameter of {caller_name} must be {desc}. "
+            f"Got {value!r} instead."
+        )
+
+
+class BaseEstimator:
+    """Minimal sklearn ``BaseEstimator``: signature-driven ``get_params``
+    / ``set_params`` plus fit-time constraint validation."""
+
+    _parameter_constraints: dict = {}
+
+    @classmethod
+    def _get_param_names(cls) -> list[str]:
+        sig = inspect.signature(cls.__init__)
+        return sorted(
+            p.name
+            for p in sig.parameters.values()
+            if p.name != "self" and p.kind is not p.VAR_KEYWORD
+        )
+
+    def get_params(self, deep: bool = True) -> dict:
+        """Parameter name → current value, from the ``__init__`` signature."""
+        return {name: getattr(self, name) for name in self._get_param_names()}
+
+    def set_params(self, **params) -> "BaseEstimator":
+        """Set parameters by keyword; unknown names raise ``ValueError``
+        (sklearn's wording) so typos never pass silently."""
+        valid = set(self._get_param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"Invalid parameter {name!r} for estimator {self!r}. "
+                    f"Valid parameters are: {sorted(valid)!r}."
+                )
+            setattr(self, name, value)
+        return self
+
+    def _validate_params(self) -> None:
+        validate_parameter_constraints(
+            self._parameter_constraints,
+            self.get_params(deep=False),
+            type(self).__name__,
+        )
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{k}={v!r}" for k, v in sorted(self.get_params(deep=False).items())
+        )
+        return f"{type(self).__name__}({parts})"

@@ -29,11 +29,13 @@ on the repository's substrates:
     flat implementations.
 """
 
+from repro.hierarchy.boruvka import mutual_reachability_mst_boruvka
 from repro.hierarchy.condense import CondensedTree, condense_dendrogram, extract_eom_clusters
-from repro.hierarchy.hdbscan import HDBSCANResult, dbscan_star_cut, hdbscan
+from repro.hierarchy.hdbscan import MST_ALGORITHMS, HDBSCANResult, dbscan_star_cut, hdbscan
 from repro.hierarchy.mst import mutual_reachability_mst, single_linkage_dendrogram
 
 __all__ = [
+    "MST_ALGORITHMS",
     "CondensedTree",
     "HDBSCANResult",
     "condense_dendrogram",
@@ -41,5 +43,6 @@ __all__ = [
     "extract_eom_clusters",
     "hdbscan",
     "mutual_reachability_mst",
+    "mutual_reachability_mst_boruvka",
     "single_linkage_dendrogram",
 ]

@@ -19,12 +19,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.bvh.aabb import boxes_from_points
-from repro.bvh.builder import build_bvh
 from repro.bvh.knn import core_distances
+from repro.core.index import DBSCANIndex
 from repro.core.labels import relabel_consecutive
 from repro.core.validation import validate_params, validate_points
 from repro.device.device import Device, default_device
+from repro.hierarchy.boruvka import mutual_reachability_mst_boruvka
 from repro.hierarchy.condense import (
     CondensedTree,
     condense_dendrogram,
@@ -32,6 +32,38 @@ from repro.hierarchy.condense import (
 )
 from repro.hierarchy.mst import mutual_reachability_mst, single_linkage_dendrogram
 from repro.unionfind.ecl import EclUnionFind
+
+MST_ALGORITHMS = ("boruvka", "prim")
+
+
+def _mreach_mst(
+    X: np.ndarray,
+    core: np.ndarray,
+    tree,
+    mst_algorithm: str,
+    dev: Device,
+    traversal: str,
+    query_order: str,
+) -> np.ndarray:
+    """Dispatch to the requested mutual-reachability MST engine.
+
+    Both engines return the same edge multiset up to tie-permutation
+    (equal sorted weights, identical dendrogram heights); ``"boruvka"``
+    streams through the BVH, ``"prim"`` is the O(n²) reference."""
+    if mst_algorithm == "boruvka":
+        return mutual_reachability_mst_boruvka(
+            X,
+            core,
+            tree=tree,
+            device=dev,
+            traversal=traversal,
+            query_order=query_order,
+        )
+    if mst_algorithm == "prim":
+        return mutual_reachability_mst(X, core, device=dev)
+    raise ValueError(
+        f"mst_algorithm must be one of {MST_ALGORITHMS}; got {mst_algorithm!r}"
+    )
 
 
 @dataclass
@@ -122,6 +154,10 @@ def hdbscan(
     min_samples: int | None = None,
     allow_single_cluster: bool = False,
     device: Device | None = None,
+    mst_algorithm: str = "boruvka",
+    traversal: str | None = None,
+    query_order: str = "input",
+    index: DBSCANIndex | None = None,
 ) -> HDBSCANResult:
     """Hierarchical density clustering over the paper's substrates.
 
@@ -136,6 +172,19 @@ def hdbscan(
         the point itself counts, matching the rest of the repository.
     allow_single_cluster:
         Permit selecting the root cluster (all points one cluster).
+    mst_algorithm:
+        ``"boruvka"`` (BVH-accelerated, the default) or ``"prim"`` (O(n²)
+        reference).  Both yield identical dendrogram heights up to
+        tie-permutation.
+    traversal:
+        ``"single"``/``"dual"`` wavefront engine for the core-distance and
+        Borůvka traversals; ``None`` defers to the index's stored
+        preference (default ``"single"``).
+    query_order:
+        ``"input"`` or ``"morton"`` traversal scheduling.
+    index:
+        Prebuilt :class:`~repro.core.index.DBSCANIndex` over ``X``; its
+        points tree is reused so a sweep shares one build.
     """
     X = validate_points(X)
     if min_cluster_size < 2:
@@ -149,11 +198,18 @@ def hdbscan(
         raise ValueError(f"min_samples={min_samples} exceeds n={n}")
     t0 = time.perf_counter()
 
-    lo, hi = boxes_from_points(X)
-    tree = build_bvh(lo, hi, device=dev)
-    core = core_distances(tree, X, min_samples, device=dev)
+    if index is None:
+        index = DBSCANIndex(X)
+    else:
+        index.check_points(X)
+    tree, reused = index.points_tree(dev)
+    if traversal is None:
+        traversal = index.traversal or "single"
+    core = core_distances(
+        tree, X, min_samples, device=dev, query_order=query_order, traversal=traversal
+    )
     t1 = time.perf_counter()
-    mst = mutual_reachability_mst(X, core, device=dev)
+    mst = _mreach_mst(X, core, tree, mst_algorithm, dev, traversal, query_order)
     Z = single_linkage_dendrogram(mst, n)
     t2 = time.perf_counter()
     condensed = condense_dendrogram(Z, n, min_cluster_size)
@@ -165,6 +221,10 @@ def hdbscan(
         "n": n,
         "min_cluster_size": min_cluster_size,
         "min_samples": min_samples,
+        "mst_algorithm": mst_algorithm,
+        "traversal": traversal,
+        "index": index,
+        "index_reused": reused,
         "t_core": t1 - t0,
         "t_mst": t2 - t1,
         "t_extract": time.perf_counter() - t2,
@@ -184,6 +244,10 @@ def dbscan_star_cut(
     eps: float,
     min_samples: int,
     device: Device | None = None,
+    mst_algorithm: str = "boruvka",
+    traversal: str | None = None,
+    query_order: str = "input",
+    index: DBSCANIndex | None = None,
 ) -> np.ndarray:
     """DBSCAN* labels obtained by cutting the density hierarchy at ``eps``.
 
@@ -197,10 +261,17 @@ def dbscan_star_cut(
     eps, min_samples = validate_params(eps, min_samples)
     dev = default_device(device)
     n = X.shape[0]
-    lo, hi = boxes_from_points(X)
-    tree = build_bvh(lo, hi, device=dev)
-    core = core_distances(tree, X, min_samples, device=dev)
-    mst = mutual_reachability_mst(X, core, device=dev)
+    if index is None:
+        index = DBSCANIndex(X)
+    else:
+        index.check_points(X)
+    tree, _ = index.points_tree(dev)
+    if traversal is None:
+        traversal = index.traversal or "single"
+    core = core_distances(
+        tree, X, min_samples, device=dev, query_order=query_order, traversal=traversal
+    )
+    mst = _mreach_mst(X, core, tree, mst_algorithm, dev, traversal, query_order)
 
     eligible = core <= eps  # DBSCAN* core points
     uf = EclUnionFind(n, device=dev)

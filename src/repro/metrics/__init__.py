@@ -30,7 +30,7 @@ from repro.metrics.scores import (
     pair_precision_recall,
     rand_index,
 )
-from repro.metrics.stats import clustering_summary
+from repro.metrics.stats import clustering_summary, hierarchy_summary
 
 __all__ = [
     "ClusteringMismatch",
@@ -39,6 +39,7 @@ __all__ = [
     "clustering_summary",
     "contingency_table",
     "dbscan_equivalent",
+    "hierarchy_summary",
     "pair_confusion",
     "pair_precision_recall",
     "partitions_equal",

@@ -32,3 +32,33 @@ def clustering_summary(result: DBSCANResult) -> dict:
     else:
         summary.update(largest_cluster=0, smallest_cluster=0, median_cluster=0.0)
     return summary
+
+
+def hierarchy_summary(result) -> dict:
+    """Summary statistics of one hierarchical (HDBSCAN) result.
+
+    The hierarchical counterpart of :func:`clustering_summary` —
+    :class:`~repro.hierarchy.hdbscan.HDBSCANResult` has probabilities and
+    a condensed tree instead of a core/border split, so the headline
+    numbers differ accordingly.
+    """
+    labels = result.labels
+    n = int(labels.shape[0])
+    sizes = np.bincount(labels[labels >= 0]) if n else np.zeros(0, dtype=np.int64)
+    sizes = sizes[sizes > 0]
+    summary = {
+        "n_points": n,
+        "n_clusters": int(result.n_clusters),
+        "n_noise": int(result.n_noise),
+        "noise_fraction": result.n_noise / n if n else 0.0,
+        "mean_probability": float(result.probabilities.mean()) if n else 0.0,
+    }
+    if sizes.size:
+        summary.update(
+            largest_cluster=int(sizes.max()),
+            smallest_cluster=int(sizes.min()),
+            median_cluster=float(np.median(sizes)),
+        )
+    else:
+        summary.update(largest_cluster=0, smallest_cluster=0, median_cluster=0.0)
+    return summary

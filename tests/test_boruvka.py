@@ -1,0 +1,254 @@
+"""BVH-Borůvka mutual-reachability MST vs the retained Prim's baseline.
+
+The exchange property guarantees every MST of a graph has the same sorted
+weight multiset, and this repository's Borůvka breaks weight ties by the
+strict total order ``(w, min(a, b), max(a, b))`` — so the tests can (and
+do) demand *bit-equality*: identical sorted weights, identical
+single-linkage dendrogram heights, identical edge sets across traversal
+engines and scheduling knobs.  The pruning claim is asserted directly on
+the kernel counters: the Borůvka traversal's distance evaluations must
+stay a small fraction of Prim's unconditional ``n * (n - 1)``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bvh.aabb import boxes_from_points
+from repro.bvh.builder import build_bvh
+from repro.bvh.knn import core_distances
+from repro.device.device import Device
+from repro.hierarchy import (
+    MST_ALGORITHMS,
+    dbscan_star_cut,
+    hdbscan,
+    mutual_reachability_mst,
+    mutual_reachability_mst_boruvka,
+    single_linkage_dendrogram,
+)
+from repro.hierarchy.boruvka import _ladder_up, _refresh_node_components
+from repro.metrics import partitions_equal
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+def _tree_over(pts, device=None):
+    lo, hi = boxes_from_points(pts)
+    return build_bvh(lo, hi, device=device)
+
+
+def _clustered(rng, n, d=2, n_blobs=4):
+    centers = rng.uniform(0, 10, (n_blobs, d))
+    return np.vstack(
+        [rng.normal(c, 0.3, (n // n_blobs, d)) for c in centers]
+    )
+
+
+def _normalised_edges(mst):
+    """Edge rows as (w, min, max) sorted by the strict total order —
+    the canonical form two equal MSTs must agree on exactly."""
+    a, b, w = mst[:, 0], mst[:, 1], mst[:, 2]
+    u, v = np.minimum(a, b), np.maximum(a, b)
+    rows = np.column_stack([w, u, v])
+    return rows[np.lexsort((v, u, w))]
+
+
+def _both_msts(X, minpts, **boruvka_kwargs):
+    tree = _tree_over(X)
+    core = core_distances(tree, X, minpts)
+    ref = mutual_reachability_mst(X, core)
+    got = mutual_reachability_mst_boruvka(X, core, tree=tree, **boruvka_kwargs)
+    return ref, got
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("minpts", [3, 8])
+    def test_weights_bit_equal(self, seed, minpts):
+        rng = np.random.default_rng(seed)
+        X = _clustered(rng, 160)
+        ref, got = _both_msts(X, minpts)
+        assert got.shape == ref.shape == (X.shape[0] - 1, 3)
+        np.testing.assert_array_equal(np.sort(got[:, 2]), np.sort(ref[:, 2]))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dendrogram_heights_bit_equal(self, seed):
+        rng = np.random.default_rng(seed)
+        X = _clustered(rng, 120)
+        n = X.shape[0]
+        ref, got = _both_msts(X, 5)
+        Z_ref = single_linkage_dendrogram(ref, n)
+        Z_got = single_linkage_dendrogram(got, n)
+        np.testing.assert_array_equal(Z_got[:, 2], Z_ref[:, 2])
+
+    def test_unique_mst_edge_set(self, rng):
+        # with zero cores the weights are pairwise Euclidean distances —
+        # distinct on random float data, so the MST is *unique* and the
+        # edge set itself (not just the weights) must agree.  (Non-zero
+        # cores tie many weights at max(core_u, core_v); there only the
+        # weight multiset is canonical.)
+        X = rng.uniform(0, 1, (150, 2))
+        core = np.zeros(X.shape[0])
+        ref = mutual_reachability_mst(X, core)
+        got = mutual_reachability_mst_boruvka(X, core)
+        np.testing.assert_array_equal(_normalised_edges(got), _normalised_edges(ref))
+
+    def test_3d(self, rng):
+        X = _clustered(rng, 120, d=3)
+        ref, got = _both_msts(X, 5)
+        np.testing.assert_array_equal(np.sort(got[:, 2]), np.sort(ref[:, 2]))
+
+    def test_duplicates(self, rng):
+        # exact duplicates across components force zero-radius searches
+        base = rng.normal(0, 1, (30, 2))
+        X = np.vstack([base, base, rng.normal(5, 0.2, (40, 2))])
+        ref, got = _both_msts(X, 5)
+        np.testing.assert_array_equal(np.sort(got[:, 2]), np.sort(ref[:, 2]))
+
+    def test_collinear(self, rng):
+        X = np.column_stack([np.sort(rng.uniform(0, 10, 90)), np.full(90, 2.0)])
+        ref, got = _both_msts(X, 4)
+        np.testing.assert_array_equal(np.sort(got[:, 2]), np.sort(ref[:, 2]))
+
+    @pytest.mark.parametrize("traversal", ["single", "dual"])
+    @pytest.mark.parametrize("query_order", ["input", "morton"])
+    def test_scheduling_invariance(self, rng, traversal, query_order):
+        X = _clustered(rng, 140)
+        tree = _tree_over(X)
+        core = core_distances(tree, X, 5)
+        base = mutual_reachability_mst_boruvka(X, core, tree=tree)
+        got = mutual_reachability_mst_boruvka(
+            X, core, tree=tree, traversal=traversal,
+            query_order=query_order, chunk_size=64,
+        )
+        np.testing.assert_array_equal(_normalised_edges(got), _normalised_edges(base))
+
+    @settings(deadline=None, max_examples=12)
+    @given(seed=st.integers(0, 10_000), minpts=st.integers(2, 6))
+    def test_random_seed_property(self, seed, minpts):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(minpts + 1, 80))
+        X = rng.uniform(0, 4, (n, int(rng.integers(1, 4))))
+        ref, got = _both_msts(X, minpts)
+        np.testing.assert_array_equal(np.sort(got[:, 2]), np.sort(ref[:, 2]))
+
+
+class TestValidationAndEdges:
+    def test_empty_and_single_point(self):
+        out = mutual_reachability_mst_boruvka(
+            np.zeros((1, 2)), np.zeros(1)
+        )
+        assert out.shape == (0, 3)
+
+    def test_two_points(self):
+        X = np.array([[0.0, 0.0], [3.0, 4.0]])
+        out = mutual_reachability_mst_boruvka(X, np.zeros(2))
+        assert out.shape == (1, 3)
+        assert out[0, 2] == 5.0
+
+    def test_core_dist_shape_checked(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError, match="core_dist"):
+            mutual_reachability_mst_boruvka(X, np.zeros(9))
+
+    def test_tree_primitive_count_checked(self, rng):
+        X = rng.normal(size=(10, 2))
+        wrong = _tree_over(X[:6])
+        with pytest.raises(ValueError, match="primitives"):
+            mutual_reachability_mst_boruvka(X, np.zeros(10), tree=wrong)
+
+    def test_mst_algorithms_registry(self):
+        assert set(MST_ALGORITHMS) == {"boruvka", "prim"}
+
+    def test_unknown_mst_algorithm_raises(self, rng):
+        X = rng.normal(size=(30, 2))
+        with pytest.raises(ValueError, match="mst_algorithm"):
+            hdbscan(X, min_cluster_size=3, mst_algorithm="kruskal")
+
+
+class TestPruning:
+    def test_distance_evals_fraction_of_prim(self, rng):
+        n = 600
+        X = _clustered(rng, n)
+        dev = Device()
+        tree = _tree_over(X, device=dev)
+        core = core_distances(tree, X, 5, device=dev)
+        mutual_reachability_mst_boruvka(X, core, tree=tree, device=dev)
+        evals = dev.profile()["boruvka_nn"]["counters"]["distance_evals"]
+        assert evals <= 0.25 * n * (n - 1)
+
+    def test_rounds_logarithmic(self, rng):
+        X = _clustered(rng, 256)
+        dev = Device()
+        tree = _tree_over(X, device=dev)
+        core = core_distances(tree, X, 5, device=dev)
+        mutual_reachability_mst_boruvka(X, core, tree=tree, device=dev)
+        rounds = dev.counters.snapshot()["boruvka_rounds"]
+        # components at least halve per round
+        assert 1 <= rounds <= int(np.log2(256)) + 2
+        assert dev.profile()["boruvka_mst"]["steps"] == rounds
+
+    def test_masked_traversal_skips_same_component(self, rng):
+        # a single well-separated pair of blobs: after round one, every
+        # in-blob subtree is uniform and the second round's traversal
+        # must not pay distance tests for it
+        X = np.vstack(
+            [rng.normal((0, 0), 0.05, (64, 2)), rng.normal((9, 9), 0.05, (64, 2))]
+        )
+        ref, got = _both_msts(X, 5)
+        np.testing.assert_array_equal(np.sort(got[:, 2]), np.sort(ref[:, 2]))
+
+
+class TestHelpers:
+    def test_ladder_up_round_trip(self):
+        anchor = 0.375
+        vals = anchor * np.exp2(np.array([-3.0, 0.0, 2.0, 7.0]))
+        np.testing.assert_array_equal(_ladder_up(vals, anchor), vals)
+
+    def test_ladder_up_bounds(self, rng):
+        anchor = 0.7
+        vals = rng.uniform(1e-6, 1e3, 256)
+        out = _ladder_up(vals, anchor)
+        assert np.all(out >= vals)
+        assert np.all(out < 2.0 * vals)
+
+    def test_ladder_up_zeros_stay_zero(self):
+        out = _ladder_up(np.array([0.0, 1.0]), 0.5)
+        assert out[0] == 0.0 and out[1] > 0
+
+    def test_refresh_node_components(self, rng):
+        X = rng.uniform(0, 1, (32, 2))
+        tree = _tree_over(X)
+        node_comp = np.empty(tree.node_lo.shape[0], dtype=np.int64)
+        # all one component: every node summarises to it
+        _refresh_node_components(tree, np.zeros(32, dtype=np.int64), node_comp)
+        assert np.all(node_comp == 0)
+        # all distinct: every internal node (>= 2 leaves) is mixed
+        comp = np.arange(32, dtype=np.int64)
+        _refresh_node_components(tree, comp, node_comp)
+        np.testing.assert_array_equal(
+            node_comp[tree.n_internal:], comp[tree.order]
+        )
+        assert np.all(node_comp[: tree.n_internal] == -1)
+
+
+class TestPipelineIntegration:
+    def test_hdbscan_engines_agree(self, rng):
+        X = _clustered(rng, 200, n_blobs=3)
+        fast = hdbscan(X, min_cluster_size=10)
+        ref = hdbscan(X, min_cluster_size=10, mst_algorithm="prim")
+        assert fast.info["mst_algorithm"] == "boruvka"
+        assert ref.info["mst_algorithm"] == "prim"
+        everyone = np.ones(X.shape[0], dtype=bool)
+        assert partitions_equal(fast.labels, ref.labels, everyone)
+        np.testing.assert_allclose(fast.probabilities, ref.probabilities)
+
+    def test_dbscan_star_cut_engines_agree(self, rng):
+        X = _clustered(rng, 160)
+        fast = dbscan_star_cut(X, 0.6, 5)
+        ref = dbscan_star_cut(X, 0.6, 5, mst_algorithm="prim")
+        np.testing.assert_array_equal(fast, ref)

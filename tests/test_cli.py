@@ -22,8 +22,14 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_eps_required(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["cluster", "--minpts", "5"])
+        # --eps is a run-time requirement (not a parser one) so that
+        # --algorithm hdbscan, which has no eps, can omit it
+        args = build_parser().parse_args(["cluster", "--minpts", "5"])
+        assert args.eps is None
+        with pytest.raises(SystemExit, match="--eps is required"):
+            main(["cluster", "--dataset", "ngsim", "--n", "100", "--minpts", "5"])
+        with pytest.raises(SystemExit, match="--eps"):
+            main(["bench", "--dataset", "ngsim", "--n", "100", "--minpts", "5"])
 
     def test_dataset_choices_enforced(self):
         with pytest.raises(SystemExit):
@@ -55,6 +61,30 @@ class TestClusterCommand:
         )
         assert rc == 0
         assert "n_clusters" in capsys.readouterr().out
+
+    def test_cluster_hdbscan_no_eps(self, points_file, capsys):
+        rc = main(
+            [
+                "cluster", points_file, "--minpts", "5",
+                "--algorithm", "hdbscan", "--min-cluster-size", "10",
+                "--counters",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "algorithm : hdbscan" in out
+        assert "mst_algorithm : boruvka" in out
+        assert "boruvka_rounds" in out
+
+    def test_cluster_hdbscan_prim(self, points_file, capsys):
+        rc = main(
+            [
+                "cluster", points_file, "--minpts", "5",
+                "--algorithm", "hdbscan", "--mst", "prim",
+            ]
+        )
+        assert rc == 0
+        assert "mst_algorithm : prim" in capsys.readouterr().out
 
     def test_counters_flag(self, points_file, capsys):
         main(

@@ -1,0 +1,178 @@
+"""Regression tests for three kNN traversal bugs.
+
+1. **Gather leaf-centre distances** — the phase-2 gather used to rank
+   candidates by distance to the *leaf box geometry* instead of the
+   primitive coordinate.  For point-leaf trees the two coincide, which is
+   why the original suite never caught it; any tree whose leaf boxes have
+   extent (centres displaced from the primitives) got wrong k-th radii.
+2. **One radius per phase-1 batch** — the expanding-count loop read a
+   single radius for all pending queries, silently mis-counting whenever
+   warm starts or uneven doubling left the batch with mixed radii.
+3. **Degenerate-dimension density estimate** — ``_initial_radius``
+   multiplied all scene extents, so collinear / axis-aligned data (a zero
+   extent) produced a near-zero starting radius and dozens of doubling
+   rounds before the first neighbour appeared.
+
+Each test here fails on the corresponding pre-fix code.
+"""
+
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from repro.bvh.aabb import boxes_from_points
+from repro.bvh.builder import build_bvh
+from repro.bvh.knn import _initial_radius, core_distances, knn_radii
+from repro.device.device import Device
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+def _point_tree(pts):
+    lo, hi = boxes_from_points(pts)
+    return build_bvh(lo, hi)
+
+
+class TestBoxLeafGather:
+    """Bug 1: distances must be measured to the primitive coordinates."""
+
+    def _box_tree(self, pts, rng):
+        # leaf boxes anchored at the primitive but extended away from it,
+        # so every box centre is displaced from the point it contains —
+        # exactly the geometry that exposes centre-distance ranking
+        offsets = rng.uniform(0.3, 0.9, pts.shape)
+        return build_bvh(pts, pts + offsets)
+
+    def test_kth_radii_match_kdtree(self, rng):
+        pts = rng.uniform(0, 10, (200, 2))
+        tree = self._box_tree(pts, rng)
+        for k in (1, 4, 9):
+            got = knn_radii(tree, pts, k, points=pts)
+            want = cKDTree(pts).query(pts, k=k)[0]
+            want = want if k == 1 else want[:, -1]
+            np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-12)
+
+    def test_external_queries_on_box_leaves(self, rng):
+        pts = rng.uniform(0, 5, (150, 3))
+        queries = rng.uniform(0, 5, (40, 3))
+        tree = self._box_tree(pts, rng)
+        got = knn_radii(tree, queries, 5, points=pts)
+        want = cKDTree(pts).query(queries, k=5)[0][:, -1]
+        np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-12)
+
+    def test_points_required_for_box_leaves(self, rng):
+        pts = rng.uniform(0, 5, (50, 2))
+        tree = self._box_tree(pts, rng)
+        with pytest.raises(ValueError, match="non-degenerate leaf boxes"):
+            knn_radii(tree, pts, 3)
+
+    def test_points_shape_checked(self, rng):
+        pts = rng.uniform(0, 5, (50, 2))
+        tree = _point_tree(pts)
+        with pytest.raises(ValueError, match="shape"):
+            knn_radii(tree, pts, 3, points=pts[:10])
+
+    def test_points_bit_neutral_on_point_leaves(self, rng):
+        pts = rng.uniform(0, 5, (120, 2))
+        tree = _point_tree(pts)
+        np.testing.assert_array_equal(
+            knn_radii(tree, pts, 6), knn_radii(tree, pts, 6, points=pts)
+        )
+
+    def test_exact_counting_never_undershoots(self, rng):
+        # phase 1 on box leaves must count *points* in the ball, not leaf
+        # hits — box hits overestimate, stopping the expansion early with
+        # a radius whose true point count is below k
+        pts = rng.uniform(0, 4, (80, 2))
+        tree = self._box_tree(pts, rng)
+        got = core_distances(tree, pts, 10)  # points= is implied
+        want = cKDTree(pts).query(pts, k=10)[0][:, -1]
+        np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-12)
+
+
+class TestMixedRadiusBatches:
+    """Bug 2: pending queries must be counted at their own radius."""
+
+    def test_warm_start_array_matches_kdtree(self, rng):
+        pts = rng.uniform(0, 10, (200, 2))
+        tree = _point_tree(pts)
+        want = cKDTree(pts).query(pts, k=5)[0][:, -1]
+        # mixed warm starts spanning four orders of magnitude guarantee
+        # the first round's batch carries many distinct radii
+        starts = 10.0 ** rng.uniform(-3, 1, 200)
+        got = knn_radii(tree, pts, 5, initial_radius=starts)
+        np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-12)
+
+    def test_warm_start_matches_cold_start(self, rng):
+        pts = rng.uniform(0, 10, (150, 2))
+        tree = _point_tree(pts)
+        cold = knn_radii(tree, pts, 7)
+        warm = knn_radii(tree, pts, 7, initial_radius=cold)
+        np.testing.assert_array_equal(warm, cold)
+
+    def test_oversized_warm_start_is_correct(self, rng):
+        # a too-large start must not change the answer (phase 2 selects
+        # the k-th smallest within the final radius regardless)
+        pts = rng.uniform(0, 10, (100, 2))
+        tree = _point_tree(pts)
+        cold = knn_radii(tree, pts, 4)
+        warm = knn_radii(tree, pts, 4, initial_radius=50.0)
+        np.testing.assert_allclose(warm, cold, rtol=1e-12, atol=1e-12)
+
+    def test_warm_start_validated(self, rng):
+        pts = rng.uniform(0, 10, (20, 2))
+        tree = _point_tree(pts)
+        with pytest.raises(ValueError, match="positive"):
+            knn_radii(tree, pts, 3, initial_radius=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            knn_radii(tree, pts, 3, initial_radius=np.full(20, -1.0))
+
+
+class TestDegenerateDensityEstimate:
+    """Bug 3: zero-extent dimensions must not zero the radius guess."""
+
+    def test_collinear_estimate_uses_line_density(self, rng):
+        n = 128
+        x = np.sort(rng.uniform(0, 10, n))
+        pts = np.column_stack([x, np.full(n, 3.0)])  # zero y-extent
+        tree = _point_tree(pts)
+        spread = x[-1] - x[0]
+        r0 = _initial_radius(tree, 4)
+        # 1-d density scale of the occupied subspace, not ~0 from the
+        # collapsed dimension
+        assert r0 == pytest.approx(spread * 4 / n)
+
+    def test_collinear_rounds_bounded(self, rng):
+        n = 256
+        x = np.sort(rng.uniform(0, 10, n))
+        pts = np.column_stack([np.full(n, 1.0), x])
+        tree = _point_tree(pts)
+        dev = Device()
+        got = knn_radii(tree, pts, 4, device=dev)
+        want = cKDTree(pts).query(pts, k=4)[0][:, -1]
+        np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-12)
+        # a density-scale start needs only a handful of doublings; the
+        # zero-volume estimate (1e-12) needed ~40 to climb back to scale
+        assert dev.profile()["knn_expand"]["steps"] <= 10
+
+    def test_axis_aligned_3d(self, rng):
+        # a planar point set embedded in 3-d: one degenerate extent
+        n = 150
+        pts = np.column_stack(
+            [rng.uniform(0, 5, n), rng.uniform(0, 5, n), np.zeros(n)]
+        )
+        tree = _point_tree(pts)
+        dev = Device()
+        got = knn_radii(tree, pts, 6, device=dev)
+        want = cKDTree(pts).query(pts, k=6)[0][:, -1]
+        np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-12)
+        assert dev.profile()["knn_expand"]["steps"] <= 10
+
+    def test_all_coincident(self):
+        pts = np.ones((16, 2))
+        tree = _point_tree(pts)
+        assert _initial_radius(tree, 4) == 1e-12
+        np.testing.assert_array_equal(knn_radii(tree, pts, 16), 0.0)
