@@ -11,7 +11,7 @@ G-DBSCAN failures, Figure 4(h)) reports the work it performed up to the
 failure, which is exactly what makes those failures diagnosable.
 
 :func:`run_sweep` drives a whole panel (one x-axis series per algorithm),
-with three benchmark-hygiene features:
+with four benchmark-hygiene features:
 
 - **index reuse** (on by default): the spatial index over each distinct
   point set is built once — live, on the first tree-algorithm cell that
@@ -28,6 +28,9 @@ with three benchmark-hygiene features:
   not permanently drop an algorithm from the rest of the sweep;
 - OOM capture: a :class:`~repro.device.DeviceMemoryError` marks the cell
   ``"oom"`` (the paper's G-DBSCAN failures on PortoTaxi, Figure 4(h));
+- a per-cell ``cell_timeout`` watchdog: a pathological cell is stopped
+  *mid-run* at its next kernel launch and recorded as ``"timeout"`` with
+  the partial counters it accumulated, instead of eating the sweep;
 - an optional :class:`~repro.faults.RetryPolicy`: a cell that fails with
   a *transient* error class (an injected device fault, or anything the
   policy names) is retried on a fresh device up to the policy's attempt
@@ -51,6 +54,7 @@ from repro.core.api import dbscan
 from repro.core.index import DBSCANIndex
 from repro.device.device import Device
 from repro.device.memory import DeviceMemoryError
+from repro.faults.deadline import Deadline, DeadlineExceededError
 from repro.faults.plan import FaultPlan
 from repro.faults.retry import RetryPolicy
 from repro.obs.span import NULL_TRACER
@@ -88,7 +92,7 @@ class RunRecord:
     #: but keep the history key unique when a sweep runs both modes.
     traversal: str = "single"
     seconds: float = float("nan")
-    status: str = "ok"  # "ok" | "oom" | "skipped" | "error"
+    status: str = "ok"  # "ok" | "oom" | "skipped" | "error" | "timeout"
     n_clusters: int = -1
     n_noise: int = -1
     dense_fraction: float = float("nan")
@@ -201,6 +205,7 @@ def run_once(
     fault_plan: FaultPlan | None = None,
     tracer=None,
     traversal: str = "single",
+    cell_timeout: float | None = None,
     **kwargs,
 ) -> RunRecord:
     """Execute one benchmark cell on a fresh device (fresh per attempt).
@@ -238,6 +243,13 @@ def run_once(
     distributed cells (``"single"``/``"dual"``; baselines ignore it) and
     is recorded on every cell so both-mode sweeps stay distinguishable in
     the history.
+
+    ``cell_timeout`` arms a per-attempt wall-clock watchdog
+    (:class:`~repro.faults.Deadline`) on the cell's device: every kernel
+    launch checks the elapsed time, and a pathological cell records
+    ``status="timeout"`` with the partial counters it accumulated —
+    instead of eating the whole sweep's budget.  The timeout is not a
+    transient error: it is never retried.
     """
     rec = RunRecord(
         algorithm=algorithm,
@@ -284,6 +296,12 @@ def run_once(
             dev = Device(name=f"bench-{algorithm}", capacity_bytes=capacity_bytes)
             if tracer is not None:
                 dev.tracer = tracer
+            if cell_timeout is not None:
+                # Armed before the fault injector so the injector chains
+                # (and restores) it like any other pre-existing hook.
+                dev.fault_hook = Deadline(
+                    seconds=cell_timeout, label=phase
+                ).as_fault_hook()
             injector = (
                 fault_plan.device_faults(dev, phase, rank=0, attempt=attempt)
                 if fault_plan is not None and not is_distributed
@@ -325,6 +343,9 @@ def run_once(
                 if isinstance(exc, DeviceMemoryError):
                     rec.status = "oom"
                     rec.detail = str(exc)
+                elif isinstance(exc, DeadlineExceededError):
+                    rec.status = "timeout"
+                    rec.detail = str(exc)
                 else:
                     rec.status = "error"
                     rec.detail = f"{type(exc).__name__}: {exc}"
@@ -360,6 +381,7 @@ def run_sweep(
     fault_plan: FaultPlan | None = None,
     tracer=None,
     traversal: str = "single",
+    cell_timeout: float | None = None,
     **kwargs,
 ) -> list[RunRecord]:
     """Run a figure panel: every algorithm over every cell.
@@ -409,6 +431,12 @@ def run_sweep(
         (recorded on every record; see :func:`run_once`).  Run the sweep
         twice — once per engine — for a both-mode comparison; records
         stay distinguishable by their ``traversal`` field.
+    cell_timeout:
+        Per-cell wall-second watchdog (see :func:`run_once`): a cell
+        that exceeds it records ``status="timeout"`` with its partial
+        counters and the sweep moves on.  Unlike ``time_budget`` (which
+        skips *later* cells after a slow success), the watchdog stops
+        the pathological cell *itself* mid-run.
     """
     if time_budget_mode not in ("wall", "cold"):
         raise ValueError(
@@ -436,7 +464,8 @@ def run_sweep(
         _run_sweep_cells(
             records, over_budget, indexes, any_tree, algorithms, cells, data_for,
             dataset, time_budget, time_budget_mode, capacity_bytes, tree_kwargs,
-            reuse_index, retry_policy, fault_plan, tracer, traversal, kwargs,
+            reuse_index, retry_policy, fault_plan, tracer, traversal, cell_timeout,
+            kwargs,
         )
     finally:
         tr.end(sweep_span)
@@ -446,7 +475,7 @@ def run_sweep(
 def _run_sweep_cells(
     records, over_budget, indexes, any_tree, algorithms, cells, data_for, dataset,
     time_budget, time_budget_mode, capacity_bytes, tree_kwargs, reuse_index,
-    retry_policy, fault_plan, tracer, traversal, kwargs,
+    retry_policy, fault_plan, tracer, traversal, cell_timeout, kwargs,
 ) -> None:
     """The cell loop of :func:`run_sweep` (split out so the sweep span can
     bracket it on every exit path)."""
@@ -490,6 +519,7 @@ def _run_sweep_cells(
                 fault_plan=fault_plan,
                 tracer=tracer,
                 traversal=traversal,
+                cell_timeout=cell_timeout,
                 **kwargs,
             )
             records.append(rec)

@@ -89,6 +89,7 @@ def _count_points_within(
     chunk_size: int | None,
     query_order: str,
     traversal: str,
+    watchdog=None,
 ) -> np.ndarray:
     """Exact point-in-ball counts on trees with non-degenerate leaves.
 
@@ -123,6 +124,7 @@ def _count_points_within(
         chunk_size=chunk_size,
         query_order=query_order,
         traversal=traversal,
+        watchdog=watchdog,
     )
     return counts
 
@@ -137,6 +139,7 @@ def knn_radii(
     initial_radius: np.ndarray | float | None = None,
     query_order: str = "input",
     traversal: str = "single",
+    watchdog=None,
 ) -> np.ndarray:
     """Distance from each query to its ``k``-th nearest primitive.
 
@@ -155,6 +158,10 @@ def knn_radii(
         Must not exceed each query's true k-th neighbour distance is NOT
         required; any positive value is correct (undersized radii just
         spend extra doubling rounds).  Defaults to the density estimate.
+    watchdog:
+        Optional zero-argument callable polled once per traversal
+        wavefront step across every counting round and the gather phase;
+        aborts by raising (deadline enforcement).
 
     Returns the ``(m,)`` float64 radii.
     """
@@ -205,6 +212,7 @@ def knn_radii(
                         chunk_size=chunk_size,
                         query_order=query_order,
                         traversal=traversal,
+                        watchdog=watchdog,
                     )
                 else:
                     counts = _count_points_within(
@@ -217,6 +225,7 @@ def knn_radii(
                         chunk_size,
                         query_order,
                         traversal,
+                        watchdog,
                     )
                 done = counts >= k
                 satisfied[rows[done]] = True
@@ -262,6 +271,7 @@ def knn_radii(
                 chunk_size=None,
                 query_order=query_order,
                 traversal=traversal,
+                watchdog=watchdog,
             )
             qs = np.concatenate(collected_q)
             ds = np.concatenate(collected_d)
@@ -282,6 +292,7 @@ def core_distances(
     device: Device | None = None,
     query_order: str = "input",
     traversal: str = "single",
+    watchdog=None,
 ) -> np.ndarray:
     """HDBSCAN core distances: distance to the ``min_samples``-th nearest
     point, the point itself included (Campello et al.'s ``d_core`` with the
@@ -294,4 +305,5 @@ def core_distances(
         points=X,
         query_order=query_order,
         traversal=traversal,
+        watchdog=watchdog,
     )

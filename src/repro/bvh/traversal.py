@@ -206,6 +206,7 @@ def for_each_leaf_hit(
     group_size: int | None = None,
     component_of: np.ndarray | None = None,
     node_components: np.ndarray | None = None,
+    watchdog: Callable[[], None] | None = None,
 ) -> TraversalResult:
     """Stream every ``(query, leaf)`` pair within ``eps`` to ``callback``.
 
@@ -282,6 +283,13 @@ def for_each_leaf_hit(
         both engines.  Same-component leaf children are not counted as
         leaf tests (they are resolved by the id comparison, not a
         distance computation).
+    watchdog:
+        Optional zero-argument callable polled once on entry and once per
+        wavefront step (piggybacking on the ``finished_fn`` evaluation
+        points, so both engines poll it identically).  It aborts the
+        traversal by *raising* — the service's deadline enforcement
+        threads :meth:`repro.faults.Deadline.check` through here.  A
+        watchdog that returns normally never changes results.
 
     Returns
     -------
@@ -329,6 +337,23 @@ def for_each_leaf_hit(
             )
     if chunk_size is None or chunk_size <= 0:
         chunk_size = m
+    if watchdog is not None:
+        # Thread the watchdog through the finished_fn evaluation points:
+        # both engines already consult finished_fn every wavefront step,
+        # so composing it there gives per-step deadline polling with no
+        # new hook in the hot loops.  The zeros path (no inner
+        # finished_fn) is freshly allocated per call — the engines negate
+        # the returned array in place — and trivially monotone, so the
+        # dual engine's requirements hold.
+        watchdog()
+        inner_finished = finished_fn
+
+        def finished_fn(ids: np.ndarray) -> np.ndarray:
+            watchdog()
+            if inner_finished is None:
+                return np.zeros(ids.shape[0], dtype=bool)
+            return inner_finished(ids)
+
     if traversal == "dual":
         return _dual_leaf_hits(
             tree,
@@ -906,6 +931,7 @@ def count_within(
     query_order: str = "input",
     traversal: str = "single",
     group_size: int | None = None,
+    watchdog: Callable[[], None] | None = None,
 ) -> np.ndarray:
     """Count leaves within ``eps`` of each query (point-leaf trees).
 
@@ -983,5 +1009,6 @@ def count_within(
         query_order=query_order,
         traversal=traversal,
         group_size=group_size,
+        watchdog=watchdog,
     )
     return counts

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro``.
 
-Three subcommands:
+Four subcommands:
 
 ``cluster``
     Cluster a point file (``.npy``/``.csv``/``.txt``/``.bin``) or a named
@@ -17,6 +17,17 @@ Three subcommands:
     exposition (or CSV), fed from the same accounting objects the
     benchmarks report.
 
+``serve``
+    Run the resilient clustering service (``repro.service``): a
+    newline-JSON request loop on stdin (or HTTP with ``--http PORT``),
+    with per-request deadlines, admission control, circuit breakers and
+    a crash-safe mutation journal.  ``--traffic N`` runs the seeded
+    synthetic traffic generator instead and prints the latency report.
+
+``bench`` and ``metrics`` exit non-zero when any cell finishes with
+status ``error``/``oom``/``timeout``, unless ``--allow-failures`` is
+passed — CI cannot silently pass on broken cells.
+
 Every subcommand accepts ``--trace-out TRACE.json`` (with
 ``--trace-format chrome|csv``) to record the run as one trace tree —
 device kernels, comm transfers, distributed phases and benchmark cells
@@ -31,10 +42,12 @@ Examples
         --algorithm fdbscan-densebox --labels-out labels.npy --counters
     python -m repro bench --dataset portotaxi --n 8192 --eps 0.01 \
         --minpts-sweep 10,20,50 --algorithms fdbscan,densebox
-    python -m repro bench --dataset uniform --n 4096 --eps 0.02 \
+    python -m repro bench --dataset ngsim --n 4096 --eps 0.02 \
         --faults 0.1 --ranks 4 --algorithms fdbscan,distributed \
         --trace-out trace.json
-    python -m repro metrics --dataset uniform --n 2048 --eps 0.02 --minpts 5
+    python -m repro metrics --dataset ngsim --n 2048 --eps 0.02 --minpts 5
+    python -m repro serve --journal service.jsonl
+    python -m repro serve --traffic 200 --faults 0.1 --save report.json
 """
 
 from __future__ import annotations
@@ -55,8 +68,9 @@ from repro.bench.report import (
 from repro.core.api import dbscan
 from repro.datasets.io import load_points, subsample
 from repro.datasets.registry import DATASETS, load_dataset
-from repro.device.device import Device
-from repro.faults import FaultPlan, FaultSpec, RetryPolicy
+from repro.device.device import Device, KernelFaultError
+from repro.device.memory import DeviceMemoryError
+from repro.faults import DeadlineExceededError, FaultPlan, FaultSpec, RetryPolicy
 from repro.metrics.stats import clustering_summary, hierarchy_summary
 from repro.obs import (
     MetricsRegistry,
@@ -222,17 +236,29 @@ def _cmd_metrics(args) -> int:
     """Run one clustering and print its metrics exposition."""
     device = Device(capacity_bytes=args.memory_cap)
     tracer = _tracer_for(args)
-    result = _cluster_run(args, device, tracer)
+    failure = None
+    result = None
+    try:
+        result = _cluster_run(args, device, tracer)
+    except (KernelFaultError, DeviceMemoryError, DeadlineExceededError) as exc:
+        # Still expose the partial counters — a broken run's metrics are
+        # exactly what the investigation needs — but don't exit clean.
+        failure = f"{type(exc).__name__}: {exc}"
     registry = MetricsRegistry()
     record_kernel_counters(registry, device.counters.snapshot())
     record_kernel_profile(registry, device.profile())
-    if args.ranks:
+    if args.ranks and result is not None:
         record_comm_stats(registry, result.info.get("comm", {}))
         if result.info.get("faults"):
             record_fault_summary(registry, result.info["faults"])
     output = registry.to_csv() if args.format == "csv" else registry.to_prometheus()
     print(output, end="" if output.endswith("\n") else "\n")
     _write_trace(args, tracer)
+    if failure is not None:
+        print(f"run failed: {failure}", file=sys.stderr)
+        if not args.allow_failures:
+            return 1
+        print("continuing despite failure (--allow-failures)", file=sys.stderr)
     return 0
 
 
@@ -277,6 +303,7 @@ def _cmd_bench(args) -> int:
             fault_plan=plan,
             tracer=tracer,
             traversal=mode,
+            cell_timeout=args.cell_timeout,
             n_ranks=args.ranks or 4,
         )
     print(format_series(records, x_key=x_key, title="seconds"))
@@ -319,6 +346,83 @@ def _cmd_bench(args) -> int:
         )
         if not any(report[k] for k in alarm_kinds):
             print("  no regressions")
+    failed = [r for r in records if r.status in ("error", "oom", "timeout")]
+    if failed:
+        for rec in failed:
+            print(
+                f"failed cell: {rec.algorithm} n={rec.n} eps={rec.eps:g} "
+                f"minpts={rec.min_samples} [{rec.status}] {rec.detail}",
+                file=sys.stderr,
+            )
+        if not args.allow_failures:
+            return 1
+        print("continuing despite failed cells (--allow-failures)", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import ClusteringService, ServiceConfig
+    from repro.service.traffic import run_traffic, save_traffic_report
+
+    plan = None
+    if args.faults:
+        plan = FaultPlan(seed=args.fault_seed, spec=FaultSpec.parse(args.faults))
+    config = ServiceConfig(default_deadline_s=args.deadline)
+
+    if args.traffic:
+        report = run_traffic(
+            n_requests=args.traffic,
+            seed=args.seed,
+            plan=plan,
+            journal_path=args.journal,
+            config=config,
+        )
+        lat = report["latency_ms"]
+        print(f"{'requests sent':>16} : {report['requests_sent']}")
+        for status, count in sorted(report["by_status"].items()):
+            print(f"{status:>16} : {count}")
+        print(
+            f"{'latency ms':>16} : p50={lat['p50']:.2f} p95={lat['p95']:.2f} "
+            f"p99={lat['p99']:.2f} max={lat['max']:.2f}"
+        )
+        if report["shed_reasons"]:
+            print(f"{'shed':>16} : {report['shed_reasons']}")
+        if report["degraded_modes"]:
+            print(f"{'degraded':>16} : {report['degraded_modes']}")
+        if report["faults_applied"]:
+            print(f"{'faults applied':>16} : {report['faults_applied']}")
+        for restart in report["restarts"]:
+            equal = "bit-equal" if restart["bit_equal"] else "MISMATCH"
+            print(
+                f"{'crash-restart':>16} : at request {restart['at_request']}, "
+                f"{restart['replayed_entries']} entries replayed, "
+                f"fingerprints {equal}"
+            )
+        print(f"{'metrics=ledger':>16} : {report['metrics_ledger']['ok']}")
+        if args.save:
+            save_traffic_report(report, args.save)
+            print(f"report written to {args.save}")
+        if any(not r["bit_equal"] for r in report["restarts"]):
+            return 1
+        return 0
+
+    service = ClusteringService(
+        journal_path=args.journal, config=config, fault_plan=plan
+    )
+    if service.replayed_entries:
+        print(
+            f"replayed {service.replayed_entries} journal entries "
+            f"({len(service.indexes)} indexes)",
+            file=sys.stderr,
+        )
+    if args.http:
+        from repro.service.http import serve_http
+
+        print(f"serving HTTP on 127.0.0.1:{args.http} (Ctrl-C to stop)", file=sys.stderr)
+        serve_http(service, port=args.http)
+        return 0
+    served = service.serve_lines(sys.stdin, sys.stdout)
+    print(f"served {served} requests", file=sys.stderr)
     return 0
 
 
@@ -444,6 +548,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("prometheus", "csv"), default="prometheus",
         help="exposition format (default: prometheus text)",
     )
+    metrics.add_argument(
+        "--allow-failures", action="store_true",
+        help="exit 0 even when the run fails (the partial metrics still print)",
+    )
     traversal_flags(metrics)
     metrics.set_defaults(func=_cmd_metrics)
 
@@ -484,7 +592,58 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--compare", help="diff against a JSON file written by --save"
     )
+    bench.add_argument(
+        "--cell-timeout", type=float, default=None,
+        help="per-cell wall-second watchdog: a pathological cell is stopped "
+        "mid-run and recorded as status='timeout' with partial counters",
+    )
+    bench.add_argument(
+        "--allow-failures", action="store_true",
+        help="exit 0 even when cells finish with status error/oom/timeout "
+        "(default: such cells fail the command so CI can't silently pass)",
+    )
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve", help="run the resilient clustering service (repro.service)"
+    )
+    serve.add_argument(
+        "--journal",
+        help="mutation journal path: mutations are fsynced here before being "
+        "acknowledged, and a restarted service replays it to the exact "
+        "pre-crash index fingerprints",
+    )
+    serve.add_argument(
+        "--http", type=int, metavar="PORT",
+        help="serve HTTP on this port instead of reading stdin "
+        "(POST / for requests, GET /metrics for Prometheus text)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None,
+        help="default per-request deadline in seconds (requests may carry "
+        "their own 'deadline_s'); exceeded deadlines answer "
+        "error/deadline_exceeded",
+    )
+    serve.add_argument(
+        "--traffic", type=int, metavar="N",
+        help="run N seeded synthetic requests through a fresh service and "
+        "print the latency-percentile report instead of serving stdin",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="traffic seed")
+    serve.add_argument(
+        "--faults",
+        help="fault-injection spec for the service/traffic: a probability or "
+        "key=value pairs ('device=0.1,malformed=0.05,storm=0.05,"
+        "invalidate=0.05,restart=0.02,attempts=2')",
+    )
+    serve.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the deterministic fault plan (default 0)",
+    )
+    serve.add_argument(
+        "--save", help="write the traffic report JSON to this file (--traffic)"
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

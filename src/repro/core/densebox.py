@@ -95,6 +95,7 @@ def fdbscan_densebox(
     query_order: str = "input",
     pair_buffer: int | None = DEFAULT_PAIR_BUFFER,
     traversal: str | None = None,
+    watchdog=None,
 ) -> DBSCANResult:
     """Cluster ``X`` with FDBSCAN-DenseBox.
 
@@ -104,7 +105,8 @@ def fdbscan_densebox(
     ``query_order``/``pair_buffer``/``traversal`` are the same
     output-preserving scheduling levers — both the isolated-point
     preprocessing and the mixed-primitive main traversal honour the
-    chosen engine).
+    chosen engine, and ``watchdog`` is polled per wavefront step in both
+    traversals).
     ``info`` additionally carries ``dense_fraction`` (share of points
     inside dense cells — the regime indicator the paper reports),
     ``n_dense_cells`` and ``total_cells`` (the virtual grid size).
@@ -217,6 +219,7 @@ def fdbscan_densebox(
                 chunk_size=chunk_size,
                 query_order=query_order,
                 traversal=traversal,
+                watchdog=watchdog,
             )
             is_core[deco.isolated_idx] = counts >= minpts
             if not early_exit:
@@ -301,6 +304,7 @@ def fdbscan_densebox(
         chunk_size=chunk_size,
         query_order=query_order,
         traversal=traversal,
+        watchdog=watchdog,
     )
     resolver.finalize()
     t3 = time.perf_counter()

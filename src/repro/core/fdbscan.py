@@ -46,6 +46,7 @@ def fdbscan(
     query_order: str = "input",
     pair_buffer: int | None = DEFAULT_PAIR_BUFFER,
     traversal: str | None = None,
+    watchdog=None,
 ) -> DBSCANResult:
     """Cluster ``X`` with FDBSCAN.
 
@@ -100,6 +101,10 @@ def fdbscan(
         frontier) or ``"dual"`` (query-aggregated group pruning); ``None``
         defers to the index's stored preference (default ``"single"``).
         Labels and ``distance_evals`` are bit-identical between engines.
+    watchdog:
+        Optional zero-argument callable polled once per traversal
+        wavefront step in both phases (a deadline's
+        :meth:`~repro.faults.Deadline.check`); aborts by raising.
 
     Returns
     -------
@@ -145,6 +150,7 @@ def fdbscan(
             leaf_weights=weights[tree.order],
             query_order=query_order,
             traversal=traversal,
+            watchdog=watchdog,
         )
         is_core = counts >= minpts
         resolution_core = is_core
@@ -169,6 +175,7 @@ def fdbscan(
             chunk_size=chunk_size,
             query_order=query_order,
             traversal=traversal,
+            watchdog=watchdog,
         )
         is_core = counts >= minpts
         resolution_core = is_core
@@ -204,6 +211,7 @@ def fdbscan(
         chunk_size=chunk_size,
         query_order=query_order,
         traversal=traversal,
+        watchdog=watchdog,
     )
     resolver.finalize()
     t3 = time.perf_counter()

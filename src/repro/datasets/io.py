@@ -7,6 +7,18 @@ replacement.  The loaders/savers cover the formats a downstream user is
 likely to hold trajectory or particle data in: ``.npy``, ``.csv``/``.txt``
 (one point per row) and raw little-endian float binary (the HACC-style
 layout: ``n * d`` float32/float64 values).
+
+Loading is hardened for service use:
+
+- a truncated or otherwise unparsable file raises
+  :class:`CorruptPointFileError` naming the file and what was wrong with
+  it — not a bare numpy shape traceback;
+- transient read errors (``OSError``/``IOError`` — NFS hiccups, racing
+  writers) are retried with the bounded backoff of a
+  :class:`~repro.faults.RetryPolicy` before giving up; pass
+  ``retry_policy=None`` semantics via ``max_attempts=1`` to disable.
+  A missing file is *not* transient: ``FileNotFoundError`` propagates
+  immediately, unretried.
 """
 
 from __future__ import annotations
@@ -16,6 +28,32 @@ import os
 import numpy as np
 
 from repro.core.validation import validate_points
+from repro.faults.retry import RetryPolicy, TransientFault, call_with_retries
+
+
+class PointFileError(ValueError):
+    """A point file could not be loaded; ``path`` names the file."""
+
+    def __init__(self, path: str, message: str):
+        super().__init__(f"{path}: {message}")
+        self.path = path
+
+
+class CorruptPointFileError(PointFileError):
+    """The file exists but its contents are truncated or malformed."""
+
+
+class TransientReadError(TransientFault):
+    """A retryable IO failure while reading a point file."""
+
+
+#: Default retry policy for :func:`load_points`: a few quick attempts
+#: over transient IO errors only — corrupt contents never retry.
+DEFAULT_READ_RETRIES = RetryPolicy(
+    max_attempts=3,
+    backoff_base=0.05,
+    transient=(TransientReadError,),
+)
 
 
 def subsample(X: np.ndarray, n: int, seed: int = 0) -> np.ndarray:
@@ -48,26 +86,63 @@ def save_points(path: str, X: np.ndarray) -> None:
         raise ValueError(f"unsupported extension {ext!r} (use .npy/.csv/.txt/.bin)")
 
 
-def load_points(path: str, dim: int | None = None, dtype=np.float64) -> np.ndarray:
+def _read_raw(path: str, ext: str, dim: int | None, dtype) -> np.ndarray:
+    """One read attempt: parse errors become :class:`CorruptPointFileError`,
+    IO errors become retryable :class:`TransientReadError`."""
+    try:
+        if ext == ".npy":
+            return np.load(path)
+        if ext in (".csv", ".txt"):
+            return np.loadtxt(path, delimiter=",", ndmin=2)
+        # raw .bin
+        flat = np.fromfile(path, dtype=dtype)
+        if flat.size % dim:
+            raise CorruptPointFileError(
+                path,
+                f"holds {flat.size} {np.dtype(dtype).name} values, not "
+                f"divisible by dim={dim} — truncated write or wrong --dim?",
+            )
+        return flat.reshape(-1, dim)
+    except CorruptPointFileError:
+        raise
+    except FileNotFoundError:
+        raise
+    except (OSError, IOError) as exc:
+        raise TransientReadError(f"{path}: {exc}") from exc
+    except ValueError as exc:
+        # numpy's parse failures: a truncated .npy header, a ragged or
+        # non-numeric CSV row... the file is there but not a point set.
+        raise CorruptPointFileError(path, f"unreadable contents ({exc})") from exc
+
+
+def load_points(
+    path: str,
+    dim: int | None = None,
+    dtype=np.float64,
+    retry_policy: RetryPolicy | None = None,
+    clock=None,
+) -> np.ndarray:
     """Load a point set saved by :func:`save_points` (or compatible files).
 
     ``.bin`` files are a flat stream of ``dtype`` values and need ``dim``
     to recover the row shape; the others are self-describing.
+
+    Transient IO errors are retried per ``retry_policy`` (default
+    :data:`DEFAULT_READ_RETRIES`; backoff sleeps on ``clock`` when one is
+    given, e.g. a :class:`~repro.faults.SimClock` in tests).  Corrupt or
+    truncated files raise :class:`CorruptPointFileError` immediately —
+    rereading bad bytes does not help.
     """
     ext = os.path.splitext(path)[1].lower()
-    if ext == ".npy":
-        X = np.load(path)
-    elif ext in (".csv", ".txt"):
-        X = np.loadtxt(path, delimiter=",", ndmin=2)
-    elif ext == ".bin":
-        if dim is None:
-            raise ValueError("raw .bin files need dim= to recover the row shape")
-        flat = np.fromfile(path, dtype=dtype)
-        if flat.size % dim:
-            raise ValueError(
-                f"file holds {flat.size} values, not divisible by dim={dim}"
-            )
-        X = flat.reshape(-1, dim)
-    else:
+    if ext not in (".npy", ".csv", ".txt", ".bin"):
         raise ValueError(f"unsupported extension {ext!r} (use .npy/.csv/.txt/.bin)")
-    return validate_points(np.asarray(X, dtype=np.float64), max_dim=None)
+    if ext == ".bin" and dim is None:
+        raise ValueError("raw .bin files need dim= to recover the row shape")
+    policy = retry_policy if retry_policy is not None else DEFAULT_READ_RETRIES
+    X, _attempts = call_with_retries(
+        lambda attempt: _read_raw(path, ext, dim, dtype), policy, clock=clock
+    )
+    try:
+        return validate_points(np.asarray(X, dtype=np.float64), max_dim=None)
+    except ValueError as exc:
+        raise CorruptPointFileError(path, str(exc)) from exc

@@ -22,6 +22,12 @@ mid-run.  This package supplies both halves of that story:
     :class:`SimClock` — a deterministic virtual clock so retry waits are
     replayable and accountable rather than wall-clock noise.
 
+``deadline``
+    :class:`Deadline` — cooperative watchdogs threaded through the
+    traversal engines (``watchdog=``) or armed as a ``Device.fault_hook``;
+    wall-clock or deterministic step budgets, raising
+    :class:`DeadlineExceededError` (deliberately *not* transient).
+
 The chaos-test suite (``tests/test_chaos.py``, pytest marker ``chaos``)
 fuzzes random fault plans over the distributed driver and asserts the
 result stays DBSCAN-equivalent to a single-device run whenever at least
@@ -29,9 +35,11 @@ one rank survives.
 """
 
 from repro.faults.clock import SimClock
+from repro.faults.deadline import Deadline, DeadlineExceededError
 from repro.faults.plan import (
     DEVICE_FAULT_KINDS,
     MESSAGE_FAULT_KINDS,
+    SERVICE_FAULT_KINDS,
     FaultEvent,
     FaultPlan,
     FaultSpec,
@@ -41,6 +49,9 @@ from repro.faults.retry import RetryPolicy, TransientFault, call_with_retries
 __all__ = [
     "DEVICE_FAULT_KINDS",
     "MESSAGE_FAULT_KINDS",
+    "SERVICE_FAULT_KINDS",
+    "Deadline",
+    "DeadlineExceededError",
     "FaultEvent",
     "FaultPlan",
     "FaultSpec",

@@ -47,6 +47,21 @@ MESSAGE_FAULT_KINDS = ("drop", "timeout", "corrupt", "duplicate", "reorder")
 #: Transient device fault kinds (raised from inside a kernel launch).
 DEVICE_FAULT_KINDS = ("device_oom", "kernel_fault")
 
+#: Service-level fault kinds, evaluated once per request by
+#: :meth:`FaultPlan.request_faults`: wire-level garbage (``malformed``),
+#: requests over the protocol size cap (``oversized``), an absurdly tight
+#: deadline (``deadline_storm``), a mutation racing the request
+#: (``invalidate``), and a whole-process crash-restart
+#: (``service_crash`` — capped at one per plan, mirroring the
+#: chaos-suite's single crash-restart scenario).
+SERVICE_FAULT_KINDS = (
+    "malformed",
+    "oversized",
+    "deadline_storm",
+    "invalidate",
+    "service_crash",
+)
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -68,6 +83,14 @@ class FaultSpec:
     p_reorder: float = 0.0
     p_rank_crash: float = 0.0
     p_device_fault: float = 0.0
+    # Service-level request faults (see SERVICE_FAULT_KINDS).  Appended
+    # with 0.0 defaults so existing distributed chaos seeds — whose specs
+    # never set them — keep their exact fault schedules.
+    p_malformed: float = 0.0
+    p_oversized: float = 0.0
+    p_deadline_storm: float = 0.0
+    p_invalidate: float = 0.0
+    p_service_crash: float = 0.0
     fault_attempts: int = 2
 
     def __post_init__(self):
@@ -111,6 +134,10 @@ class FaultSpec:
             "drop": "p_drop", "timeout": "p_timeout", "corrupt": "p_corrupt",
             "duplicate": "p_duplicate", "dup": "p_duplicate", "reorder": "p_reorder",
             "crash": "p_rank_crash", "device": "p_device_fault",
+            "malformed": "p_malformed", "oversized": "p_oversized",
+            "storm": "p_deadline_storm", "deadline_storm": "p_deadline_storm",
+            "invalidate": "p_invalidate",
+            "restart": "p_service_crash", "service_crash": "p_service_crash",
             "attempts": "fault_attempts",
         }
         kwargs: dict = {}
@@ -127,6 +154,16 @@ class FaultSpec:
             name = aliases[key.strip()]
             kwargs[name] = int(value) if name == "fault_attempts" else float(value)
         return cls(**kwargs)
+
+    @classmethod
+    def service(cls, p: float, crash: float = 0.0, fault_attempts: int = 2) -> "FaultSpec":
+        """Every service-level request fault (and device faults) at
+        probability ``p``; the single crash-restart at ``crash``."""
+        return cls(
+            p_device_fault=p, p_malformed=p, p_oversized=p,
+            p_deadline_storm=p, p_invalidate=p, p_service_crash=crash,
+            fault_attempts=fault_attempts,
+        )
 
 
 @dataclass
@@ -150,6 +187,9 @@ class FaultPlan:
         self.seed = int(seed)
         self.spec = spec if spec is not None else FaultSpec()
         self.log: list[FaultEvent] = []
+        #: ``service_crash`` is capped at one per plan instance — the
+        #: chaos scenario's single crash-restart.
+        self.service_crash_fired = False
         #: Optional :class:`~repro.obs.span.Tracer`: every logged fault is
         #: mirrored as a ``fault:<kind>`` event on whatever span is open
         #: when it fires (a comm transmission, a driver phase, a bench
@@ -201,6 +241,32 @@ class FaultPlan:
         buf = bytearray(data)
         buf[int(rng.integers(len(buf)))] ^= 1 << int(rng.integers(8))
         return bytes(buf)
+
+    # -- service request faults ------------------------------------------------
+
+    def request_faults(self, seq: int) -> list[str]:
+        """Service-level fault kinds afflicting request ``seq``.
+
+        Pure decision, like :meth:`message_faults` — the request driver
+        logs the kinds it acts on via :meth:`record`.  Each kind draws
+        from its own ``(kind, seq)`` stream, so adding kinds (or skipping
+        requests) never perturbs the others.  ``service_crash`` fires at
+        most once per plan instance; a restarted service re-armed with a
+        *fresh* plan of the same seed would crash at the same request,
+        so drivers re-arm the surviving plan object instead.
+        """
+        out: list[str] = []
+        for kind in SERVICE_FAULT_KINDS:
+            p = getattr(self.spec, f"p_{kind}")
+            if p <= 0:
+                continue
+            if kind == "service_crash" and self.service_crash_fired:
+                continue
+            if self._stream("svc", kind, seq).random() < p:
+                if kind == "service_crash":
+                    self.service_crash_fired = True
+                out.append(kind)
+        return out
 
     # -- rank crashes ----------------------------------------------------------
 
@@ -302,6 +368,21 @@ class FaultPlan:
             p_duplicate=draw(), p_reorder=draw(),
             p_rank_crash=draw() if crashes else 0.0,
             p_device_fault=draw(), fault_attempts=2,
+        )
+        return cls(seed=seed, spec=spec)
+
+    @classmethod
+    def random_service(cls, seed: int, intensity: float = 0.15, crash: bool = True) -> "FaultPlan":
+        """A fuzzed *service* plan: request-level probabilities (plus
+        device faults) drawn from ``seed``; distributed message/crash
+        kinds stay zero.  The crash-restart probability is drawn like the
+        rest but the one-per-plan cap still applies."""
+        rng = np.random.default_rng([int(seed), 0x5E4C])
+        draw = lambda: float(rng.uniform(0.0, intensity))  # noqa: E731
+        spec = FaultSpec(
+            p_device_fault=draw(), p_malformed=draw(), p_oversized=draw(),
+            p_deadline_storm=draw(), p_invalidate=draw(),
+            p_service_crash=draw() if crash else 0.0, fault_attempts=2,
         )
         return cls(seed=seed, spec=spec)
 

@@ -1,0 +1,107 @@
+"""Admission control: bounded backlog, explicit backpressure.
+
+The request loop is synchronous, so "in-flight work" is modelled in
+*virtual time*: every admitted request reserves a deterministic cost
+estimate on a clock (a :class:`~repro.faults.clock.SimClock` in tests,
+wall time in production), advancing ``busy_until``.  The gap
+``busy_until - now`` is the **backlog** — the virtual seconds of already
+admitted work — and the controller refuses new work once admitting it
+would push the backlog over its bound, answering with the exact
+``Retry-After`` that would drain enough of it.  A queue-depth cap bounds
+the number of outstanding reservations independently of their size.
+
+Deterministic by construction: the same arrival sequence with the same
+cost estimates admits and sheds the same requests on any machine — which
+is what lets the chaos suite assert shed counts from a seed.  The
+backlog (normalised to ``pressure`` in ``[0, 1+]``) is also the signal
+the degradation ladder reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AdmissionDecision:
+    """The controller's verdict for one offered request."""
+
+    admitted: bool
+    #: Seconds until enough backlog drains for this request to fit
+    #: (``0.0`` when admitted).
+    retry_after: float
+    #: Backlog (virtual seconds of admitted work) *before* this request.
+    backlog: float
+    #: ``backlog / max_backlog`` — the ladder's pressure signal.
+    pressure: float
+    #: Outstanding reservations before this request.
+    queue_depth: int
+
+
+class AdmissionController:
+    """Backlog- and depth-bounded admission with explicit backpressure.
+
+    Parameters
+    ----------
+    clock:
+        Object with ``now() -> float`` (virtual or wall).
+    max_backlog:
+        Bound on admitted-but-undrained virtual work, in seconds.
+    max_queue:
+        Bound on outstanding reservations, regardless of size.
+    """
+
+    def __init__(self, clock, max_backlog: float = 2.0, max_queue: int = 128):
+        if max_backlog <= 0:
+            raise ValueError(f"max_backlog must be positive; got {max_backlog}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1; got {max_queue}")
+        self.clock = clock
+        self.max_backlog = float(max_backlog)
+        self.max_queue = int(max_queue)
+        self._busy_until = clock.now()
+        #: Virtual finish times of outstanding reservations.
+        self._finishes: list[float] = []
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    def _drain(self, now: float) -> None:
+        self._finishes = [t for t in self._finishes if t > now]
+
+    def backlog(self) -> float:
+        """Admitted-but-undrained virtual seconds right now."""
+        return max(0.0, self._busy_until - self.clock.now())
+
+    def pressure(self) -> float:
+        """Backlog normalised by its bound (the ladder's input)."""
+        return self.backlog() / self.max_backlog
+
+    def queue_depth(self) -> int:
+        self._drain(self.clock.now())
+        return len(self._finishes)
+
+    def offer(self, cost: float) -> AdmissionDecision:
+        """Offer a request with virtual cost estimate ``cost`` seconds.
+
+        Admission reserves the cost (advancing ``busy_until``); refusal
+        reports the seconds after which the same offer would fit.
+        """
+        cost = max(0.0, float(cost))
+        now = self.clock.now()
+        self._drain(now)
+        backlog = max(0.0, self._busy_until - now)
+        pressure = backlog / self.max_backlog
+        depth = len(self._finishes)
+        if depth >= self.max_queue:
+            # Head-of-line drain time: the earliest outstanding finish.
+            retry = max(min(self._finishes) - now, 0.0) or cost
+            self.shed_total += 1
+            return AdmissionDecision(False, retry, backlog, pressure, depth)
+        if backlog + cost > self.max_backlog:
+            retry = backlog + cost - self.max_backlog
+            self.shed_total += 1
+            return AdmissionDecision(False, retry, backlog, pressure, depth)
+        self._busy_until = max(self._busy_until, now) + cost
+        self._finishes.append(self._busy_until)
+        self.admitted_total += 1
+        return AdmissionDecision(True, 0.0, backlog, pressure, depth)

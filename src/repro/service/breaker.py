@@ -1,0 +1,74 @@
+"""Per-index circuit breaker over kernel faults.
+
+Repeated :class:`~repro.device.device.KernelFaultError` /
+:class:`~repro.device.memory.DeviceMemoryError` failures on one index are
+evidence of something persistent (poisoned state, a hot cell, a sick
+device) — hammering it with more traffic converts one bad index into a
+whole-service outage.  The breaker implements the classic three states:
+
+- **closed**: requests flow; ``failure_threshold`` *consecutive*
+  terminal kernel faults trip it open (a success resets the streak).
+- **open**: requests are refused instantly with ``Retry-After`` set to
+  the cooldown remainder — no device work at all.
+- **half_open**: after ``cooldown`` seconds one probe request is allowed
+  through; success closes the breaker, failure re-opens it for a fresh
+  cooldown.
+
+Time comes from the injected clock (virtual in tests), so trip/recover
+sequences replay deterministically.
+"""
+
+from __future__ import annotations
+
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+class CircuitBreaker:
+    def __init__(self, clock, failure_threshold: int = 3, cooldown: float = 5.0):
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1; got {failure_threshold}")
+        if cooldown <= 0:
+            raise ValueError(f"cooldown must be positive; got {cooldown}")
+        self.clock = clock
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown = float(cooldown)
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    def allow(self) -> tuple[bool, float]:
+        """Whether a request may proceed; ``(False, retry_after)`` when
+        the breaker is open.  An allowed request in ``half_open`` is the
+        probe — its outcome decides the next state."""
+        if self.state == OPEN:
+            waited = self.clock.now() - self._opened_at
+            if waited < self.cooldown:
+                return False, self.cooldown - waited
+            self.state = HALF_OPEN
+            self._probing = False
+        if self.state == HALF_OPEN:
+            if self._probing:
+                # One probe at a time; others wait a full cooldown.
+                return False, self.cooldown
+            self._probing = True
+        return True, 0.0
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self._probing = False
+        self.state = CLOSED
+
+    def record_failure(self) -> None:
+        """Count one *terminal* kernel-fault failure (after retries)."""
+        self.consecutive_failures += 1
+        self._probing = False
+        if self.state == HALF_OPEN or self.consecutive_failures >= self.failure_threshold:
+            self.state = OPEN
+            self._opened_at = self.clock.now()
+            self.trips += 1
+            self.consecutive_failures = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CircuitBreaker(state={self.state}, trips={self.trips})"

@@ -1,0 +1,82 @@
+"""Append-only mutation journal: crash-safe index state.
+
+The service's durability contract is *write-ahead-after-apply*: a
+mutation is applied in memory, the resulting index fingerprint is
+computed, and the journal line — operation, payload, assigned ids, and
+that fingerprint — is appended, flushed and fsynced **before** the
+response is sent.  A crash therefore loses at most mutations the client
+was never told succeeded; everything acknowledged replays.
+
+On restart the service replays the journal in order, asserting after
+every entry that the rebuilt index's fingerprint equals the recorded one
+— bit-equality, not approximation — so replay divergence (a code change,
+a corrupted line) is caught at the exact entry, as
+:class:`JournalCorruptError`.
+
+A torn final line (the crash landed mid-append) is *not* corruption: the
+entry was never acknowledged, so it is dropped with a note.  A torn or
+unparsable line anywhere else is.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+
+class JournalCorruptError(RuntimeError):
+    """A journal line failed to parse or replay to its fingerprint."""
+
+
+class Journal:
+    """Append-only JSONL journal at ``path`` (``None`` = in-memory only —
+    the same API, no durability; useful for tests and ephemeral serving)."""
+
+    def __init__(self, path: str | None):
+        self.path = path
+        self._entries: list[dict] = []
+        self.dropped_tail = False
+        if path is not None and os.path.exists(path):
+            self._entries = self._read(path)
+
+    def _read(self, path: str) -> list[dict]:
+        entries: list[dict] = []
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().split("\n")
+        # A trailing empty string after the final newline is normal.
+        if lines and lines[-1] == "":
+            lines.pop()
+        for i, line in enumerate(lines):
+            try:
+                entry = json.loads(line)
+                if not isinstance(entry, dict):
+                    raise ValueError("journal entry is not an object")
+            except ValueError as exc:
+                if i == len(lines) - 1:
+                    # Torn tail: the crash interrupted the append before
+                    # the response was sent; the entry never happened.
+                    self.dropped_tail = True
+                    break
+                raise JournalCorruptError(
+                    f"journal line {i + 1} of {path} is corrupt: {exc}"
+                ) from exc
+            entries.append(entry)
+        return entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[dict]:
+        """The committed entries, oldest first (a copy)."""
+        return list(self._entries)
+
+    def append(self, entry: dict) -> None:
+        """Durably append one entry (flush + fsync before returning)."""
+        self._entries.append(entry)
+        if self.path is None:
+            return
+        line = json.dumps(entry, separators=(",", ":"), sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())

@@ -134,6 +134,50 @@ class TestRunSweep:
         assert statuses["fdbscan"] == "ok"
 
 
+class TestCellTimeout:
+    def test_over_budget_cell_records_timeout(self, small_blobs):
+        # a zero-second wall budget kills the cell at its first watchdog
+        # check, which fires on the first kernel launch
+        rec = run_once("fdbscan", small_blobs, 0.2, 5, cell_timeout=0.0)
+        assert rec.status == "timeout"
+        assert rec.detail  # the deadline's message, not a bare traceback
+
+    def test_timeout_keeps_partial_counters(self, small_blobs):
+        rec = run_once("fdbscan", small_blobs, 0.2, 5, cell_timeout=0.0)
+        # the cell died mid-run but its accounting survives
+        assert isinstance(rec.counters, dict)
+
+    def test_generous_timeout_is_a_noop(self, small_blobs):
+        rec = run_once("fdbscan", small_blobs, 0.2, 5, cell_timeout=3600.0)
+        assert rec.status == "ok"
+        assert rec.n_clusters == 3
+
+    def test_timeouts_are_never_retried(self, small_blobs):
+        from repro.faults import RetryPolicy
+
+        rec = run_once(
+            "fdbscan", small_blobs, 0.2, 5,
+            cell_timeout=0.0, retry_policy=RetryPolicy(max_attempts=5),
+        )
+        assert rec.status == "timeout"
+        assert rec.attempts == 1  # re-running inside a spent budget is pointless
+
+    def test_sweep_threads_cell_timeout(self, small_blobs):
+        cells = [{"eps": 0.2, "min_samples": 5}, {"eps": 0.3, "min_samples": 5}]
+        records = run_sweep(
+            ["fdbscan"], cells, lambda c: small_blobs, cell_timeout=0.0
+        )
+        assert [r.status for r in records] == ["timeout", "timeout"]
+
+    def test_timeout_cells_do_not_abort_sweep(self, small_blobs):
+        # budget applies per cell; later cells still run under their own
+        records = run_sweep(
+            ["fdbscan"], [{"eps": 0.2, "min_samples": 5}],
+            lambda c: small_blobs, cell_timeout=3600.0,
+        )
+        assert [r.status for r in records] == ["ok"]
+
+
 class TestSweepIndexReuse:
     """Acceptance: a two-algorithm eps-sweep builds each point set's BVH
     exactly once, with per-cell accounting identical to cold runs."""

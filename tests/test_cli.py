@@ -244,8 +244,50 @@ class TestBenchCommand:
                 "100000",
             ]
         )
+        # the oom is reported AND fails the run (no --allow-failures)
+        assert rc == 1
+        assert "oom" in capsys.readouterr().out
+
+    def test_allow_failures_downgrades_oom_to_success(self, capsys):
+        rc = main(
+            [
+                "bench",
+                "--dataset",
+                "ngsim",
+                "--n",
+                "2000",
+                "--eps",
+                "0.01",
+                "--minpts-sweep",
+                "5",
+                "--algorithms",
+                "gdbscan",
+                "--memory-cap",
+                "100000",
+                "--allow-failures",
+            ]
+        )
         assert rc == 0
         assert "oom" in capsys.readouterr().out
+
+    def test_cell_timeout_fails_run_and_reports_timeout(self, points_file, capsys):
+        argv = [
+            "bench",
+            points_file,
+            "--eps",
+            "0.2",
+            "--minpts-sweep",
+            "5",
+            "--algorithms",
+            "fdbscan",
+            "--cell-timeout",
+            "0.0",
+        ]
+        rc = main(argv)
+        out = capsys.readouterr()
+        assert rc == 1
+        assert "timeout" in out.out
+        assert main(argv + ["--allow-failures"]) == 0
 
 
 class TestObservabilityFlags:
@@ -367,6 +409,67 @@ class TestObservabilityFlags:
         assert rc == 0
         out = capsys.readouterr().out
         assert out.splitlines()[0].startswith("metric")
+
+    def test_metrics_failed_run_exits_nonzero_with_partial_counters(self, capsys):
+        argv = [
+            "metrics", "--dataset", "ngsim", "--n", "2000",
+            "--eps", "0.01", "--minpts", "5",
+            "--algorithm", "gdbscan", "--memory-cap", "100000",
+        ]
+        rc = main(argv)
+        out = capsys.readouterr()
+        assert rc == 1
+        assert "run failed" in out.err
+        # the partial counters still made it into the exposition
+        assert "repro_kernel_launches_total" in out.out
+
+    def test_metrics_allow_failures(self, capsys):
+        rc = main(
+            [
+                "metrics", "--dataset", "ngsim", "--n", "2000",
+                "--eps", "0.01", "--minpts", "5",
+                "--algorithm", "gdbscan", "--memory-cap", "100000",
+                "--allow-failures",
+            ]
+        )
+        assert rc == 0
+        assert "allow-failures" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_traffic_report_saved(self, tmp_path, capsys):
+        report_path = str(tmp_path / "report.json")
+        rc = main(
+            [
+                "serve", "--traffic", "25", "--seed", "0",
+                "--journal", str(tmp_path / "svc.jsonl"),
+                "--save", report_path,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "latency ms" in out
+        import json
+
+        with open(report_path) as fh:
+            report = json.load(fh)
+        assert {"p50", "p95", "p99"} <= set(report["latency_ms"])
+        assert report["metrics_ledger"]["ok"]
+        assert "service" not in report  # the live handle never serialises
+
+    def test_traffic_with_faults_and_restart(self, tmp_path, capsys):
+        rc = main(
+            [
+                "serve", "--traffic", "60", "--seed", "1", "--fault-seed", "1",
+                "--faults",
+                "device=0.1,malformed=0.08,storm=0.05,restart=0.05,attempts=2",
+                "--journal", str(tmp_path / "svc.jsonl"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faults applied" in out
+        assert "metrics=ledger : True" in out
 
 
 class TestBenchHistory:

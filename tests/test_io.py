@@ -1,9 +1,17 @@
-"""Tests for dataset IO and subsampling."""
+"""Tests for dataset IO, subsampling, and the hardened loader."""
 
 import numpy as np
 import pytest
 
-from repro.datasets.io import load_points, save_points, subsample
+from repro.datasets.io import (
+    CorruptPointFileError,
+    PointFileError,
+    TransientReadError,
+    load_points,
+    save_points,
+    subsample,
+)
+from repro.faults import RetryPolicy, SimClock
 
 
 class TestSubsample:
@@ -77,3 +85,111 @@ class TestRoundTrips:
             fh.write("0.0,nan\n")
         with pytest.raises(ValueError, match="non-finite"):
             load_points(path)
+
+
+class TestHardenedLoading:
+    """Typed corrupt-file errors; transient IO errors retried."""
+
+    def test_truncated_npy_is_corrupt_and_names_the_file(self, tmp_path, blobs_2d):
+        path = str(tmp_path / "pts.npy")
+        save_points(path, blobs_2d)
+        raw = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(raw[: len(raw) // 3])
+        with pytest.raises(CorruptPointFileError, match="pts.npy") as ei:
+            load_points(path)
+        assert ei.value.path == path
+
+    def test_ragged_csv_is_corrupt(self, tmp_path):
+        path = str(tmp_path / "ragged.csv")
+        with open(path, "w") as fh:
+            fh.write("0.0,1.0\n0.5\n")
+        with pytest.raises(CorruptPointFileError, match="ragged.csv"):
+            load_points(path)
+
+    def test_short_bin_is_corrupt_with_hint(self, tmp_path):
+        path = str(tmp_path / "short.bin")
+        np.arange(7, dtype=np.float64).tofile(path)
+        with pytest.raises(CorruptPointFileError, match="truncated write"):
+            load_points(path, dim=2)
+
+    def test_corrupt_is_a_value_error_and_pointfileerror(self, tmp_path):
+        # callers catching either the old ValueError or the new typed
+        # hierarchy both keep working
+        path = str(tmp_path / "garbage.npy")
+        with open(path, "wb") as fh:
+            fh.write(b"not a npy file at all")
+        with pytest.raises(PointFileError):
+            load_points(path)
+        with pytest.raises(ValueError):
+            load_points(path)
+
+    def test_missing_file_propagates_unretried(self, tmp_path):
+        clock = SimClock()
+        with pytest.raises(FileNotFoundError):
+            load_points(str(tmp_path / "absent.npy"), clock=clock)
+        assert clock.now() == 0.0  # no backoff sleeps: never retried
+
+    def test_transient_read_errors_are_retried(self, tmp_path, blobs_2d, monkeypatch):
+        path = str(tmp_path / "pts.npy")
+        save_points(path, blobs_2d)
+        real_load = np.load
+        failures = {"left": 2}
+
+        def flaky_load(p, *a, **kw):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise OSError("simulated NFS hiccup")
+            return real_load(p, *a, **kw)
+
+        monkeypatch.setattr(np, "load", flaky_load)
+        clock = SimClock()
+        back = load_points(path, clock=clock)
+        np.testing.assert_allclose(back, blobs_2d, rtol=1e-15)
+        assert failures["left"] == 0
+        assert clock.now() > 0.0  # backoff actually slept between attempts
+
+    def test_retries_exhausted_surface_transient_error(
+        self, tmp_path, blobs_2d, monkeypatch
+    ):
+        path = str(tmp_path / "pts.npy")
+        save_points(path, blobs_2d)
+
+        def always_fail(p, *a, **kw):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(np, "load", always_fail)
+        with pytest.raises(TransientReadError, match="disk on fire"):
+            load_points(path, clock=SimClock())
+
+    def test_corrupt_files_never_retried(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "garbage.npy")
+        with open(path, "wb") as fh:
+            fh.write(b"junk bytes")
+        attempts = {"n": 0}
+        real_load = np.load
+
+        def counting_load(p, *a, **kw):
+            attempts["n"] += 1
+            return real_load(p, *a, **kw)
+
+        monkeypatch.setattr(np, "load", counting_load)
+        with pytest.raises(CorruptPointFileError):
+            load_points(path, clock=SimClock())
+        assert attempts["n"] == 1  # rereading bad bytes does not help
+
+    def test_custom_retry_policy_respected(self, tmp_path, blobs_2d, monkeypatch):
+        path = str(tmp_path / "pts.npy")
+        save_points(path, blobs_2d)
+
+        attempts = {"n": 0}
+
+        def always_fail(p, *a, **kw):
+            attempts["n"] += 1
+            raise OSError("nope")
+
+        monkeypatch.setattr(np, "load", always_fail)
+        policy = RetryPolicy(max_attempts=1, transient=(TransientReadError,))
+        with pytest.raises(TransientReadError):
+            load_points(path, retry_policy=policy, clock=SimClock())
+        assert attempts["n"] == 1  # the policy, not the default 3
