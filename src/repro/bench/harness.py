@@ -104,6 +104,10 @@ class RunRecord:
     faults: int = 0
     detail: str = ""
     replayed_build_seconds: float = 0.0
+    #: Kernel launches evicted from the cell device's bounded span ring —
+    #: non-zero means the cell's trace (and any profile derived from it)
+    #: is incomplete, which the bench report warns about.
+    trace_dropped: int = 0
 
     def cold_equivalent_seconds(self) -> float:
         """Wall seconds this cell *would* have cost cold.
@@ -182,6 +186,7 @@ def _capture_device(rec: RunRecord, dev: Device) -> None:
     rec.peak_bytes = dev.memory.peak_bytes
     rec.counters = dev.counters.snapshot()
     rec.kernels = dev.profile()
+    rec.trace_dropped = dev.trace_dropped
     rec.replayed_build_seconds = sum(
         row["replayed_seconds"] for row in rec.kernels.values()
     )

@@ -76,6 +76,7 @@ def save_records(path: str, records: list[RunRecord], meta: dict | None = None) 
                 "faults": int(r.faults),
                 "detail": r.detail,
                 "replayed_build_seconds": float(r.replayed_build_seconds),
+                "trace_dropped": int(r.trace_dropped),
                 # Derived from counters/n; saved so humans diffing the
                 # JSON see the tracked rates without recomputing them.
                 "counter_rates": {
@@ -119,6 +120,7 @@ def load_records(path: str) -> tuple[list[RunRecord], dict]:
                 faults=int(row.get("faults", 0)),
                 detail=row.get("detail", ""),
                 replayed_build_seconds=float(row.get("replayed_build_seconds", 0.0)),
+                trace_dropped=int(row.get("trace_dropped", 0)),
             )
         )
     return records, payload.get("meta", {})

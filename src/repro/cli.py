@@ -81,6 +81,7 @@ from repro.obs import (
     record_kernel_counters,
     record_kernel_profile,
     record_run_records,
+    record_trace_health,
     write_trace,
 )
 
@@ -247,6 +248,7 @@ def _cmd_metrics(args) -> int:
     registry = MetricsRegistry()
     record_kernel_counters(registry, device.counters.snapshot())
     record_kernel_profile(registry, device.profile())
+    record_trace_health(registry, tracer=tracer, devices=(device,))
     if args.ranks and result is not None:
         record_comm_stats(registry, result.info.get("comm", {}))
         if result.info.get("faults"):
@@ -311,9 +313,31 @@ def _cmd_bench(args) -> int:
     print(format_records(records))
     print()
     print(format_kernel_profile(records, title="-- kernel profile (all cells) --"))
+    dropped = sum(r.trace_dropped for r in records)
+    if dropped:
+        affected = sum(1 for r in records if r.trace_dropped)
+        print(
+            f"warning: {dropped} kernel launches evicted from the bounded span "
+            f"ring across {affected} cell(s) — profiles/traces are incomplete; "
+            f"raise the device's span-ring capacity for full traces"
+        )
     if args.cost_model:
         print()
         print(format_cost_model(merge_kernel_profiles(records)))
+    if args.fit_cost_model:
+        from repro.obs.fit import fit_from_records, format_fit_summary
+
+        model = fit_from_records(records)
+        model.save(args.fit_cost_model)
+        print()
+        print(format_fit_summary(model))
+        # A freshly fitted model must be drift-free against its own
+        # sources — the calibration guarantees it; anything else is a bug.
+        self_drift = model.drift(merge_kernel_profiles(records))
+        if self_drift["alarms"]:
+            print(f"warning: self-drift alarms on fresh fit: {self_drift['alarms']}",
+                  file=sys.stderr)
+        print(f"cost model written to {args.fit_cost_model}")
     trace_meta = _write_trace(args, tracer)
     if args.save:
         from repro.bench.history import save_records
@@ -367,7 +391,18 @@ def _cmd_serve(args) -> int:
     plan = None
     if args.faults:
         plan = FaultPlan(seed=args.fault_seed, spec=FaultSpec.parse(args.faults))
-    config = ServiceConfig(default_deadline_s=args.deadline)
+    cost_model = None
+    if args.cost_model:
+        from repro.obs.fit import FittedCostModel
+
+        cost_model = FittedCostModel.load(args.cost_model)
+        print(
+            f"cost model {args.cost_model} "
+            f"(source {cost_model.source_fingerprint[:12]}, "
+            f"{len(cost_model.kernels)} kernels)",
+            file=sys.stderr,
+        )
+    config = ServiceConfig(default_deadline_s=args.deadline, cost_model=cost_model)
 
     if args.traffic:
         report = run_traffic(
@@ -376,6 +411,7 @@ def _cmd_serve(args) -> int:
             plan=plan,
             journal_path=args.journal,
             config=config,
+            event_log_path=args.event_log,
         )
         lat = report["latency_ms"]
         print(f"{'requests sent':>16} : {report['requests_sent']}")
@@ -399,6 +435,15 @@ def _cmd_serve(args) -> int:
                 f"fingerprints {equal}"
             )
         print(f"{'metrics=ledger':>16} : {report['metrics_ledger']['ok']}")
+        from repro.obs.slo import format_slo_report
+
+        print(format_slo_report(report["slo"], title="-- slo --"))
+        events = report["events"]
+        print(
+            f"{'events':>16} : {events['appended']} appended, "
+            f"{events['retained']} retained, {events['dropped']} dropped"
+            + (f" -> {events['path']}" if events.get("path") else "")
+        )
         if args.save:
             save_traffic_report(report, args.save)
             print(f"report written to {args.save}")
@@ -406,8 +451,14 @@ def _cmd_serve(args) -> int:
             return 1
         return 0
 
+    event_log = None
+    if args.event_log:
+        from repro.service.events import EventLog
+
+        event_log = EventLog(path=args.event_log)
     service = ClusteringService(
-        journal_path=args.journal, config=config, fault_plan=plan
+        journal_path=args.journal, config=config, fault_plan=plan,
+        event_log=event_log,
     )
     if service.replayed_entries:
         print(
@@ -593,6 +644,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare", help="diff against a JSON file written by --save"
     )
     bench.add_argument(
+        "--fit-cost-model",
+        nargs="?",
+        const="COSTMODEL.json",
+        metavar="PATH",
+        help="fit the per-kernel linear cost model from this sweep's profiles "
+        "and write the artifact here (default: COSTMODEL.json); "
+        "`repro serve --cost-model PATH` prices admission from it",
+    )
+    bench.add_argument(
         "--cell-timeout", type=float, default=None,
         help="per-cell wall-second watchdog: a pathological cell is stopped "
         "mid-run and recorded as status='timeout' with partial counters",
@@ -642,6 +702,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--save", help="write the traffic report JSON to this file (--traffic)"
+    )
+    serve.add_argument(
+        "--cost-model", metavar="PATH",
+        help="price admission control from this fitted COSTMODEL.json "
+        "(written by `repro bench --fit-cost-model`) instead of the "
+        "hand-set per-point constants",
+    )
+    serve.add_argument(
+        "--event-log", metavar="PATH",
+        help="write-through the bounded per-request event ring to this JSONL "
+        "file (one structured record per request, with trace exemplars)",
     )
     serve.set_defaults(func=_cmd_serve)
     return parser

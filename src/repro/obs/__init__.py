@@ -12,10 +12,31 @@ Dependency-free observability layer (see ``docs/observability.md``):
   ``chrome://tracing``) and flat-CSV exporters plus the schema validator
   CI runs on emitted traces;
 - :mod:`repro.obs.costmodel` — the per-kernel report joining wall
-  seconds with machine-independent work counters and their rates.
+  seconds with machine-independent work counters and their rates;
+- :mod:`repro.obs.fit`       — fitted per-kernel cost models
+  (closed-form least squares over the cost-model rows) with a
+  serializable ``COSTMODEL.json`` artifact, a predict API for admission
+  control, and a drift check CI gates on;
+- :mod:`repro.obs.slo`       — latency/availability objectives with
+  error-budget arithmetic (burn rate, budget remaining) over the
+  metrics registry's histograms and counters.
 """
 
 from repro.obs.costmodel import cost_model_rows, format_cost_model
+from repro.obs.fit import (
+    FittedCostModel,
+    fit_cost_model,
+    fit_from_history,
+    fit_from_records,
+    validate_costmodel,
+)
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLO,
+    evaluate_slos,
+    format_slo_report,
+    record_slo_gauges,
+)
 from repro.obs.export import (
     chrome_trace,
     spans_csv,
@@ -36,20 +57,31 @@ from repro.obs.metrics import (
     record_kernel_profile,
     record_launch_seconds,
     record_run_records,
+    record_trace_health,
 )
 from repro.obs.span import NULL_TRACER, Span, Tracer
 
 __all__ = [
     "Counter",
+    "DEFAULT_SLOS",
+    "FittedCostModel",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
+    "SLO",
     "Span",
     "Tracer",
     "chrome_trace",
     "cost_model_rows",
+    "evaluate_slos",
+    "fit_cost_model",
+    "fit_from_history",
+    "fit_from_records",
     "format_cost_model",
+    "format_slo_report",
+    "record_slo_gauges",
+    "validate_costmodel",
     "record_comm_stats",
     "record_fault_summary",
     "record_kernel_counters",
@@ -57,6 +89,7 @@ __all__ = [
     "record_counter_rates",
     "record_launch_seconds",
     "record_run_records",
+    "record_trace_health",
     "spans_csv",
     "validate_chrome_trace",
     "validate_chrome_trace_file",

@@ -172,6 +172,73 @@ class Histogram:
         entry = self.series.get(_label_key(labels))
         return entry[1] if entry else 0.0
 
+    # -- estimation ------------------------------------------------------------
+
+    def _counts_for(self, labels: dict | None) -> tuple[list, int]:
+        """Per-bucket counts (plus the +Inf bucket) and the observation
+        total — one label set when ``labels`` is given, every label set
+        merged when ``labels`` is None (fixed buckets make the merge a
+        plain elementwise sum)."""
+        merged = [0] * (len(self.buckets) + 1)
+        n = 0
+        if labels is None:
+            series = self.series.values()
+        else:
+            entry = self.series.get(_label_key(labels))
+            series = [entry] if entry is not None else []
+        for counts, _total, count in series:
+            for i, c in enumerate(counts):
+                merged[i] += c
+            n += count
+        return merged, n
+
+    def quantile(self, q: float, labels: dict | None = None) -> float:
+        """Estimated ``q``-quantile with linear interpolation in-bucket.
+
+        ``labels=None`` merges every label set (the overall
+        distribution); pass a dict for one series.  The estimate
+        interpolates linearly between a bucket's lower and upper bound —
+        the Prometheus ``histogram_quantile`` convention — with the
+        first bucket's lower bound at 0 (durations are nonnegative).
+        Observations in the ``+Inf`` bucket clamp to the highest finite
+        bound (there is no upper edge to interpolate toward).  Returns
+        0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q must be in [0, 1]; got {q}")
+        counts, n = self._counts_for(labels)
+        if n == 0:
+            return 0.0
+        rank = q * n
+        cumulative = 0.0
+        lower = 0.0
+        for bound, c in zip(self.buckets, counts):
+            if cumulative + c >= rank and c > 0:
+                frac = (rank - cumulative) / c
+                return lower + (bound - lower) * min(max(frac, 0.0), 1.0)
+            cumulative += c
+            lower = bound
+        return float(self.buckets[-1])
+
+    def count_le(self, value: float, labels: dict | None = None) -> float:
+        """Estimated observations ``<= value`` (linear within the bucket
+        containing ``value``; ``+Inf``-bucket observations never count —
+        the conservative choice for latency objectives).  ``labels=None``
+        merges every label set."""
+        counts, _n = self._counts_for(labels)
+        total = 0.0
+        lower = 0.0
+        for bound, c in zip(self.buckets, counts):
+            if value >= bound:
+                total += c
+            elif value > lower:
+                total += c * (value - lower) / (bound - lower)
+                break
+            else:
+                break
+            lower = bound
+        return total
+
     def exposition(self) -> list[str]:
         lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} histogram"]
         for key in sorted(self.series):
@@ -369,6 +436,33 @@ def record_run_records(registry: MetricsRegistry, records, **labels) -> None:
             f"{PREFIX}_index_cache_hit_ratio",
             "fraction of ok cells that reused a cached index build",
         ).set(n_reused / (n_reused + n_built), **labels)
+
+
+def record_trace_health(
+    registry: MetricsRegistry, tracer=None, devices=(), **labels
+) -> None:
+    """Export trace-ring health: silently dropped spans become gauges.
+
+    ``repro_trace_spans_dropped`` (and ``..._total`` span counts) come
+    from the :class:`~repro.obs.span.Tracer`'s bounded ring;
+    ``repro_device_trace_dropped`` is each device's evicted-launch count
+    (labelled by device name).  Dropped spans truncate exactly the
+    traces the cost-model fit consumes, so the drops must be visible on
+    the same scrape surface as everything else.
+    """
+    if tracer is not None:
+        registry.gauge(
+            f"{PREFIX}_trace_spans_dropped",
+            "spans evicted from the tracer's bounded ring",
+        ).set(getattr(tracer, "dropped", 0), **labels)
+        registry.gauge(
+            f"{PREFIX}_trace_spans_total", "spans recorded by the tracer"
+        ).set(getattr(tracer, "spans_total", 0), **labels)
+    for device in devices:
+        registry.gauge(
+            f"{PREFIX}_device_trace_dropped",
+            "kernel launches evicted from the device's bounded trace ring",
+        ).set(device.trace_dropped, device=device.name, **labels)
 
 
 def record_counter_rates(registry: MetricsRegistry, records, **labels) -> None:

@@ -1,0 +1,171 @@
+"""Service-level objectives over :class:`~repro.obs.metrics.MetricsRegistry`.
+
+An SLO states *how good the service must be*, in terms the metrics
+surface already measures:
+
+- a **latency** SLO — "``objective`` of requests finish within
+  ``target_seconds``" — evaluated against a fixed-bucket latency
+  histogram (``repro_service_request_seconds``) with linear in-bucket
+  interpolation (:meth:`~repro.obs.metrics.Histogram.count_le`);
+- an **availability** SLO — "``objective`` of requests answer without an
+  internal error" — evaluated against the per-status request counter
+  (``repro_service_requests_total``).  ``shed`` and ``rejected`` are
+  *deliberate* refusals (typed backpressure / protocol errors), so they
+  count as good by default: an SLO must not punish the service for its
+  own admission control doing its job.
+
+Each evaluation reports the classic error-budget arithmetic: the **bad
+fraction** observed, the budget the objective allows, the **burn rate**
+(bad fraction / allowed fraction — 1.0 means the budget is exactly
+spent), and the **budget remaining** (``1 - burn_rate``; negative means
+the objective is violated).  The window is the registry's lifetime —
+the virtual-clock service accumulates, it does not age out — and the
+``window`` field records that explicitly so a future sliding-window
+implementation is an additive change.
+
+Everything is a pure function of the registry, so two same-seed traffic
+runs report identical SLO status — the determinism contract the rest of
+the service keeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.metrics import PREFIX, MetricsRegistry
+
+#: Response statuses that count as "good" for availability objectives.
+#: ``shed``/``rejected`` are explicit, typed refusals — admission doing
+#: its job — and ``degraded`` responses are honest partial answers.
+GOOD_STATUSES = ("ok", "degraded", "shed", "rejected")
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One objective (see module docstring for semantics)."""
+
+    name: str
+    #: ``"latency"`` or ``"availability"``.
+    kind: str
+    #: Required good fraction in ``[0, 1)`` (e.g. 0.99).
+    objective: float
+    #: Latency SLOs: the per-request wall-seconds target.
+    target_seconds: float | None = None
+    #: Metric the objective reads (histogram for latency, counter for
+    #: availability).
+    metric: str = ""
+    #: Evaluation window; ``"lifetime"`` is the only implemented window.
+    window: str = "lifetime"
+
+    def __post_init__(self):
+        if self.kind not in ("latency", "availability"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"SLO objective must be in (0, 1); got {self.objective}"
+            )
+        if self.kind == "latency" and not self.target_seconds:
+            raise ValueError("latency SLOs need target_seconds")
+
+
+#: Default service objectives: p99-style latency and availability.
+DEFAULT_SLOS = (
+    SLO(
+        "request_latency",
+        "latency",
+        objective=0.99,
+        target_seconds=0.25,
+        metric=f"{PREFIX}_service_request_seconds",
+    ),
+    SLO(
+        "availability",
+        "availability",
+        objective=0.99,
+        metric=f"{PREFIX}_service_requests_total",
+    ),
+)
+
+
+def evaluate_slo(slo: SLO, registry: MetricsRegistry) -> dict:
+    """One objective's status over the registry (see module docstring)."""
+    metric = slo.metric or (
+        f"{PREFIX}_service_request_seconds"
+        if slo.kind == "latency"
+        else f"{PREFIX}_service_requests_total"
+    )
+    good = total = 0.0
+    if metric in registry:
+        instrument = registry.get(metric)
+        if slo.kind == "latency":
+            _counts, total = instrument._counts_for(None)
+            total = float(total)
+            good = instrument.count_le(slo.target_seconds)
+        else:
+            for key, value in instrument.values.items():
+                total += value
+                if dict(key).get("status") in GOOD_STATUSES:
+                    good += value
+    bad = max(0.0, total - good)
+    allowed = (1.0 - slo.objective) * total
+    if total <= 0:
+        burn_rate = 0.0
+    elif allowed > 0:
+        burn_rate = bad / allowed
+    else:
+        burn_rate = 0.0 if bad == 0 else float("inf")
+    budget_remaining = 1.0 - burn_rate
+    return {
+        "name": slo.name,
+        "kind": slo.kind,
+        "objective": slo.objective,
+        "target_seconds": slo.target_seconds,
+        "window": slo.window,
+        "total": total,
+        "good": good,
+        "bad": bad,
+        "good_fraction": (good / total) if total > 0 else 1.0,
+        "burn_rate": burn_rate,
+        "budget_remaining": budget_remaining,
+        "ok": burn_rate <= 1.0,
+    }
+
+
+def evaluate_slos(registry: MetricsRegistry, slos=DEFAULT_SLOS) -> list[dict]:
+    """Every objective's status, in declaration order."""
+    return [evaluate_slo(slo, registry) for slo in slos]
+
+
+def record_slo_gauges(registry: MetricsRegistry, statuses) -> None:
+    """Expose evaluated statuses as ``repro_slo_*`` gauges (labelled by
+    objective name) so ``/metrics`` scrapes carry the budget arithmetic."""
+    burn = registry.gauge(
+        f"{PREFIX}_slo_burn_rate",
+        "error-budget burn rate per objective (1.0 = budget exactly spent)",
+    )
+    remaining = registry.gauge(
+        f"{PREFIX}_slo_budget_remaining",
+        "error budget remaining per objective (negative = violated)",
+    )
+    fraction = registry.gauge(
+        f"{PREFIX}_slo_good_fraction", "observed good fraction per objective"
+    )
+    for status in statuses:
+        burn.set(status["burn_rate"], slo=status["name"])
+        remaining.set(status["budget_remaining"], slo=status["name"])
+        fraction.set(status["good_fraction"], slo=status["name"])
+
+
+def format_slo_report(statuses, title: str = "-- slo --") -> str:
+    """One aligned line per objective for text reports."""
+    lines = [title] if title else []
+    for s in statuses:
+        target = (
+            f" <= {s['target_seconds'] * 1e3:g}ms" if s["target_seconds"] else ""
+        )
+        lines.append(
+            f"  {s['name']:>16} [{s['kind']}{target}] "
+            f"good {s['good_fraction']:.4f} (objective {s['objective']:g})  "
+            f"burn {s['burn_rate']:.3f}  budget {s['budget_remaining']:+.3f}  "
+            f"{'ok' if s['ok'] else 'VIOLATED'}"
+        )
+    return "\n".join(lines)

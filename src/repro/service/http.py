@@ -7,8 +7,12 @@ Endpoints:
   service status: 200 for ``ok``/``degraded``, 400 for ``rejected``,
   404/409 mapped from the error code, 429 with a ``Retry-After`` header
   for ``shed``, 500 otherwise.
-- ``GET /metrics`` — Prometheus text exposition.
-- ``GET /healthz`` — liveness (always 200 while the loop runs).
+- ``GET /metrics`` — Prometheus text exposition (SLO budget and trace-
+  health gauges refreshed at scrape time).
+- ``GET /healthz`` — structured readiness: the service's ``health()``
+  JSON (per-index breaker state, admission pressure, SLO error budgets,
+  event-log stats); 200 when ``ok``, 503 when a breaker is open or an
+  objective's budget is spent.
 
 The service object is single-threaded by design (one simulated device);
 a lock serialises handler access so ``ThreadingHTTPServer``'s per-
@@ -45,10 +49,17 @@ def make_handler(service: ClusteringService, lock: threading.Lock):
         def do_GET(self):
             if self.path == "/metrics":
                 with lock:
+                    service._refresh_gauges()
                     text = service.metrics.to_prometheus()
                 self._send(200, text, "text/plain; version=0.0.4")
             elif self.path == "/healthz":
-                self._send(200, '{"ok":true}', "application/json")
+                with lock:
+                    health = service.health()
+                self._send(
+                    200 if health["ok"] else 503,
+                    json.dumps(health, separators=(",", ":")),
+                    "application/json",
+                )
             else:
                 self._send(404, '{"error":"not found"}', "application/json")
 

@@ -47,7 +47,10 @@ from repro.faults import (
     call_with_retries,
 )
 from repro.obs import NULL_TRACER, MetricsRegistry
+from repro.obs.metrics import record_trace_health
+from repro.obs.slo import DEFAULT_SLOS, evaluate_slos, record_slo_gauges
 from repro.service.admission import AdmissionController
+from repro.service.events import DEFAULT_EVENT_MAXLEN, EventLog
 from repro.service.breaker import CircuitBreaker
 from repro.service.degrade import DegradationLadder
 from repro.service.journal import Journal, JournalCorruptError
@@ -88,6 +91,19 @@ class ServiceConfig:
         }
     )
     cost_floor: float = 1e-3
+    #: Optional fitted cost model (:class:`repro.obs.fit.FittedCostModel`,
+    #: loaded from a ``COSTMODEL.json``).  When set, admission prices a
+    #: request from the model's fitted per-point work rates instead of the
+    #: hand-set ``cost_per_point`` seconds — the constants above then only
+    #: provide each op's *relative* weight against ``cluster``, and remain
+    #: the full fallback when the model carries no per-point rates.
+    cost_model: object | None = None
+    #: Service-level objectives evaluated over the metrics registry and
+    #: reported by ``/healthz``, ``/metrics`` gauges and traffic reports.
+    slos: tuple = DEFAULT_SLOS
+    #: Bound on the per-request structured event ring (and the JSONL
+    #: event file's line cap; see :mod:`repro.service.events`).
+    event_log_maxlen: int = DEFAULT_EVENT_MAXLEN
 
 
 class ClusteringService:
@@ -121,6 +137,7 @@ class ClusteringService:
         retry_policy: RetryPolicy | None = None,
         tracer=None,
         metrics: MetricsRegistry | None = None,
+        event_log: EventLog | None = None,
     ):
         self.config = config or ServiceConfig()
         self.clock = clock if clock is not None else SimClock()
@@ -130,6 +147,13 @@ class ClusteringService:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics or MetricsRegistry()
         cfg = self.config
+        self.events = event_log if event_log is not None else EventLog(
+            maxlen=cfg.event_log_maxlen
+        )
+        #: Per-request scratch the dispatch path fills (predicted cost,
+        #: chosen rung, admission pressure) so ``handle`` can join them
+        #: into the structured event record.  Reset at each request.
+        self._req_obs: dict = {}
         self.admission = AdmissionController(
             self.clock, max_backlog=cfg.max_backlog, max_queue=cfg.max_queue
         )
@@ -248,6 +272,15 @@ class ClusteringService:
             n = index.n_live if index is not None else 0
             if req.points is not None:
                 n = max(n, req.points.shape[0])
+        model = self.config.cost_model
+        if model is not None:
+            # Fitted per-point work rates price a `cluster` of n points;
+            # the hand-set constants only scale the other ops relative
+            # to it.  A pure function of (op, n) — determinism holds.
+            base = self.config.cost_per_point.get("cluster") or per_point
+            est = model.cost_for_points(n, scale=per_point / base)
+            if est is not None:
+                return max(self.config.cost_floor, est)
         return max(self.config.cost_floor, per_point * n)
 
     def _journal_mutation(self, req: Request, extra: dict) -> None:
@@ -271,6 +304,7 @@ class ClusteringService:
         """
         self.seq += 1
         seq = self.seq
+        self._req_obs = {}
         if arrival is not None and arrival > self.clock.now():
             # SimClock only moves via sleep(); wall clocks ignore this.
             sleep = getattr(self.clock, "sleep", None)
@@ -317,11 +351,32 @@ class ClusteringService:
             "backlog": self.admission.backlog(),
         }
         self.ledger.append(row)
-        self.tracer.add_span(
+        span = self.tracer.add_span(
             f"request:{op}", "service", t_wall, wall,
             attributes={k: v for k, v in row.items() if v is not None},
             status="ok" if status in ("ok", "degraded") else status,
         )
+        obs = self._req_obs
+        index_name = req.index if req is not None else None
+        index = self.indexes.get(index_name) if index_name else None
+        self.events.append({
+            "seq": seq,
+            "id": req_id,
+            "op": op,
+            "index": index_name,
+            "index_generation": index.generation if index is not None else None,
+            "status": status,
+            "mode": response.get("mode"),
+            "error_code": row["error_code"],
+            "predicted_cost": obs.get("predicted_cost"),
+            "observed_wall": wall,
+            "rung": obs.get("rung"),
+            "backlog": row["backlog"],
+            "pressure": obs.get("pressure"),
+            "retry_after": response.get("retry_after"),
+            "trace_id": span.trace_id if span is not None else None,
+            "span_id": span.span_id if span is not None else None,
+        })
         return response
 
     def _dispatch(self, req: Request, req_id, seq: int) -> tuple[dict, str | None]:
@@ -332,6 +387,7 @@ class ClusteringService:
         if op == "stats":
             return make_response(req_id, "ok", result=self._stats()), None
         if op == "metrics":
+            self._refresh_gauges()
             return make_response(
                 req_id, "ok", result={"prometheus": self.metrics.to_prometheus()}
             ), None
@@ -366,13 +422,20 @@ class ClusteringService:
             ), "breaker_open"
 
         # -- admission ---------------------------------------------------------
-        decision = self.admission.offer(self._cost(req))
+        predicted = self._cost(req)
+        decision = self.admission.offer(predicted)
+        self._req_obs.update(
+            predicted_cost=predicted,
+            pressure=decision.pressure,
+            admitted=decision.admitted,
+        )
         if not decision.admitted:
             self._m_shed.inc(reason="backpressure")
             return make_response(
                 req_id, "shed", retry_after=decision.retry_after, mode="backpressure"
             ), "backpressure"
         rung = self.ladder.rung(decision.pressure)
+        self._req_obs["rung"] = rung
         if rung == "shed" and op in ("cluster", "knn", "count"):
             self._m_shed.inc(reason="ladder")
             return make_response(
@@ -539,7 +602,56 @@ class ClusteringService:
 
     # -- reporting -------------------------------------------------------------
 
+    def _refresh_gauges(self) -> None:
+        """Re-derive the exposition-time gauges (SLO budgets, trace-drop
+        health, event-ring evictions) from current state — called before
+        every ``/metrics`` scrape and ``health()`` evaluation."""
+        record_slo_gauges(self.metrics, evaluate_slos(self.metrics, self.config.slos))
+        record_trace_health(self.metrics, tracer=self.tracer, devices=(self.device,))
+        self.metrics.gauge(
+            "repro_service_events_dropped",
+            "structured events evicted from the bounded ring",
+        ).set(self.events.dropped)
+
+    def slo_status(self) -> list[dict]:
+        """Every configured objective's error-budget status."""
+        return evaluate_slos(self.metrics, self.config.slos)
+
+    def health(self) -> dict:
+        """Structured health: ``ok`` iff no breaker is open and every SLO
+        is within budget.  The ``/healthz`` endpoint serialises this
+        verbatim (HTTP 200 when ok, 503 otherwise)."""
+        self._refresh_gauges()
+        slos = self.slo_status()
+        breakers = {
+            name: {"state": b.state, "trips": b.trips}
+            for name, b in self.breakers.items()
+        }
+        model = self.config.cost_model
+        ok = all(s["ok"] for s in slos) and all(
+            b["state"] != "open" for b in breakers.values()
+        )
+        return {
+            "ok": ok,
+            "indexes": {
+                name: {"generation": si.generation, "n_live": si.n_live}
+                for name, si in self.indexes.items()
+            },
+            "breakers": breakers,
+            "admission": {
+                "backlog": self.admission.backlog(),
+                "pressure": self.admission.pressure(),
+                "queue_depth": self.admission.queue_depth(),
+            },
+            "slos": slos,
+            "events": self.events.stats(),
+            "cost_model": (
+                getattr(model, "source_fingerprint", None) if model is not None else None
+            ),
+        }
+
     def _stats(self) -> dict:
+        model = self.config.cost_model
         return {
             "seq": self.seq,
             "indexes": {name: si.stats() for name, si in self.indexes.items()},
@@ -555,6 +667,10 @@ class ClusteringService:
             "journal_entries": len(self.journal),
             "replayed_entries": self.replayed_entries,
             "requests_handled": len(self.ledger),
+            "events": self.events.stats(),
+            "cost_model": (
+                getattr(model, "source_fingerprint", None) if model is not None else None
+            ),
         }
 
     def verify_metrics_ledger(self) -> dict:

@@ -28,8 +28,11 @@ so a rerun replays byte-identically: the report's percentiles move, the
 status counts do not.
 
 The report (:func:`save_traffic_report`) carries p50/p95/p99 wall
-latency, counts by status / op / shed-reason, restart count, and the
-metrics-vs-ledger equality proof.
+latency (estimated from the service's own fixed-bucket histogram via
+:meth:`~repro.obs.metrics.Histogram.quantile` — the same instrument a
+Prometheus scrape would see), counts by status / op / shed-reason,
+restart count, the SLO error-budget statuses, and the metrics-vs-ledger
+equality proof.
 """
 
 from __future__ import annotations
@@ -39,6 +42,9 @@ import json
 import numpy as np
 
 from repro.faults import FaultPlan
+from repro.obs import Tracer
+from repro.obs.slo import evaluate_slos
+from repro.service.events import EventLog
 from repro.service.service import ClusteringService, ServiceConfig
 
 #: Default op mix (op, weight) for generated request streams.
@@ -50,12 +56,6 @@ DEFAULT_MIX = (
     ("delete", 0.05),
     ("stats", 0.05),
 )
-
-
-def _percentile(values: list[float], q: float) -> float:
-    if not values:
-        return 0.0
-    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
 
 
 def generate_points(rng: np.random.Generator, n: int, dim: int = 2) -> list:
@@ -78,6 +78,7 @@ def run_traffic(
     mean_gap_s: float = 0.012,
     service: ClusteringService | None = None,
     tracer=None,
+    event_log_path: str | None = None,
 ) -> dict:
     """Drive a service with ``n_requests`` seeded requests; return a report.
 
@@ -85,13 +86,26 @@ def run_traffic(
     schedules a ``service_crash``, the service is torn down and rebuilt
     from ``journal_path`` mid-run (the pre/post fingerprints of every
     index are recorded in the report for the bit-equality assertion).
+
+    A real :class:`~repro.obs.Tracer` is installed by default so every
+    structured event (and therefore every shed / deadline miss in the
+    report) carries a ``trace_id``/``span_id`` exemplar; pass an
+    explicit tracer to share one across runs.  ``event_log_path``
+    write-throughs the bounded event ring to JSONL (survives the
+    simulated crash — the restarted service keeps appending).
     """
     rng = np.random.default_rng([int(seed), 0x7AF1C])
     cfg = config or ServiceConfig()
+    if tracer is None:
+        tracer = Tracer()
     if service is None:
+        event_log = EventLog(path=event_log_path, maxlen=cfg.event_log_maxlen)
         service = ClusteringService(
-            journal_path=journal_path, config=cfg, fault_plan=plan, tracer=tracer
+            journal_path=journal_path, config=cfg, fault_plan=plan, tracer=tracer,
+            event_log=event_log,
         )
+    else:
+        event_log = service.events
     ops, weights = zip(*mix)
     weights = np.asarray(weights, dtype=np.float64)
     weights = weights / weights.sum()
@@ -184,8 +198,11 @@ def run_traffic(
                 n: si.fingerprint() for n, si in sorted(service.indexes.items())
             }
             # Crash: no shutdown, no journal close — just a new process.
+            # The event ring dies with it; the JSONL file (if any) keeps
+            # the pre-crash records and the new service appends after.
             service = ClusteringService(
-                journal_path=journal_path, config=cfg, fault_plan=plan, tracer=tracer
+                journal_path=journal_path, config=cfg, fault_plan=plan, tracer=tracer,
+                event_log=EventLog(path=event_log_path, maxlen=cfg.event_log_maxlen),
             )
             after = {
                 n: si.fingerprint() for n, si in sorted(service.indexes.items())
@@ -208,6 +225,11 @@ def run_traffic(
 def build_report(service, records, restarts, faults_applied, seed) -> dict:
     """Aggregate a finished run into the latency/status report."""
     lat_ms = [row["wall_seconds"] * 1e3 for row in service.ledger]
+    # Percentiles come from the service's own latency histogram — the
+    # same fixed-bucket estimate a dashboard's histogram_quantile() would
+    # show — not a privileged exact-sample computation.
+    hist = service.metrics.get("repro_service_request_seconds")
+    service._refresh_gauges()
     by_status: dict[str, int] = {}
     by_op: dict[str, dict] = {}
     shed_reasons: dict[str, int] = {}
@@ -230,11 +252,13 @@ def build_report(service, records, restarts, faults_applied, seed) -> dict:
         "requests": len(service.ledger),
         "requests_sent": len(records),
         "latency_ms": {
-            "p50": _percentile(lat_ms, 50),
-            "p95": _percentile(lat_ms, 95),
-            "p99": _percentile(lat_ms, 99),
+            "p50": hist.quantile(0.50) * 1e3,
+            "p95": hist.quantile(0.95) * 1e3,
+            "p99": hist.quantile(0.99) * 1e3,
             "max": max(lat_ms) if lat_ms else 0.0,
         },
+        "slo": evaluate_slos(service.metrics, service.config.slos),
+        "events": service.events.stats(),
         "by_status": by_status,
         "by_op": by_op,
         "shed_reasons": shed_reasons,

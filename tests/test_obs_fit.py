@@ -1,0 +1,607 @@
+"""Tests for the fitted cost model (repro.obs.fit), SLO tracking
+(repro.obs.slo), histogram quantile estimation, the bounded event log,
+and their integration into the service's admission control and the
+bench smoke gate."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import RunRecord
+from repro.bench.history import load_records, save_records
+from repro.bench.report import merge_kernel_profiles
+from repro.obs import MetricsRegistry
+from repro.obs.fit import (
+    FIT_FEATURES,
+    FittedCostModel,
+    fit_cost_model,
+    fit_from_history,
+    fit_from_records,
+    fit_rows,
+    rows_fingerprint,
+    validate_costmodel,
+)
+from repro.obs.slo import (
+    SLO,
+    evaluate_slo,
+    evaluate_slos,
+    format_slo_report,
+    record_slo_gauges,
+)
+from repro.service.events import EventLog, load_events
+
+
+def _profile(kernel, seconds, launches=1, **counters):
+    """One Device.profile()-shaped source with a single kernel."""
+    return {
+        kernel: {
+            "seconds": float(seconds),
+            "launches": int(launches),
+            "replayed": 0,
+            "threads": 0,
+            "steps": 0,
+            "counters": {k: int(v) for k, v in counters.items()},
+        }
+    }
+
+
+def _linear_sources(rate=2e-7, n_sources=6):
+    """Sources where seconds is exactly rate * distance_evals."""
+    return [
+        _profile("k", rate * evals, launches=1, distance_evals=evals)
+        for evals in (1_000 * (i + 1) for i in range(n_sources))
+    ]
+
+
+class TestFitRows:
+    def test_flattens_sources_with_features(self):
+        rows = fit_rows(_linear_sources(n_sources=3))
+        assert len(rows) == 3
+        for row in rows:
+            assert row["kernel"] == "k"
+            assert set(FIT_FEATURES) <= set(row)
+            assert row["launches"] == 1.0
+
+    def test_fingerprint_is_order_independent(self):
+        sources = _linear_sources(n_sources=4)
+        a = rows_fingerprint(fit_rows(sources))
+        b = rows_fingerprint(fit_rows(list(reversed(sources))))
+        assert a == b
+
+    def test_fingerprint_changes_with_content(self):
+        a = rows_fingerprint(fit_rows(_linear_sources(rate=2e-7)))
+        b = rows_fingerprint(fit_rows(_linear_sources(rate=3e-7)))
+        assert a != b
+
+
+class TestFitModel:
+    def test_recovers_synthetic_coefficient(self):
+        model = fit_cost_model(_linear_sources(rate=2e-7))
+        entry = model.kernels["k"]
+        assert entry["coef"]["distance_evals"] == pytest.approx(2e-7, rel=1e-6)
+        assert entry["r2"] == pytest.approx(1.0, abs=1e-9)
+
+    def test_coefficients_are_nonnegative(self):
+        # Craft rows that would drive a plain lstsq coefficient negative:
+        # seconds tracks distance_evals while nodes_visited anti-correlates.
+        sources = []
+        for i in range(1, 7):
+            sources.append(
+                _profile(
+                    "k", 1e-6 * i * 1000, launches=1,
+                    distance_evals=i * 1000, nodes_visited=(7 - i) * 1000,
+                )
+            )
+        model = fit_cost_model(sources)
+        for name, value in model.kernels["k"]["coef"].items():
+            assert value >= 0.0, name
+        assert model.kernels["k"]["per_launch"] >= 0.0
+
+    def test_zero_wall_kernel_is_unfitted(self):
+        sources = _linear_sources() + [
+            _profile("freebie", 0.0, launches=3, distance_evals=500)
+        ]
+        model = fit_cost_model(sources)
+        assert "freebie" in model.unfitted
+        assert "freebie" not in model.kernels
+
+    def test_degenerate_counters_fall_back_to_per_launch(self):
+        # seconds > 0 but every regressor column is zero except launches.
+        sources = [_profile("k", 0.01 * i, launches=i) for i in (1, 2, 3)]
+        model = fit_cost_model(sources)
+        entry = model.kernels["k"]
+        assert entry["per_launch"] == pytest.approx(0.01, rel=1e-9)
+        assert all(v == 0.0 for v in entry["coef"].values())
+
+    def test_calibration_makes_self_drift_exact(self):
+        sources = _linear_sources() + [
+            _profile("noisy", 0.05, launches=2, nodes_visited=900),
+            _profile("noisy", 0.02, launches=1, nodes_visited=100),
+        ]
+        model = fit_cost_model(sources)
+        merged = {}
+        for src in sources:
+            for name, entry in src.items():
+                agg = merged.setdefault(
+                    name,
+                    {"seconds": 0.0, "launches": 0, "replayed": 0, "counters": {}},
+                )
+                agg["seconds"] += entry["seconds"]
+                agg["launches"] += entry["launches"]
+                for k, v in entry["counters"].items():
+                    agg["counters"][k] = agg["counters"].get(k, 0) + v
+        drift = model.drift(merged)
+        assert drift["alarms"] == []
+        for row in drift["checked"]:
+            assert row["ratio"] == pytest.approx(1.0, rel=1e-9)
+
+    def test_fit_is_byte_deterministic(self):
+        sources = _linear_sources() + [
+            _profile("other", 0.03, launches=4, scatter_adds=7_000)
+        ]
+        a = fit_cost_model(sources).to_json()
+        b = fit_cost_model(sources).to_json()
+        assert a == b
+
+    def test_save_load_validate_roundtrip(self, tmp_path):
+        model = fit_cost_model(_linear_sources())
+        path = tmp_path / "costmodel.json"
+        model.save(str(path))
+        loaded = FittedCostModel.load(str(path))
+        assert loaded.to_json() == model.to_json()
+        validate_costmodel(json.loads(path.read_text()))
+
+    def test_validate_rejects_bad_payloads(self, tmp_path):
+        payload = json.loads(fit_cost_model(_linear_sources()).to_json())
+        broken = json.loads(json.dumps(payload))
+        broken["kernels"]["k"]["coef"]["distance_evals"] = -1.0
+        with pytest.raises(ValueError):
+            validate_costmodel(broken)
+        wrong_version = json.loads(json.dumps(payload))
+        wrong_version["version"] = 999
+        with pytest.raises(ValueError):
+            validate_costmodel(wrong_version)
+        with pytest.raises(ValueError):
+            validate_costmodel({"not": "a model"})
+
+    def test_drift_flags_slowdown_and_reports_unseen_kernels(self):
+        model = fit_cost_model(_linear_sources(rate=2e-7))
+        profile = {
+            # observed 2x the fitted rate: past the default 0.5 tolerance
+            "k": {
+                "seconds": 2 * 2e-7 * 5000, "launches": 1,
+                "counters": {"distance_evals": 5000},
+            },
+            # a kernel the fit never saw: surfaced, not alarmed
+            "brand_new": {"seconds": 0.01, "launches": 1, "counters": {}},
+            # zero wall: skipped entirely
+            "idle": {"seconds": 0.0, "launches": 1, "counters": {}},
+        }
+        drift = model.drift(profile)
+        assert [row["kernel"] for row in drift["alarms"]] == ["k"]
+        assert drift["alarms"][0]["ratio"] == pytest.approx(2.0, rel=1e-6)
+        assert drift["unfitted"] == ["brand_new"]
+        assert all(row["kernel"] != "idle" for row in drift["checked"])
+
+    def test_predict_falls_back_to_combined_for_unseen_kernel(self):
+        model = fit_cost_model(_linear_sources(rate=2e-7))
+        unseen = model.predict(
+            {"distance_evals": 1000}, kernel="never_fitted", launches=1
+        )
+        combined = model.predict({"distance_evals": 1000}, kernel=None, launches=1)
+        assert unseen == combined > 0.0
+
+    def test_cost_for_points_requires_per_point_rates(self):
+        bare = fit_cost_model(_linear_sources())
+        assert bare.cost_for_points(1000) is None
+        with_rates = fit_cost_model(
+            _linear_sources(), per_point={"distance_evals": 50.0, "launches": 0.01}
+        )
+        small = with_rates.cost_for_points(100)
+        large = with_rates.cost_for_points(1000)
+        assert small is not None and large is not None
+        assert large > small > 0.0
+        assert with_rates.cost_for_points(100, scale=2.0) == pytest.approx(
+            2.0 * small, rel=1e-9
+        )
+
+
+class TestFitFromRecords:
+    def _records(self):
+        recs = []
+        for i, status in enumerate(("ok", "ok", "error", "ok")):
+            rec = RunRecord(
+                algorithm="fdbscan", dataset="t", n=200, eps=0.01, min_samples=5,
+                seconds=0.01 * (i + 1), status=status,
+            )
+            rec.kernels = _profile(
+                "k", 0.01 * (i + 1), launches=2, distance_evals=(i + 1) * 10_000
+            )
+            recs.append(rec)
+        return recs
+
+    def test_only_ok_cells_feed_the_fit(self):
+        recs = self._records()
+        model = fit_from_records(recs)
+        assert model.kernels["k"]["rows"] == 3  # the error cell is excluded
+
+    def test_per_point_rates_derive_from_pooled_totals(self):
+        recs = self._records()
+        model = fit_from_records(recs)
+        ok_evals = sum(
+            r.kernels["k"]["counters"]["distance_evals"]
+            for r in recs if r.status == "ok"
+        )
+        ok_n = sum(r.n for r in recs if r.status == "ok")
+        assert model.per_point["distance_evals"] == pytest.approx(ok_evals / ok_n)
+        assert model.cost_for_points(200) is not None
+
+    def test_fit_from_history_roundtrip(self, tmp_path):
+        recs = self._records()
+        path = tmp_path / "hist.json"
+        save_records(str(path), recs, meta={"argv": ["bench"]})
+        model = fit_from_history(str(path))
+        direct = fit_from_records(load_records(str(path))[0])
+        assert model.to_json() == direct.to_json()
+
+
+class TestFitCLI:
+    def test_fit_validate_drift_commands(self, tmp_path, capsys):
+        from repro.obs.fit import main
+
+        recs = TestFitFromRecords()._records()
+        hist = tmp_path / "hist.json"
+        out = tmp_path / "cm.json"
+        save_records(str(hist), recs, meta={"argv": ["bench"]})
+        assert main(["fit", str(hist), "-o", str(out)]) == 0
+        assert out.exists()
+        assert main(["validate", str(out)]) == 0
+        # Fresh artifact vs its own history: calibration-exact, no drift.
+        assert main(["drift", str(out), str(hist)]) == 0
+        text = capsys.readouterr().out
+        assert "no drift" in text
+
+
+class TestHistogramQuantile:
+    def _hist(self, buckets=(1.0, 2.0, 4.0)):
+        reg = MetricsRegistry()
+        return reg.histogram("h", "test", buckets=buckets)
+
+    def test_quantile_interpolates_within_bucket(self):
+        h = self._hist()
+        for _ in range(10):
+            h.observe(1.5)  # all ten land in the (1, 2] bucket
+        # rank 5 of 10 -> half-way through the bucket: 1 + 0.5 * (2 - 1)
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        assert h.quantile(1.0) == pytest.approx(2.0)
+
+    def test_quantile_first_bucket_lower_bound_is_zero(self):
+        h = self._hist()
+        for _ in range(4):
+            h.observe(0.5)
+        assert h.quantile(0.5) == pytest.approx(0.5)  # 0 + (2/4) * 1.0
+
+    def test_quantile_inf_bucket_clamps_to_last_finite_bound(self):
+        h = self._hist()
+        h.observe(100.0)
+        assert h.quantile(0.99) == pytest.approx(4.0)
+
+    def test_quantile_empty_and_validation(self):
+        h = self._hist()
+        assert h.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_quantile_merges_label_sets(self):
+        h = self._hist()
+        for _ in range(9):
+            h.observe(0.5, op="a")
+        h.observe(3.0, op="b")
+        assert h.quantile(0.5) < 1.0  # merged: dominated by the fast op
+        assert h.quantile(0.5, labels={"op": "b"}) > 2.0
+
+    def test_count_le_full_partial_and_inf(self):
+        h = self._hist()
+        for v in (0.5, 0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        # full first bucket (2) + half of (1,2] (1 obs * 0.5) at value 1.5
+        assert h.count_le(1.5) == pytest.approx(2 + 0.5)
+        # everything except the +Inf observation at the last finite bound
+        assert h.count_le(4.0) == pytest.approx(4.0)
+        # +Inf observations never count, however large the probe
+        assert h.count_le(1e9) == pytest.approx(4.0)
+
+
+class TestSLO:
+    def test_slo_validation(self):
+        with pytest.raises(ValueError):
+            SLO("x", "latency", objective=0.99)  # no target_seconds
+        with pytest.raises(ValueError):
+            SLO("x", "availability", objective=1.5)
+        with pytest.raises(ValueError):
+            SLO("x", "nonsense", objective=0.9)
+
+    def test_availability_burn_rate_math(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_service_requests_total", "t")
+        for _ in range(96):
+            c.inc(op="cluster", status="ok")
+        c.inc(op="cluster", status="shed")  # deliberate refusal: good
+        c.inc(op="cluster", status="rejected")  # typed refusal: good
+        for _ in range(2):
+            c.inc(op="cluster", status="error")  # bad
+        slo = SLO("avail", "availability", objective=0.99,
+                  metric="repro_service_requests_total")
+        status = evaluate_slo(slo, reg)
+        assert status["total"] == 100
+        assert status["bad"] == 2
+        # allowed = 1% of 100 = 1 bad; observed 2 -> burn rate 2.0
+        assert status["burn_rate"] == pytest.approx(2.0)
+        assert status["budget_remaining"] == pytest.approx(-1.0)
+        assert not status["ok"]
+
+    def test_latency_slo_uses_histogram_count_le(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_service_request_seconds", "t",
+                          buckets=(0.1, 0.25, 1.0))
+        for _ in range(99):
+            h.observe(0.05, op="cluster")
+        h.observe(0.9, op="cluster")
+        slo = SLO("lat", "latency", objective=0.9, target_seconds=0.25,
+                  metric="repro_service_request_seconds")
+        status = evaluate_slo(slo, reg)
+        assert status["total"] == 100
+        assert status["good"] == pytest.approx(99.0)
+        assert status["ok"]
+
+    def test_empty_registry_is_ok_with_zero_burn(self):
+        statuses = evaluate_slos(MetricsRegistry())
+        assert all(s["ok"] and s["burn_rate"] == 0.0 for s in statuses)
+
+    def test_gauges_and_report_text(self):
+        reg = MetricsRegistry()
+        statuses = evaluate_slos(reg)
+        record_slo_gauges(reg, statuses)
+        text = reg.to_prometheus()
+        assert "repro_slo_burn_rate" in text
+        assert "repro_slo_budget_remaining" in text
+        report = format_slo_report(statuses)
+        assert "request_latency" in report and "availability" in report
+
+
+class TestEventLog:
+    def test_ring_bound_and_dropped(self):
+        log = EventLog(maxlen=4)
+        for i in range(10):
+            log.append({"seq": i})
+        assert len(log) == 4
+        assert log.dropped == 6
+        assert [e["seq"] for e in log.snapshot()] == [6, 7, 8, 9]
+        stats = log.stats()
+        assert stats["appended"] == 10 and stats["retained"] == 4
+
+    def test_jsonl_write_through_and_compaction(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=str(path), maxlen=4)
+        for i in range(10):
+            log.append({"seq": i})
+        lines = load_events(str(path))
+        # the file is compacted whenever it would exceed maxlen lines
+        assert len(lines) <= 2 * 4
+        assert lines[-1] == {"seq": 9}
+
+    def test_reattach_keeps_appending(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=str(path), maxlen=100)
+        log.append({"seq": 0})
+        # a "restarted" process re-opens the same file and appends
+        log2 = EventLog(path=str(path), maxlen=100)
+        log2.append({"seq": 1})
+        assert [e["seq"] for e in load_events(str(path))] == [0, 1]
+
+    def test_maxlen_validation(self):
+        with pytest.raises(ValueError):
+            EventLog(maxlen=0)
+
+
+class TestServiceIntegration:
+    def _traffic(self, tmp_path, tag, cost_model=None, n=60):
+        from repro.service.service import ServiceConfig
+        from repro.service.traffic import run_traffic
+
+        cfg = ServiceConfig(cost_model=cost_model)
+        return run_traffic(
+            n_requests=n, seed=7, config=cfg, n_indexes=1, index_points=150,
+            event_log_path=str(tmp_path / f"events-{tag}.jsonl"),
+        )
+
+    def _model(self):
+        return fit_cost_model(
+            _linear_sources(),
+            per_point={"distance_evals": 120.0, "launches": 0.02},
+        )
+
+    def test_fitted_admission_is_deterministic(self, tmp_path):
+        model = self._model()
+        r1 = self._traffic(tmp_path, "a", cost_model=model)
+        r2 = self._traffic(tmp_path, "b", cost_model=model)
+        assert r1["by_status"] == r2["by_status"]
+        keys = ("seq", "op", "status", "mode", "predicted_cost", "rung",
+                "backlog", "pressure")
+        e1 = r1["service"].events.snapshot()
+        e2 = r2["service"].events.snapshot()
+        assert [{k: e[k] for k in keys} for e in e1] == [
+            {k: e[k] for k in keys} for e in e2
+        ]
+
+    def test_fitted_model_prices_admission(self, tmp_path):
+        model = self._model()
+        report = self._traffic(tmp_path, "priced", cost_model=model)
+        service = report["service"]
+        clustered = [
+            e for e in service.events.snapshot()
+            if e["op"] == "cluster" and e["predicted_cost"] is not None
+        ]
+        assert clustered
+        n = service.indexes["idx0"].n_live
+        expected = model.cost_for_points(n)
+        assert clustered[-1]["predicted_cost"] == pytest.approx(
+            max(service.config.cost_floor, expected), rel=1e-6
+        )
+
+    def test_every_request_gets_an_event_with_trace_exemplar(self, tmp_path):
+        report = self._traffic(tmp_path, "events")
+        service = report["service"]
+        events = service.events.snapshot()
+        assert len(events) == len(service.ledger) == service.events.appended_total
+        # run_traffic installs a real tracer by default: every shed or
+        # deadline-missed request joins to its trace
+        problem = [
+            e for e in events
+            if e["status"] == "shed" or e["error_code"] == "deadline_exceeded"
+        ]
+        for event in problem:
+            assert event["trace_id"] and event["span_id"]
+        # and the JSONL file carries the same records
+        on_disk = load_events(str(tmp_path / "events-events.jsonl"))
+        assert len(on_disk) >= len(events) - service.events.dropped
+
+    def test_report_has_slo_section_and_histogram_percentiles(self, tmp_path):
+        report = self._traffic(tmp_path, "slo")
+        assert {"p50", "p95", "p99", "max"} <= set(report["latency_ms"])
+        names = [s["name"] for s in report["slo"]]
+        assert "request_latency" in names and "availability" in names
+        hist = report["service"].metrics.get("repro_service_request_seconds")
+        assert report["latency_ms"]["p95"] == pytest.approx(
+            hist.quantile(0.95) * 1e3
+        )
+
+    def test_health_reports_breakers_admission_slos(self, tmp_path):
+        report = self._traffic(tmp_path, "health")
+        health = report["service"].health()
+        assert set(health) == {
+            "ok", "indexes", "breakers", "admission", "slos", "events",
+            "cost_model",
+        }
+        assert {"backlog", "pressure", "queue_depth"} <= set(health["admission"])
+        assert health["indexes"]["idx0"]["n_live"] > 0
+        assert isinstance(health["ok"], bool)
+
+    def test_healthz_endpoint_serves_structured_json(self):
+        import threading
+        import urllib.request
+
+        from repro.service.http import start_http
+        from repro.service.service import ClusteringService
+
+        service = ClusteringService()
+        server = start_http(service)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz"
+            ) as resp:
+                payload = json.load(resp)
+                assert resp.status == 200
+            assert payload["ok"] is True
+            assert "slos" in payload and "admission" in payload
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_trace_dropped_roundtrips_through_history(self, tmp_path):
+        rec = RunRecord(
+            algorithm="fdbscan", dataset="t", n=10, eps=0.1, min_samples=5,
+            seconds=0.1, trace_dropped=17,
+        )
+        path = tmp_path / "hist.json"
+        save_records(str(path), [rec], meta={})
+        loaded, _ = load_records(str(path))
+        assert loaded[0].trace_dropped == 17
+
+
+class TestSmokeCostmodelGate:
+    def _baseline(self):
+        return TestFitFromRecords()._records()
+
+    def test_fresh_artifact_passes(self, tmp_path):
+        from repro.bench.smoke import costmodel_alarms
+
+        baseline = self._baseline()
+        path = tmp_path / "COSTMODEL.json"
+        fit_from_records(baseline).save(str(path))
+        assert costmodel_alarms(baseline, baseline, str(path)) == []
+
+    def test_stale_artifact_is_flagged(self, tmp_path):
+        from repro.bench.smoke import costmodel_alarms
+
+        baseline = self._baseline()
+        path = tmp_path / "COSTMODEL.json"
+        fit_from_records(baseline[:-1]).save(str(path))  # fitted from less
+        alarms = costmodel_alarms(baseline, baseline, str(path))
+        assert any("stale artifact" in a for a in alarms)
+
+    def test_drifted_baseline_is_flagged(self, tmp_path):
+        from repro.bench.smoke import costmodel_alarms
+
+        baseline = self._baseline()
+        path = tmp_path / "COSTMODEL.json"
+        model = fit_from_records(baseline)
+        # sabotage the fitted rate far past tolerance, keep the fingerprint
+        for entry in model.kernels.values():
+            entry["coef"] = {k: v * 10 for k, v in entry["coef"].items()}
+            entry["per_launch"] *= 10
+        model.save(str(path))
+        alarms = costmodel_alarms(baseline, baseline, str(path))
+        assert any("baseline drift" in a for a in alarms)
+
+    def test_committed_artifact_matches_committed_baseline(self):
+        # The repo-level invariant CI enforces: COSTMODEL.json must be a
+        # fresh, drift-free fit of BENCH_sweep.json.
+        import os
+
+        from repro.bench.smoke import costmodel_alarms
+
+        if not (os.path.exists("COSTMODEL.json") and os.path.exists("BENCH_sweep.json")):
+            pytest.skip("committed artifacts not present")
+        baseline, _ = load_records("BENCH_sweep.json")
+        assert costmodel_alarms(baseline, baseline, "COSTMODEL.json") == []
+
+
+class TestBenchFitFlag:
+    def test_bench_fit_cost_model_writes_artifact(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "cm.json"
+        code = main([
+            "bench", "--dataset", "ngsim", "--n", "300", "--eps", "0.01",
+            "--minpts", "5", "--algorithms", "fdbscan",
+            "--fit-cost-model", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+        validate_costmodel(json.loads(out.read_text()))
+        text = capsys.readouterr().out
+        assert "fitted cost model" in text
+        assert "cost model written" in text
+
+    def test_serve_cost_model_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cm = tmp_path / "cm.json"
+        fit_cost_model(
+            _linear_sources(),
+            per_point={"distance_evals": 120.0, "launches": 0.02},
+        ).save(str(cm))
+        code = main([
+            "serve", "--traffic", "30", "--cost-model", str(cm),
+            "--event-log", str(tmp_path / "ev.jsonl"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- slo --" in out
+        assert "events" in out
+        assert (tmp_path / "ev.jsonl").exists()
