@@ -90,6 +90,7 @@ def _count_points_within(
     query_order: str,
     traversal: str,
     watchdog=None,
+    backend=None,
 ) -> np.ndarray:
     """Exact point-in-ball counts on trees with non-degenerate leaves.
 
@@ -125,6 +126,7 @@ def _count_points_within(
         query_order=query_order,
         traversal=traversal,
         watchdog=watchdog,
+        backend=backend,
     )
     return counts
 
@@ -140,6 +142,7 @@ def knn_radii(
     query_order: str = "input",
     traversal: str = "single",
     watchdog=None,
+    backend=None,
 ) -> np.ndarray:
     """Distance from each query to its ``k``-th nearest primitive.
 
@@ -213,6 +216,7 @@ def knn_radii(
                         query_order=query_order,
                         traversal=traversal,
                         watchdog=watchdog,
+                        backend=backend,
                     )
                 else:
                     counts = _count_points_within(
@@ -226,6 +230,7 @@ def knn_radii(
                         query_order,
                         traversal,
                         watchdog,
+                        backend,
                     )
                 done = counts >= k
                 satisfied[rows[done]] = True
@@ -293,6 +298,7 @@ def core_distances(
     query_order: str = "input",
     traversal: str = "single",
     watchdog=None,
+    backend=None,
 ) -> np.ndarray:
     """HDBSCAN core distances: distance to the ``min_samples``-th nearest
     point, the point itself included (Campello et al.'s ``d_core`` with the
@@ -306,4 +312,5 @@ def core_distances(
         query_order=query_order,
         traversal=traversal,
         watchdog=watchdog,
+        backend=backend,
     )

@@ -207,6 +207,8 @@ def for_each_leaf_hit(
     component_of: np.ndarray | None = None,
     node_components: np.ndarray | None = None,
     watchdog: Callable[[], None] | None = None,
+    backend=None,
+    _chunk_ids: np.ndarray | None = None,
 ) -> TraversalResult:
     """Stream every ``(query, leaf)`` pair within ``eps`` to ``callback``.
 
@@ -289,7 +291,25 @@ def for_each_leaf_hit(
         points, so both engines poll it identically).  It aborts the
         traversal by *raising* — the service's deadline enforcement
         threads :meth:`repro.faults.Deadline.check` through here.  A
-        watchdog that returns normally never changes results.
+        watchdog that returns normally never changes results.  (Under a
+        parallel backend the watchdog is polled between result batches
+        instead of per step — it still aborts the launch by raising.)
+    backend:
+        Execution backend: ``None`` (inherit the device's backend, which
+        defaults to serial), ``"serial"``, ``"process"`` or an
+        :class:`~repro.device.backends.ExecutionBackend` instance.  A
+        parallel backend fans the chunks out over worker processes and
+        replays each chunk's per-step hit batches through ``callback`` in
+        (chunk, step) order — the identical callback sequence the serial
+        engine produces — so results and counters are bit-identical.
+        Traversals carrying cross-chunk state (``finished_fn``,
+        ``component_of``) or fitting in one chunk fall back to the serial
+        path silently.
+    _chunk_ids:
+        Internal (worker-side) hook: run exactly one chunk over these
+        absolute query ids, bypassing ``query_order`` scheduling.  Used by
+        the process backend to execute a parent-scheduled chunk; results
+        equal the corresponding slice of a full serial traversal.
 
     Returns
     -------
@@ -337,6 +357,39 @@ def for_each_leaf_hit(
             )
     if chunk_size is None or chunk_size <= 0:
         chunk_size = m
+    if _chunk_ids is None:
+        bk = backend if backend is not None else getattr(dev, "backend", None)
+        if bk is not None:
+            from repro.device.backends import coerce_backend
+
+            bk = coerce_backend(bk)
+            if (
+                bk.parallel
+                and finished_fn is None
+                and component_of is None
+                and m > chunk_size
+            ):
+                # Chunk work is independent here (no cross-chunk state),
+                # so the backend runs each chunk in a worker process and
+                # replays the recorded per-step hit batches through
+                # `callback` in (chunk, step) order — the exact serial
+                # sequence.  Counters merge inside the wrapping kernel
+                # span; see repro.device.backends.
+                return bk.run_leaf_hits(
+                    tree,
+                    queries,
+                    eps,
+                    callback,
+                    mask_positions=mask_positions,
+                    device=dev,
+                    kernel_name=kernel_name,
+                    leaf_test_is_distance=leaf_test_is_distance,
+                    chunk_size=chunk_size,
+                    query_order=query_order,
+                    traversal=traversal,
+                    group_size=group_size,
+                    watchdog=watchdog,
+                )
     if watchdog is not None:
         # Thread the watchdog through the finished_fn evaluation points:
         # both engines already consult finished_fn every wavefront step,
@@ -369,8 +422,18 @@ def for_each_leaf_hit(
             group_size if group_size is not None else DEFAULT_GROUP_SIZE,
             component_of,
             node_components,
+            _chunk_ids,
         )
-    schedule = query_schedule(queries, query_order)
+    if _chunk_ids is not None:
+        # Worker-side single-chunk execution: the provided absolute ids
+        # *are* the chunk (the parent already applied the scheduling
+        # permutation), so the loop below runs exactly once over them.
+        schedule = np.asarray(_chunk_ids, dtype=np.int64)
+        m_sched = int(schedule.shape[0])
+        chunk_size = max(m_sched, 1)
+    else:
+        schedule = query_schedule(queries, query_order)
+        m_sched = m
 
     ch_ids, ch_lo, ch_hi, ch_rng_hi = tree.packed_children()
     # Narrow index dtypes wherever they fit — real traversal kernels carry
@@ -384,8 +447,8 @@ def for_each_leaf_hit(
     pool = _FrontierPool(dev, tree.dim)
     try:
         with dev.kernel(kernel_name, threads=m) as launch:
-            for chunk_start in range(0, m, chunk_size):
-                chunk_end = min(chunk_start + chunk_size, m)
+            for chunk_start in range(0, m_sched, chunk_size):
+                chunk_end = min(chunk_start + chunk_size, m_sched)
                 if schedule is not None:
                     chunk_ids = schedule[chunk_start:chunk_end]
                 else:
@@ -525,6 +588,7 @@ def _dual_leaf_hits(
     group_size: int,
     component_of: np.ndarray | None = None,
     node_components: np.ndarray | None = None,
+    _chunk_ids: np.ndarray | None = None,
 ) -> TraversalResult:
     """Dual-tree (query-aggregated) wavefront traversal.
 
@@ -576,7 +640,16 @@ def _dual_leaf_hits(
     n_int = tree.n_internal
     result = TraversalResult()
     leaf_counter = "distance_evals" if leaf_test_is_distance else "box_tests"
-    schedule = query_schedule(queries, "morton")
+    if _chunk_ids is not None:
+        # Worker-side single-chunk execution: the ids are a slice of the
+        # full Morton schedule the parent computed (the dual engine's
+        # chunk membership), so one iteration reproduces that chunk.
+        schedule = np.asarray(_chunk_ids, dtype=np.int64)
+        m_sched = int(schedule.shape[0])
+        chunk_size = max(m_sched, 1)
+    else:
+        schedule = query_schedule(queries, "morton")
+        m_sched = m
     qdt = np.int32 if m <= np.iinfo(np.int32).max else np.int64
     if schedule is not None:
         schedule = schedule.astype(qdt, copy=False)
@@ -589,8 +662,8 @@ def _dual_leaf_hits(
     qpool = _FrontierPool(dev, tree.dim, tag="qgroups")
     try:
         with dev.kernel(kernel_name, threads=m) as launch:
-            for chunk_start in range(0, m, chunk_size):
-                chunk_end = min(chunk_start + chunk_size, m)
+            for chunk_start in range(0, m_sched, chunk_size):
+                chunk_end = min(chunk_start + chunk_size, m_sched)
                 if schedule is not None:
                     chunk_ids = schedule[chunk_start:chunk_end]
                 else:
@@ -932,6 +1005,8 @@ def count_within(
     traversal: str = "single",
     group_size: int | None = None,
     watchdog: Callable[[], None] | None = None,
+    backend=None,
+    _chunk_ids: np.ndarray | None = None,
 ) -> np.ndarray:
     """Count leaves within ``eps`` of each query (point-leaf trees).
 
@@ -971,6 +1046,53 @@ def count_within(
     """
     dev = default_device(device)
     m = np.asarray(queries).shape[0]
+    if stop_at is not None and (not np.isfinite(stop_at) or stop_at <= 0):
+        raise ValueError(f"stop_at must be positive and finite; got {stop_at}")
+    if leaf_weights is not None:
+        leaf_weights = np.asarray(leaf_weights, dtype=np.float64)
+        if leaf_weights.shape != (tree.n_primitives,):
+            raise ValueError(
+                f"leaf_weights must be ({tree.n_primitives},); got {leaf_weights.shape}"
+            )
+    from repro.device.backends import coerce_backend
+
+    bk = coerce_backend(
+        backend if backend is not None else getattr(dev, "backend", None)
+    )
+    eff_chunk = chunk_size if (chunk_size is not None and chunk_size > 0) else m
+    if bk.parallel and _chunk_ids is None and m > eff_chunk:
+        # A query's count (and its stop_at early exit) accumulates
+        # entirely within its own chunk, so chunk counting parallelises
+        # without any cross-chunk state: workers run the exact serial
+        # per-chunk kernel and the parent reassembles the disjoint count
+        # slices.  Results are bit-identical for every knob.
+        queries = np.ascontiguousarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != tree.dim:
+            raise ValueError(
+                f"queries must be (m, {tree.dim}); got shape {queries.shape}"
+            )
+        if eps < 0 or not np.isfinite(eps):
+            raise ValueError(f"eps must be finite and non-negative; got {eps}")
+        if traversal not in TRAVERSALS:
+            raise ValueError(
+                f"traversal must be one of {TRAVERSALS}; got {traversal!r}"
+            )
+        if mask_positions is not None:
+            mask_positions = np.asarray(mask_positions, dtype=np.int64)
+        return bk.run_count(
+            tree,
+            queries,
+            eps,
+            stop_at=stop_at,
+            mask_positions=mask_positions,
+            device=dev,
+            chunk_size=eff_chunk,
+            leaf_weights=leaf_weights,
+            query_order=query_order,
+            traversal=traversal,
+            group_size=group_size,
+            watchdog=watchdog,
+        )
     if leaf_weights is None:
         counts = np.zeros(m, dtype=np.int64)
 
@@ -978,11 +1100,6 @@ def count_within(
             scatter_add(counts, q_ids, counters=dev.counters)
 
     else:
-        leaf_weights = np.asarray(leaf_weights, dtype=np.float64)
-        if leaf_weights.shape != (tree.n_primitives,):
-            raise ValueError(
-                f"leaf_weights must be ({tree.n_primitives},); got {leaf_weights.shape}"
-            )
         counts = np.zeros(m, dtype=np.float64)
 
         def on_hits(q_ids: np.ndarray, pos: np.ndarray) -> None:
@@ -990,8 +1107,6 @@ def count_within(
 
     finished_fn = None
     if stop_at is not None:
-        if not np.isfinite(stop_at) or stop_at <= 0:
-            raise ValueError(f"stop_at must be positive and finite; got {stop_at}")
 
         def finished_fn(ids: np.ndarray) -> np.ndarray:
             return counts[ids] >= stop_at
@@ -1010,5 +1125,7 @@ def count_within(
         traversal=traversal,
         group_size=group_size,
         watchdog=watchdog,
+        backend=bk,
+        _chunk_ids=_chunk_ids,
     )
     return counts

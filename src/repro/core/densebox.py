@@ -96,17 +96,21 @@ def fdbscan_densebox(
     pair_buffer: int | None = DEFAULT_PAIR_BUFFER,
     traversal: str | None = None,
     watchdog=None,
+    backend=None,
 ) -> DBSCANResult:
     """Cluster ``X`` with FDBSCAN-DenseBox.
 
     Arguments match :func:`repro.core.fdbscan.fdbscan` (including the
     weighted-density ``sample_weight``: dense cells then threshold summed
     member weight, and the all-members-core guarantee carries over;
-    ``query_order``/``pair_buffer``/``traversal`` are the same
-    output-preserving scheduling levers — both the isolated-point
+    ``query_order``/``pair_buffer``/``traversal``/``backend`` are the
+    same output-preserving scheduling levers — both the isolated-point
     preprocessing and the mixed-primitive main traversal honour the
     chosen engine, and ``watchdog`` is polled per wavefront step in both
-    traversals).
+    traversals).  Under a parallel backend the early-exit preprocessing
+    traversal stays serial (its ``finished_fn`` is stateful across
+    chunks) while the main traversal fans out; labels and counters are
+    bit-identical either way.
     ``info`` additionally carries ``dense_fraction`` (share of points
     inside dense cells — the regime indicator the paper reports),
     ``n_dense_cells`` and ``total_cells`` (the virtual grid size).
@@ -142,6 +146,10 @@ def fdbscan_densebox(
     if traversal is None:
         traversal = index.traversal or "single"
     info["traversal"] = traversal
+    if backend is None:
+        backend = getattr(index, "backend", None)
+    _bk = backend if backend is not None else getattr(dev, "backend", None)
+    info["backend"] = getattr(_bk, "name", _bk) or "serial"
     t1 = time.perf_counter()
     info["t_build"] = t1 - t0
     info["index"] = index
@@ -220,6 +228,7 @@ def fdbscan_densebox(
                 query_order=query_order,
                 traversal=traversal,
                 watchdog=watchdog,
+                backend=backend,
             )
             is_core[deco.isolated_idx] = counts >= minpts
             if not early_exit:
@@ -305,6 +314,7 @@ def fdbscan_densebox(
         query_order=query_order,
         traversal=traversal,
         watchdog=watchdog,
+        backend=backend,
     )
     resolver.finalize()
     t3 = time.perf_counter()

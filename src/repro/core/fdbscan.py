@@ -47,6 +47,7 @@ def fdbscan(
     pair_buffer: int | None = DEFAULT_PAIR_BUFFER,
     traversal: str | None = None,
     watchdog=None,
+    backend=None,
 ) -> DBSCANResult:
     """Cluster ``X`` with FDBSCAN.
 
@@ -105,6 +106,12 @@ def fdbscan(
         Optional zero-argument callable polled once per traversal
         wavefront step in both phases (a deadline's
         :meth:`~repro.faults.Deadline.check`); aborts by raising.
+    backend:
+        Execution backend for both traversal phases (``"serial"``,
+        ``"process"`` or an
+        :class:`~repro.device.backends.ExecutionBackend`); ``None``
+        defers to the index's stored preference, then the device's.
+        Labels and work counters are bit-identical across backends.
 
     Returns
     -------
@@ -131,6 +138,10 @@ def fdbscan(
     if traversal is None:
         traversal = index.traversal or "single"
     info["traversal"] = traversal
+    if backend is None:
+        backend = getattr(index, "backend", None)
+    _bk = backend if backend is not None else getattr(dev, "backend", None)
+    info["backend"] = getattr(_bk, "name", _bk) or "serial"
     t1 = time.perf_counter()
     info["t_build"] = t1 - t0
     info["index"] = index
@@ -151,6 +162,7 @@ def fdbscan(
             query_order=query_order,
             traversal=traversal,
             watchdog=watchdog,
+            backend=backend,
         )
         is_core = counts >= minpts
         resolution_core = is_core
@@ -176,6 +188,7 @@ def fdbscan(
             query_order=query_order,
             traversal=traversal,
             watchdog=watchdog,
+            backend=backend,
         )
         is_core = counts >= minpts
         resolution_core = is_core
@@ -212,6 +225,7 @@ def fdbscan(
         query_order=query_order,
         traversal=traversal,
         watchdog=watchdog,
+        backend=backend,
     )
     resolver.finalize()
     t3 = time.perf_counter()

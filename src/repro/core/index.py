@@ -145,6 +145,7 @@ class DBSCANIndex:
         max_dense_entries: int = DEFAULT_MAX_DENSE_ENTRIES,
         max_binnings: int = DEFAULT_MAX_BINNINGS,
         traversal: str | None = None,
+        backend=None,
     ):
         X = validate_points(X)
         self._X = X
@@ -157,6 +158,20 @@ class DBSCANIndex:
                 f"traversal must be 'single', 'dual' or None; got {traversal!r}"
             )
         self.traversal = traversal
+        if backend is not None and isinstance(backend, str):
+            from repro.device.backends import BACKENDS
+
+            if backend not in BACKENDS:
+                raise ValueError(
+                    f"backend must be one of {BACKENDS} or None; got {backend!r}"
+                )
+        #: Stored execution-backend preference (``"serial"``/``"process"``
+        #: or an :class:`~repro.device.backends.ExecutionBackend`), applied
+        #: by runs that pass ``backend=None`` — the scheduling analogue of
+        #: :attr:`traversal`.  The cached structures are backend-
+        #: independent (results are bit-identical across backends), so one
+        #: index serves all of them.
+        self.backend = backend
         self._points: _PointsEntry | None = None
         self._dense: "OrderedDict[tuple, _DenseEntry]" = OrderedDict()
         self._binnings: "OrderedDict[float, _BinningEntry]" = OrderedDict()

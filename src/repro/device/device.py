@@ -125,6 +125,11 @@ class Device:
     #: span in the shared trace tree, parented under whatever span the
     #: tracer currently has open (a benchmark cell, a driver phase...).
     tracer: object = field(default=None, compare=False)
+    #: Optional default :class:`~repro.device.backends.ExecutionBackend`
+    #: (or its string name): traversal entry points called without an
+    #: explicit ``backend=`` inherit this one.  ``None`` means the serial
+    #: in-process path.
+    backend: object = field(default=None, compare=False)
     _epoch: float = field(init=False, default=0.0)
     _kernel_stack: list = field(init=False, default_factory=list, compare=False)
 
@@ -191,6 +196,64 @@ class Device:
                 tracer.end(tspan)
                 tracer.counter("frontier_peak", self.counters.frontier_peak)
                 tracer.counter("device_live_bytes", self.memory.live_bytes)
+
+    def record_external_launch(
+        self,
+        name: str,
+        threads: int,
+        seconds: float,
+        steps: int = 0,
+        t_start_abs: float | None = None,
+        attributes: dict | None = None,
+    ) -> KernelLaunch:
+        """Append a launch executed in *another process* (a worker lane).
+
+        ``t_start_abs`` is the launch's absolute ``perf_counter`` start in
+        the remote process — CLOCK_MONOTONIC is system-wide per boot, so
+        the parent translates it into its own epoch (the per-worker epoch
+        handshake: workers report their device epoch once at startup and
+        launch starts relative to it).  Without it the launch is laid
+        backwards from "now".
+
+        The lane's ``self_seconds`` is recorded as 0: its wall time runs
+        *in parallel with* (and inside) the parent's wrapping kernel
+        span, so charging it again would break the "sum of self_seconds
+        counts each wall second at most once" trace invariant.  Counter
+        deltas are likewise **not** attached — the parent merges them
+        into its own counters inside the wrapping span, which keeps
+        per-kernel counter totals single-counted (see
+        ``docs/backends.md``).
+        """
+        if t_start_abs is not None:
+            t_start = t_start_abs - self._epoch
+        else:
+            t_start = (time.perf_counter() - self._epoch) - seconds
+        launch = KernelLaunch(
+            name=name,
+            threads=int(threads),
+            seconds=float(seconds),
+            steps=int(steps),
+            t_start=t_start,
+            self_seconds=0.0,
+        )
+        self.launches.append(launch)
+        self.launches_total += 1
+        tracer = self.tracer
+        if tracer is not None:
+            now_rel = time.perf_counter() - self._epoch
+            tracer.add_span(
+                name,
+                category="kernel.worker",
+                t_start=max(tracer.now() - (now_rel - t_start), 0.0),
+                seconds=launch.seconds,
+                attributes={
+                    "device": self.name,
+                    "threads": launch.threads,
+                    "steps": launch.steps,
+                    **(attributes or {}),
+                },
+            )
+        return launch
 
     # -- recording / replay ----------------------------------------------------
 

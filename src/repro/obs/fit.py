@@ -74,6 +74,27 @@ SCHEMA_VERSION = 1
 #: the model behind per-request cost prediction).
 COMBINED_KEY = "*"
 
+#: Service ops whose per-point rates are fitted separately when the
+#: sources carry kernels attributable to them (see :func:`op_for_kernel`).
+#: ``cluster`` always pools every kernel — a cluster request runs the
+#: full pipeline, so the pooled rates *are* its rates.
+PER_POINT_OPS = ("cluster", "count", "knn")
+
+
+def op_for_kernel(name: str) -> str | None:
+    """Attribute a kernel to the service op whose requests launch it.
+
+    ``knn`` wins over ``count`` (``knn_count_exact`` belongs to the knn
+    pipeline, not to a plain neighbour count); kernels matching neither
+    contribute only to the pooled ``cluster`` rates.
+    """
+    low = name.lower()
+    if "knn" in low:
+        return "knn"
+    if "count" in low:
+        return "count"
+    return None
+
 
 # -- source rows ---------------------------------------------------------------
 
@@ -202,6 +223,13 @@ class FittedCostModel:
     kernels: dict = field(default_factory=dict)
     combined: dict | None = None
     per_point: dict = field(default_factory=dict)
+    #: Per-op mean per-point rates (``{op: {feature: rate}}`` for the ops
+    #: of :data:`PER_POINT_OPS` whose kernels appeared in the sources).
+    #: ``cluster`` equals the pooled ``per_point`` rates; ``count``/``knn``
+    #: carry only their own kernels' work, so admission prices those ops
+    #: from what they actually launch instead of a hand-set fraction of a
+    #: full clustering.
+    per_point_ops: dict = field(default_factory=dict)
     unfitted: list = field(default_factory=list)
     source_fingerprint: str = ""
     fit_seed: int = 0
@@ -245,23 +273,30 @@ class FittedCostModel:
             )
         return out
 
-    def cost_for_points(self, n: int, scale: float = 1.0) -> float | None:
+    def cost_for_points(
+        self, n: int, scale: float = 1.0, op: str | None = None
+    ) -> float | None:
         """Predicted seconds for a request over ``n`` points.
 
-        Predicts the request's counters from the fitted mean per-point
-        rates (``per_point``, derived from benchmark records), scales
-        them by ``scale`` (the caller's relative op weight), and prices
-        them with the pooled ``combined`` fit.  Returns ``None`` when
-        the model carries no per-point rates — callers fall back to
-        their hand-set constants.
+        Predicts the request's counters from fitted mean per-point rates
+        and prices them with the pooled ``combined`` fit.  When ``op``
+        names an op with its own fitted rates (``per_point_ops``), those
+        are used directly — they already carry the op's true work, so
+        ``scale`` is ignored.  Otherwise the pooled ``per_point`` rates
+        are scaled by ``scale`` (the caller's hand-set relative op
+        weight).  Returns ``None`` when the model carries no applicable
+        rates — callers fall back to their hand-set constants.
         """
-        if not self.per_point or self.combined is None:
+        rates = self.per_point_ops.get(op) if op is not None else None
+        if rates:
+            scale = 1.0
+        else:
+            rates = self.per_point
+        if not rates or self.combined is None:
             return None
         n = max(0, int(n))
-        counters = {
-            f: self.per_point.get(f, 0.0) * n * scale for f in FIT_FEATURES
-        }
-        launches = self.per_point.get("launches", 0.0) * n * scale
+        counters = {f: rates.get(f, 0.0) * n * scale for f in FIT_FEATURES}
+        launches = rates.get("launches", 0.0) * n * scale
         return self.predict(counters, kernel=None, launches=launches)
 
     # -- drift -----------------------------------------------------------------
@@ -326,6 +361,9 @@ class FittedCostModel:
             "kernels": {k: dict(v) for k, v in sorted(self.kernels.items())},
             "combined": dict(self.combined) if self.combined else None,
             "per_point": dict(self.per_point),
+            "per_point_ops": {
+                op: dict(v) for op, v in sorted(self.per_point_ops.items())
+            },
             "unfitted": sorted(self.unfitted),
         }
 
@@ -344,6 +382,10 @@ class FittedCostModel:
             kernels={k: dict(v) for k, v in payload["kernels"].items()},
             combined=dict(payload["combined"]) if payload.get("combined") else None,
             per_point=dict(payload.get("per_point") or {}),
+            per_point_ops={
+                op: dict(v)
+                for op, v in (payload.get("per_point_ops") or {}).items()
+            },
             unfitted=list(payload.get("unfitted") or []),
             source_fingerprint=payload.get("source_fingerprint", ""),
             fit_seed=int(payload.get("fit_seed", 0)),
@@ -396,6 +438,7 @@ def validate_costmodel(payload: dict) -> None:
 def fit_cost_model(
     profiles,
     per_point: dict | None = None,
+    per_point_ops: dict | None = None,
     tolerance: float = DEFAULT_TOLERANCE,
     seed: int = 0,
 ) -> FittedCostModel:
@@ -404,7 +447,8 @@ def fit_cost_model(
     ``per_point`` optionally supplies mean per-point counter rates
     (``{feature_or_'launches'_or_'seconds': value_per_point}``) when the
     caller knows the sources' point counts — :func:`fit_from_records`
-    derives them from benchmark records automatically.
+    derives them (and the per-op ``per_point_ops`` split) from benchmark
+    records automatically.
     """
     rows = fit_rows(profiles)
     by_kernel: dict[str, list[dict]] = {}
@@ -423,6 +467,9 @@ def fit_cost_model(
         kernels=kernels,
         combined=combined,
         per_point=dict(per_point or {}),
+        per_point_ops={
+            op: dict(v) for op, v in (per_point_ops or {}).items()
+        },
         unfitted=unfitted,
         source_fingerprint=rows_fingerprint(rows),
         fit_seed=int(seed),
@@ -439,27 +486,44 @@ def fit_from_records(
     counter rates are derived from the cells' pooled counters and point
     counts, which is what lets the service predict a *request's*
     counters from its size (:meth:`FittedCostModel.cost_for_points`).
+    Kernels attributable to a specific service op (:func:`op_for_kernel`)
+    additionally feed that op's own per-point rates, so ``count``/``knn``
+    admission pricing reflects those ops' actual work.
     """
     profiles, total_n = [], 0
-    totals = {f: 0.0 for f in FIT_FEATURES}
-    totals["launches"] = 0.0
-    totals["seconds"] = 0.0
+    zero = dict.fromkeys((*FIT_FEATURES, "launches", "seconds"), 0.0)
+    totals = dict(zero)
+    op_totals = {op: dict(zero) for op in PER_POINT_OPS}
     for rec in records:
         if rec.status != "ok" or not rec.kernels:
             continue
         profiles.append(rec.kernels)
         total_n += max(0, int(rec.n))
-        for entry in rec.kernels.values():
+        for name, entry in rec.kernels.items():
             counters = entry.get("counters") or {}
-            for f in FIT_FEATURES:
-                totals[f] += float(counters.get(f, 0))
-            totals["launches"] += float(entry.get("launches", 0))
-            totals["seconds"] += float(entry.get("seconds", 0.0))
+            op = op_for_kernel(name)
+            sinks = [totals, op_totals["cluster"]]
+            if op is not None:
+                sinks.append(op_totals[op])
+            for sink in sinks:
+                for f in FIT_FEATURES:
+                    sink[f] += float(counters.get(f, 0))
+                sink["launches"] += float(entry.get("launches", 0))
+                sink["seconds"] += float(entry.get("seconds", 0.0))
     per_point = (
         {k: v / total_n for k, v in totals.items()} if total_n > 0 else {}
     )
+    per_point_ops = {}
+    if total_n > 0:
+        for op, sums in op_totals.items():
+            if any(sums[k] > 0 for k in (*FIT_FEATURES, "launches")):
+                per_point_ops[op] = {k: v / total_n for k, v in sums.items()}
     return fit_cost_model(
-        profiles, per_point=per_point, tolerance=tolerance, seed=seed
+        profiles,
+        per_point=per_point,
+        per_point_ops=per_point_ops,
+        tolerance=tolerance,
+        seed=seed,
     )
 
 

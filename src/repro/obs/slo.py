@@ -18,10 +18,18 @@ Each evaluation reports the classic error-budget arithmetic: the **bad
 fraction** observed, the budget the objective allows, the **burn rate**
 (bad fraction / allowed fraction — 1.0 means the budget is exactly
 spent), and the **budget remaining** (``1 - burn_rate``; negative means
-the objective is violated).  The window is the registry's lifetime —
-the virtual-clock service accumulates, it does not age out — and the
-``window`` field records that explicitly so a future sliding-window
-implementation is an additive change.
+the objective is violated).
+
+Two evaluation windows exist, selected by the ``window`` field:
+
+- ``"lifetime"`` (the default): the registry's whole history — the
+  virtual-clock service accumulates, it does not age out;
+- ``"last:N"``: a sliding window over the most recent ``N`` requests,
+  evaluated against per-request rows (the service's ledger) instead of
+  the registry, so a burst of recent failures raises the burn rate even
+  when a long healthy history would dilute it to nothing.  Callers that
+  evaluate windowed objectives must supply ``rows`` (each row needs
+  ``status`` and ``wall_seconds``, which the service ledger carries).
 
 Everything is a pure function of the registry, so two same-seed traffic
 runs report identical SLO status — the determinism contract the rest of
@@ -40,6 +48,26 @@ from repro.obs.metrics import PREFIX, MetricsRegistry
 GOOD_STATUSES = ("ok", "degraded", "shed", "rejected")
 
 
+def parse_window(window: str) -> int | None:
+    """``"lifetime"`` -> ``None``; ``"last:N"`` -> ``N`` (positive int).
+
+    Raises ``ValueError`` on anything else — an SLO with an unreadable
+    window must fail at construction, not silently evaluate lifetime.
+    """
+    if window == "lifetime":
+        return None
+    if window.startswith("last:"):
+        try:
+            n = int(window[len("last:"):])
+        except ValueError:
+            n = 0
+        if n > 0:
+            return n
+    raise ValueError(
+        f"unknown SLO window {window!r} (expected 'lifetime' or 'last:N')"
+    )
+
+
 @dataclass(frozen=True)
 class SLO:
     """One objective (see module docstring for semantics)."""
@@ -54,12 +82,14 @@ class SLO:
     #: Metric the objective reads (histogram for latency, counter for
     #: availability).
     metric: str = ""
-    #: Evaluation window; ``"lifetime"`` is the only implemented window.
+    #: Evaluation window: ``"lifetime"`` or ``"last:N"`` (sliding window
+    #: over the most recent N requests; needs per-request ``rows``).
     window: str = "lifetime"
 
     def __post_init__(self):
         if self.kind not in ("latency", "availability"):
             raise ValueError(f"unknown SLO kind {self.kind!r}")
+        parse_window(self.window)
         if not 0.0 < self.objective < 1.0:
             raise ValueError(
                 f"SLO objective must be in (0, 1); got {self.objective}"
@@ -86,25 +116,47 @@ DEFAULT_SLOS = (
 )
 
 
-def evaluate_slo(slo: SLO, registry: MetricsRegistry) -> dict:
-    """One objective's status over the registry (see module docstring)."""
-    metric = slo.metric or (
-        f"{PREFIX}_service_request_seconds"
-        if slo.kind == "latency"
-        else f"{PREFIX}_service_requests_total"
-    )
+def evaluate_slo(slo: SLO, registry: MetricsRegistry, rows=None) -> dict:
+    """One objective's status (see module docstring).
+
+    Lifetime objectives read the registry; ``last:N`` objectives read the
+    trailing ``N`` entries of ``rows`` (per-request dicts with ``status``
+    and ``wall_seconds`` — the service ledger's shape) and raise
+    ``ValueError`` when no rows are supplied.
+    """
+    window_n = parse_window(slo.window)
     good = total = 0.0
-    if metric in registry:
-        instrument = registry.get(metric)
-        if slo.kind == "latency":
-            _counts, total = instrument._counts_for(None)
-            total = float(total)
-            good = instrument.count_le(slo.target_seconds)
-        else:
-            for key, value in instrument.values.items():
-                total += value
-                if dict(key).get("status") in GOOD_STATUSES:
-                    good += value
+    if window_n is not None:
+        if rows is None:
+            raise ValueError(
+                f"SLO {slo.name!r} has window {slo.window!r} but no "
+                f"per-request rows were supplied"
+            )
+        recent = list(rows)[-window_n:]
+        total = float(len(recent))
+        for row in recent:
+            if slo.kind == "latency":
+                if float(row["wall_seconds"]) <= slo.target_seconds:
+                    good += 1.0
+            elif row["status"] in GOOD_STATUSES:
+                good += 1.0
+    else:
+        metric = slo.metric or (
+            f"{PREFIX}_service_request_seconds"
+            if slo.kind == "latency"
+            else f"{PREFIX}_service_requests_total"
+        )
+        if metric in registry:
+            instrument = registry.get(metric)
+            if slo.kind == "latency":
+                _counts, total = instrument._counts_for(None)
+                total = float(total)
+                good = instrument.count_le(slo.target_seconds)
+            else:
+                for key, value in instrument.values.items():
+                    total += value
+                    if dict(key).get("status") in GOOD_STATUSES:
+                        good += value
     bad = max(0.0, total - good)
     allowed = (1.0 - slo.objective) * total
     if total <= 0:
@@ -130,9 +182,12 @@ def evaluate_slo(slo: SLO, registry: MetricsRegistry) -> dict:
     }
 
 
-def evaluate_slos(registry: MetricsRegistry, slos=DEFAULT_SLOS) -> list[dict]:
-    """Every objective's status, in declaration order."""
-    return [evaluate_slo(slo, registry) for slo in slos]
+def evaluate_slos(
+    registry: MetricsRegistry, slos=DEFAULT_SLOS, rows=None
+) -> list[dict]:
+    """Every objective's status, in declaration order.  ``rows`` feeds
+    any ``last:N``-window objectives (see :func:`evaluate_slo`)."""
+    return [evaluate_slo(slo, registry, rows=rows) for slo in slos]
 
 
 def record_slo_gauges(registry: MetricsRegistry, statuses) -> None:
@@ -162,8 +217,11 @@ def format_slo_report(statuses, title: str = "-- slo --") -> str:
         target = (
             f" <= {s['target_seconds'] * 1e3:g}ms" if s["target_seconds"] else ""
         )
+        window = (
+            f" {s['window']}" if s.get("window", "lifetime") != "lifetime" else ""
+        )
         lines.append(
-            f"  {s['name']:>16} [{s['kind']}{target}] "
+            f"  {s['name']:>16} [{s['kind']}{target}{window}] "
             f"good {s['good_fraction']:.4f} (objective {s['objective']:g})  "
             f"burn {s['burn_rate']:.3f}  budget {s['budget_remaining']:+.3f}  "
             f"{'ok' if s['ok'] else 'VIOLATED'}"

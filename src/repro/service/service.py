@@ -98,9 +98,18 @@ class ServiceConfig:
     #: provide each op's *relative* weight against ``cluster``, and remain
     #: the full fallback when the model carries no per-point rates.
     cost_model: object | None = None
-    #: Service-level objectives evaluated over the metrics registry and
-    #: reported by ``/healthz``, ``/metrics`` gauges and traffic reports.
+    #: Service-level objectives evaluated over the metrics registry (and
+    #: the request ledger for ``last:N``-window objectives), reported by
+    #: ``/healthz``, ``/metrics`` gauges and traffic reports.
     slos: tuple = DEFAULT_SLOS
+    #: Execution backend for the service device: ``"serial"`` runs
+    #: traversals in-process, ``"process"`` fans eligible chunk frontiers
+    #: over the shared worker pool (see :mod:`repro.device.backends`) —
+    #: labels and counters stay bit-identical either way.
+    backend: str = "serial"
+    #: Worker-process count for ``backend="process"`` (``None`` = the
+    #: backend default).
+    workers: int | None = None
     #: Bound on the per-request structured event ring (and the JSONL
     #: event file's line cap; see :mod:`repro.service.events`).
     event_log_maxlen: int = DEFAULT_EVENT_MAXLEN
@@ -142,6 +151,12 @@ class ClusteringService:
         self.config = config or ServiceConfig()
         self.clock = clock if clock is not None else SimClock()
         self.device = device or Device(name="service")
+        if str(self.config.backend) != "serial":
+            from repro.device.backends import coerce_backend
+
+            self.device.backend = coerce_backend(
+                self.config.backend, workers=self.config.workers
+            )
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy or RetryPolicy()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -274,11 +289,13 @@ class ClusteringService:
                 n = max(n, req.points.shape[0])
         model = self.config.cost_model
         if model is not None:
-            # Fitted per-point work rates price a `cluster` of n points;
-            # the hand-set constants only scale the other ops relative
-            # to it.  A pure function of (op, n) — determinism holds.
+            # Ops with their own fitted per-point rates (count/knn) are
+            # priced from exactly the work their kernels do; everything
+            # else falls back to the pooled cluster rates, with the
+            # hand-set constants only supplying the op's *relative*
+            # weight.  A pure function of (op, n) — determinism holds.
             base = self.config.cost_per_point.get("cluster") or per_point
-            est = model.cost_for_points(n, scale=per_point / base)
+            est = model.cost_for_points(n, scale=per_point / base, op=req.op)
             if est is not None:
                 return max(self.config.cost_floor, est)
         return max(self.config.cost_floor, per_point * n)
@@ -606,7 +623,10 @@ class ClusteringService:
         """Re-derive the exposition-time gauges (SLO budgets, trace-drop
         health, event-ring evictions) from current state — called before
         every ``/metrics`` scrape and ``health()`` evaluation."""
-        record_slo_gauges(self.metrics, evaluate_slos(self.metrics, self.config.slos))
+        record_slo_gauges(
+            self.metrics,
+            evaluate_slos(self.metrics, self.config.slos, rows=self.ledger),
+        )
         record_trace_health(self.metrics, tracer=self.tracer, devices=(self.device,))
         self.metrics.gauge(
             "repro_service_events_dropped",
@@ -614,8 +634,9 @@ class ClusteringService:
         ).set(self.events.dropped)
 
     def slo_status(self) -> list[dict]:
-        """Every configured objective's error-budget status."""
-        return evaluate_slos(self.metrics, self.config.slos)
+        """Every configured objective's error-budget status (``last:N``
+        windows evaluate over the request ledger)."""
+        return evaluate_slos(self.metrics, self.config.slos, rows=self.ledger)
 
     def health(self) -> dict:
         """Structured health: ``ok`` iff no breaker is open and every SLO
@@ -654,6 +675,7 @@ class ClusteringService:
         model = self.config.cost_model
         return {
             "seq": self.seq,
+            "backend": getattr(self.device.backend, "name", None) or "serial",
             "indexes": {name: si.stats() for name, si in self.indexes.items()},
             "breakers": {
                 name: {"state": b.state, "trips": b.trips}
