@@ -87,9 +87,12 @@ class RunRecord:
     n: int
     eps: float
     min_samples: int
-    #: traversal engine the cell ran under ("single"/"dual").  Recorded on
-    #: every cell — including non-tree algorithms, which ignore the engine
-    #: but keep the history key unique when a sweep runs both modes.
+    #: traversal engine the cell ran under ("single"/"dual"/"auto").
+    #: Recorded on every cell — including non-tree algorithms, which
+    #: ignore the engine but keep the history key unique when a sweep
+    #: runs several modes.  An "auto" cell's per-chunk decisions land in
+    #: ``counters`` (``auto_single_chunks``/``auto_dual_chunks``/
+    #: ``auto_pred_cost_us``) and on the cell span.
     traversal: str = "single"
     #: execution backend the cell ran under ("serial"/"process").  Like
     #: ``traversal``, recorded on every cell so A/B sweeps stay
@@ -253,9 +256,14 @@ def run_once(
     comm spans — nested inside it.
 
     ``traversal`` selects the BVH traversal engine for tree-based and
-    distributed cells (``"single"``/``"dual"``; baselines ignore it) and
-    is recorded on every cell so both-mode sweeps stay distinguishable in
-    the history.
+    distributed cells (``"single"``/``"dual"``/``"auto"``; baselines
+    ignore it) and is recorded on every cell so multi-mode sweeps stay
+    distinguishable in the history.  An ``"auto"`` cell additionally
+    records the per-chunk engine decisions and the chooser's predicted
+    cost in its counter snapshot (``auto_single_chunks`` /
+    ``auto_dual_chunks`` / ``auto_pred_cost_us``) and mirrors them onto
+    the cell span next to the measured wall seconds — the predicted vs
+    actual comparison the bench report and smoke gate read.
 
     ``backend`` selects the execution backend (``"serial"``/``"process"``;
     see :mod:`repro.device.backends`) for tree-based, hierarchy and
@@ -389,6 +397,17 @@ def run_once(
             cspan.attributes["status"] = rec.status
             cspan.attributes["attempts"] = rec.attempts
             cspan.attributes["faults"] = rec.faults
+            if str(traversal) == "auto":
+                cspan.attributes["auto_single_chunks"] = rec.counters.get(
+                    "auto_single_chunks", 0
+                )
+                cspan.attributes["auto_dual_chunks"] = rec.counters.get(
+                    "auto_dual_chunks", 0
+                )
+                cspan.attributes["auto_pred_cost_seconds"] = (
+                    rec.counters.get("auto_pred_cost_us", 0) * 1e-6
+                )
+                cspan.attributes["auto_actual_seconds"] = rec.seconds
     return rec
 
 
@@ -456,8 +475,9 @@ def run_sweep(
     traversal:
         Traversal engine for every tree/distributed cell of the sweep
         (recorded on every record; see :func:`run_once`).  Run the sweep
-        twice — once per engine — for a both-mode comparison; records
-        stay distinguishable by their ``traversal`` field.
+        once per engine (``"single"``/``"dual"``/``"auto"``) for a
+        multi-mode comparison; records stay distinguishable by their
+        ``traversal`` field.
     backend / workers:
         Execution backend for every tree/hierarchy/distributed cell of
         the sweep (recorded on every record; see :func:`run_once`).  Run

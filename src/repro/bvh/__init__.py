@@ -32,13 +32,23 @@ vectorised reproduction:
     (the fused main phase) and the leaf-index *mask* of Section 4.1 that
     processes each neighbour pair exactly once.  Two engines share this
     interface: ``traversal="single"`` (one frontier row per query) and
-    ``traversal="dual"`` (query-aggregated: groups of Morton-adjacent
-    queries pruned per node in one box test).
+    ``traversal="dual"`` (dual-tree: whole query-BVH nodes pruned per tree
+    node in one box test), plus ``traversal="auto"`` which picks between
+    them per chunk from the fitted cost model.
 
 ``qgroups``
-    The query-side hierarchy backing the dual engine: fixed-size groups of
-    Morton-sorted queries, aggregated into supergroups, in the same packed
-    layout style as the tree.
+    The query-side BVH backing the dual engine: density-adaptive groups of
+    Morton-sorted queries built by median bisection, in the same packed
+    internal-before-leaf layout as the tree.
+
+``autotune``
+    The ``traversal="auto"`` chooser: prices both engines from tree
+    statistics, query-set dispersion and the fitted cost model's
+    per-counter rates, then dispatches each chunk to the cheaper one.
+
+``statistics``
+    Tree-shape summaries (depths, SAH cost, sibling overlap) feeding the
+    chooser and the observability surface.
 """
 
 from repro.bvh.aabb import (
@@ -49,7 +59,7 @@ from repro.bvh.aabb import (
 )
 from repro.bvh.builder import build_bvh
 from repro.bvh.morton import morton_codes, normalize_to_grid
-from repro.bvh.qgroups import QueryGroups, build_query_groups
+from repro.bvh.qgroups import QueryBVH, build_query_bvh
 from repro.bvh.refit import refit_bvh
 from repro.bvh.traversal import (
     TRAVERSALS,
@@ -61,12 +71,12 @@ from repro.bvh.tree import BVH
 
 __all__ = [
     "BVH",
-    "QueryGroups",
+    "QueryBVH",
     "TRAVERSALS",
     "TraversalResult",
     "boxes_from_points",
     "build_bvh",
-    "build_query_groups",
+    "build_query_bvh",
     "count_within",
     "for_each_leaf_hit",
     "merge_aabbs",

@@ -1,0 +1,165 @@
+"""Cost-model-driven engine choice for ``traversal="auto"``.
+
+``auto`` is not a third traversal engine: it is a *scheduler* that, for
+each query chunk, predicts what the single and dual engines would cost
+and dispatches the chunk to the cheaper one.  Both engines are
+bit-identical in every result, so the choice can never change labels,
+counters of logical work (``distance_evals``) or hit streams — only wall
+clock and scheduling counters.
+
+The prediction follows the classic tree-query cost decomposition: a
+radius-``eps`` query against a spatial tree over ``n`` points in ``d``
+dimensions touches about ``prod_j min(a, 2·eps/E_j·a + 1)`` leaves
+(``a = n^(1/d)`` leaves per axis over scene extents ``E``), each reached
+through ``~depth`` internal nodes whose frontier pairs the wavefront
+carries.  The single engine pays that per *query*; the dual engine pays a
+widened version (the query node's own extent inflates the radius) per
+*query-BVH node*, of which there are ``~cn/group_size``, plus per-member
+work at the leaf fringe.  The query-set dispersion enters through the
+expected group extent ``(vol(chunk)/cn)^(1/d) · group_size^(1/d)`` — a
+tightly clustered chunk yields tiny groups whose widened radius is
+barely larger than ``eps``, which is exactly when aggregation wins.
+
+Predicted counts are priced with the fitted cost model's marginal rates
+(:class:`repro.obs.fit.FittedCostModel`; the per-kernel entry when one
+exists) so the engine choice tracks the *measured* cost of a frontier
+pair on this machine; without a model, built-in rates keep the decision
+well-defined (and deterministic — same inputs, same choice, always).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Fallback marginal rates (seconds per counted unit) when no fitted cost
+#: model is available, in the rough proportion the vectorised engines
+#: exhibit: a frontier pair costs more than a leaf distance test because
+#: it carries the gather/compact bookkeeping.
+DEFAULT_RATES = {"nodes_visited": 1.5e-7, "distance_evals": 8.0e-8}
+#: Fallback per-launch overhead (seconds).
+DEFAULT_PER_LAUNCH = 5.0e-5
+
+#: Multiplier on the dual engine's predicted (query node, tree node)
+#: pair count: a dual pair is costlier than a single-engine frontier row
+#: (box-box tests, the looser-side refinement loop, query-BVH build).
+DUAL_PAIR_FACTOR = 3.0
+
+#: Multiplier on the dual engine's per-member leaf-fringe work (parent
+#: re-tests and fringe classification) relative to the shared leaf-test
+#: count.
+DUAL_MEMBER_FACTOR = 1.25
+
+#: The dual engine must be predicted at least this much cheaper to be
+#: chosen: near-ties go to the single engine, whose constants are better
+#: understood (hysteresis against prediction noise).
+AUTO_MARGIN = 0.95
+
+
+@dataclass(frozen=True)
+class EngineDecision:
+    """One chunk's engine choice with the predictions behind it."""
+
+    engine: str
+    pred_single_seconds: float
+    pred_dual_seconds: float
+
+    @property
+    def pred_seconds(self) -> float:
+        """Predicted cost of the engine actually chosen."""
+        return (
+            self.pred_dual_seconds
+            if self.engine == "dual"
+            else self.pred_single_seconds
+        )
+
+
+def _marginal_rate(cost_model, counter: str, kernel: str) -> float:
+    """The model's marginal seconds-per-unit for one counter (0 launches
+    isolates the linear term), falling back to the built-in rate when the
+    model is absent or assigns the counter no cost."""
+    if cost_model is not None:
+        try:
+            rate = float(cost_model.predict({counter: 1.0}, kernel, 0.0))
+        except Exception:
+            rate = 0.0
+        if rate > 0.0:
+            return rate
+    return DEFAULT_RATES[counter]
+
+
+def _per_launch(cost_model, kernel: str) -> float:
+    if cost_model is not None:
+        try:
+            rate = float(cost_model.predict({}, kernel, 1.0))
+        except Exception:
+            rate = 0.0
+        if rate > 0.0:
+            return rate
+    return DEFAULT_PER_LAUNCH
+
+
+def _leaf_overlap(a: float, extents: np.ndarray, diameter: float) -> float:
+    """Expected leaves touched by a query of the given search *diameter*:
+    ``prod_j min(a, diameter/E_j · a + 1)`` with ``a`` leaves per axis."""
+    out = 1.0
+    for e in extents:
+        if e > 0.0:
+            out *= min(a, diameter / e * a + 1.0)
+    return out
+
+
+def choose_engine(
+    tree,
+    chunk_points: np.ndarray,
+    eps: float,
+    group_size: int,
+    cost_model=None,
+    kernel_name: str = "bvh_traverse",
+    tree_stats=None,
+) -> EngineDecision:
+    """Pick ``"single"`` or ``"dual"`` for one chunk of queries.
+
+    A pure function of its inputs (tree geometry, chunk geometry, eps,
+    group size, the cost model's rates): the same chunk always gets the
+    same engine, which is what makes ``auto`` runs reproducible.
+    """
+    cn, d = chunk_points.shape
+    n = max(int(tree.n_primitives), 1)
+    a = n ** (1.0 / d)
+    scene_ext = np.asarray(
+        tree.node_hi[tree.root] - tree.node_lo[tree.root], dtype=np.float64
+    )
+    if tree_stats is not None:
+        depth = float(tree_stats.mean_leaf_depth)
+    else:
+        depth = math.log2(n) if n > 1 else 1.0
+
+    l_single = _leaf_overlap(a, scene_ext, 2.0 * eps)
+    nv_single = cn * (2.0 * l_single + depth)
+    leaf_tests = cn * l_single
+
+    # Query-set dispersion -> expected query-group extent.
+    gs = max(1, int(group_size))
+    chunk_ext = chunk_points.max(axis=0) - chunk_points.min(axis=0)
+    vol = float(np.prod(np.maximum(chunk_ext, 1e-300)))
+    spacing = (vol / cn) ** (1.0 / d) if cn else 0.0
+    g_ext = spacing * gs ** (1.0 / d)
+    l_dual = _leaf_overlap(a, scene_ext, 2.0 * eps + g_ext)
+    nv_dual = DUAL_PAIR_FACTOR * (cn / gs) * (2.0 * l_dual + depth)
+    member_work = DUAL_MEMBER_FACTOR * leaf_tests
+
+    r_nv = _marginal_rate(cost_model, "nodes_visited", kernel_name)
+    r_de = _marginal_rate(cost_model, "distance_evals", kernel_name)
+    launch = _per_launch(cost_model, kernel_name)
+    pred_single = launch + r_nv * nv_single + r_de * leaf_tests
+    pred_dual = launch + r_nv * (nv_dual + member_work) + r_de * leaf_tests
+
+    engine = "dual" if pred_dual < AUTO_MARGIN * pred_single else "single"
+    return EngineDecision(
+        engine=engine,
+        pred_single_seconds=pred_single,
+        pred_dual_seconds=pred_dual,
+    )

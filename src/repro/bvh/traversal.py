@@ -42,12 +42,15 @@ result:
   moves), so every derived result is identical.
 
 A second engine, ``traversal="dual"`` (:func:`_dual_leaf_hits`),
-aggregates Morton-adjacent queries into a shallow query-side hierarchy
-(:mod:`repro.bvh.qgroups`) and advances *(query group, tree node)* pairs
-instead: one box-box test prunes a whole group per node, collapsing the
-(queries × visited nodes) box-test bill to (groups × visited nodes) while
+aggregates Morton-adjacent queries into a density-adaptive query-side BVH
+(:mod:`repro.bvh.qgroups`) and advances *(query node, tree node)* pairs
+instead, refining whichever side of a pair is looser: one box-box test
+prunes a whole query subtree per tree node, collapsing the (queries ×
+visited nodes) box-test bill to (query nodes × visited nodes) while
 reproducing the single engine's hits, labels and ``distance_evals``
-bit-for-bit.
+bit-for-bit.  A third value, ``traversal="auto"``, is not an engine at
+all but a per-chunk dispatcher: it prices both engines with the fitted
+cost model (:mod:`repro.bvh.autotune`) and runs the cheaper one.
 """
 
 from __future__ import annotations
@@ -59,11 +62,7 @@ import numpy as np
 
 from repro.bvh.tree import BVH
 from repro.bvh.morton import morton_codes
-from repro.bvh.qgroups import (
-    DEFAULT_GROUP_SIZE,
-    DEFAULT_SUPER_FANOUT,
-    build_query_groups,
-)
+from repro.bvh.qgroups import DEFAULT_GROUP_SIZE, build_query_bvh
 from repro.device.device import Device, default_device
 from repro.device.primitives import (
     concatenated_ranges,
@@ -77,9 +76,12 @@ LeafCallback = Callable[[np.ndarray, np.ndarray], None]
 QUERY_ORDERS = ("input", "morton")
 
 #: Accepted values for ``traversal``: ``"single"`` walks one frontier row
-#: per query; ``"dual"`` aggregates Morton-adjacent queries into groups and
-#: prunes whole groups per node (see :func:`_dual_leaf_hits`).
-TRAVERSALS = ("single", "dual")
+#: per query; ``"dual"`` aggregates Morton-adjacent queries into a query
+#: BVH and prunes whole query nodes per tree node (see
+#: :func:`_dual_leaf_hits`); ``"auto"`` picks single or dual *per chunk*
+#: from the cost model's predicted work (see :mod:`repro.bvh.autotune`) —
+#: a pure scheduling choice, results are bit-identical regardless.
+TRAVERSALS = ("single", "dual", "auto")
 
 
 @dataclass
@@ -208,6 +210,9 @@ def for_each_leaf_hit(
     node_components: np.ndarray | None = None,
     watchdog: Callable[[], None] | None = None,
     backend=None,
+    morton_schedule: np.ndarray | None = None,
+    cost_model=None,
+    tree_stats=None,
     _chunk_ids: np.ndarray | None = None,
 ) -> TraversalResult:
     """Stream every ``(query, leaf)`` pair within ``eps`` to ``callback``.
@@ -305,6 +310,20 @@ def for_each_leaf_hit(
         Traversals carrying cross-chunk state (``finished_fn``,
         ``component_of``) or fitting in one chunk fall back to the serial
         path silently.
+    morton_schedule:
+        Optional precomputed Morton permutation for ``queries`` (the
+        exact array :func:`query_schedule` would return) — lets callers
+        that cache the schedule (``DBSCANIndex.morton_schedule``) skip
+        recomputing the codes here.  Used whenever a Morton order is
+        needed (``query_order="morton"`` or the dual/auto engines);
+        ignored otherwise.
+    cost_model / tree_stats:
+        ``traversal="auto"`` inputs: a fitted cost model (duck-typed
+        :class:`repro.obs.fit.FittedCostModel`; ``None`` falls back to
+        built-in rates) pricing the per-chunk engine choice, and the
+        tree's :class:`repro.bvh.statistics.TreeStats` feeding the
+        predicted frontier sizes.  Both are advisory — they steer the
+        scheduling decision only, never any result.
     _chunk_ids:
         Internal (worker-side) hook: run exactly one chunk over these
         absolute query ids, bypassing ``query_order`` scheduling.  Used by
@@ -389,6 +408,9 @@ def for_each_leaf_hit(
                     traversal=traversal,
                     group_size=group_size,
                     watchdog=watchdog,
+                    morton_schedule=morton_schedule,
+                    cost_model=cost_model,
+                    tree_stats=tree_stats,
                 )
     if watchdog is not None:
         # Thread the watchdog through the finished_fn evaluation points:
@@ -407,10 +429,79 @@ def for_each_leaf_hit(
                 return np.zeros(ids.shape[0], dtype=bool)
             return inner_finished(ids)
 
+    if traversal == "auto":
+        from repro.bvh.autotune import choose_engine
+
+        gsz = group_size if group_size is not None else DEFAULT_GROUP_SIZE
+        if _chunk_ids is not None:
+            # Worker-side: decide for exactly this chunk, then fall
+            # through to the chosen engine below.
+            ids = np.asarray(_chunk_ids, dtype=np.int64)
+            decision = choose_engine(
+                tree, queries[ids], eps, gsz, cost_model, kernel_name, tree_stats
+            )
+            dev.counters.add(f"auto_{decision.engine}_chunks", 1)
+            dev.counters.add(
+                "auto_pred_cost_us", int(decision.pred_seconds * 1e6)
+            )
+            traversal = decision.engine
+        else:
+            # Per-chunk dispatch: chunk in Morton order (the dual
+            # engine's chunking — a pure scheduling choice), price each
+            # chunk with the cost model and run the cheaper engine on it.
+            # Chunks run sequentially, so cross-chunk state (finished_fn
+            # closures, component masks) behaves exactly as in either
+            # engine's own chunk loop.  The watchdog is already composed
+            # into finished_fn above, so the recursive calls must not
+            # re-compose it.
+            schedule = (
+                morton_schedule
+                if morton_schedule is not None
+                else query_schedule(queries, "morton")
+            )
+            total = TraversalResult()
+            for chunk_start in range(0, m, chunk_size):
+                chunk_end = min(chunk_start + chunk_size, m)
+                if schedule is not None:
+                    ids = np.asarray(schedule[chunk_start:chunk_end], dtype=np.int64)
+                else:
+                    ids = np.arange(chunk_start, chunk_end, dtype=np.int64)
+                decision = choose_engine(
+                    tree, queries[ids], eps, gsz, cost_model, kernel_name, tree_stats
+                )
+                dev.counters.add(f"auto_{decision.engine}_chunks", 1)
+                dev.counters.add(
+                    "auto_pred_cost_us", int(decision.pred_seconds * 1e6)
+                )
+                sub = for_each_leaf_hit(
+                    tree,
+                    queries,
+                    eps,
+                    callback,
+                    mask_positions=mask_positions,
+                    finished_fn=finished_fn,
+                    device=dev,
+                    kernel_name=kernel_name,
+                    leaf_test_is_distance=leaf_test_is_distance,
+                    chunk_size=None,
+                    query_order="input",
+                    traversal=decision.engine,
+                    group_size=group_size,
+                    component_of=component_of,
+                    node_components=node_components,
+                    watchdog=None,
+                    backend="serial",
+                    _chunk_ids=ids,
+                )
+                total.steps += sub.steps
+                total.leaf_hits += sub.leaf_hits
+                total.frontier_peak = max(total.frontier_peak, sub.frontier_peak)
+            return total
     if traversal == "dual":
         return _dual_leaf_hits(
             tree,
             queries,
+            float(eps),
             eps2,
             callback,
             mask_positions,
@@ -422,6 +513,7 @@ def for_each_leaf_hit(
             group_size if group_size is not None else DEFAULT_GROUP_SIZE,
             component_of,
             node_components,
+            morton_schedule,
             _chunk_ids,
         )
     if _chunk_ids is not None:
@@ -432,7 +524,10 @@ def for_each_leaf_hit(
         m_sched = int(schedule.shape[0])
         chunk_size = max(m_sched, 1)
     else:
-        schedule = query_schedule(queries, query_order)
+        if query_order == "morton" and morton_schedule is not None:
+            schedule = morton_schedule
+        else:
+            schedule = query_schedule(queries, query_order)
         m_sched = m
 
     ch_ids, ch_lo, ch_hi, ch_rng_hi = tree.packed_children()
@@ -577,6 +672,7 @@ def for_each_leaf_hit(
 def _dual_leaf_hits(
     tree: BVH,
     queries: np.ndarray,
+    eps: float,
     eps2: float,
     callback: LeafCallback,
     mask_positions: np.ndarray | None,
@@ -588,16 +684,26 @@ def _dual_leaf_hits(
     group_size: int,
     component_of: np.ndarray | None = None,
     node_components: np.ndarray | None = None,
+    morton_schedule: np.ndarray | None = None,
     _chunk_ids: np.ndarray | None = None,
 ) -> TraversalResult:
-    """Dual-tree (query-aggregated) wavefront traversal.
+    """Dual-tree wavefront traversal over both hierarchies.
 
-    Queries are Morton-sorted, packed into groups of ``group_size`` (and
-    supergroups of :data:`~repro.bvh.qgroups.DEFAULT_SUPER_FANOUT` groups)
-    and the frontier carries ``(query_node, tree_node)`` pairs: one
-    box-box test decides a whole group's descent (``group_box_tests``),
-    so the per-query sphere-box tests the single engine pays at every
-    internal node collapse to one test per group (``box_tests_saved``).
+    Each chunk's Morton-sorted queries are built into a density-adaptive
+    query BVH (:func:`repro.bvh.qgroups.build_query_bvh`) and the
+    frontier carries ``(query_node, tree_node)`` pairs seeded at
+    (query root, tree root).  The tree side descends strictly one level
+    per step (that is what keeps the finished-generation bookkeeping
+    aligned with the single engine); the query side descends *adaptively*
+    within each step: before the pair test, any pair whose query node is
+    internal and longer-edged than the tree child it faces is replaced by
+    its two children, repeatedly, so the box-box test always compares
+    boxes of commensurate extent — the "split the looser side" policy of
+    a classic dual-tree walk, realised level-synchronously.  One box-box
+    test then decides a whole query subtree's descent
+    (``group_box_tests``), so the per-query sphere-box tests the single
+    engine pays at every internal node collapse to one test per query
+    node (``box_tests_saved``).
 
     **Why results are bit-identical to the single engine.**  Child boxes
     nest inside parent boxes and leaf visibility ranges nest inside their
@@ -624,14 +730,15 @@ def _dual_leaf_hits(
     early-exit depend only on its own hits), so forcing Morton order here
     changes no result.
 
-    Group scratch (sorted chunk coordinates, the group hierarchy, the
+    Query-side scratch (sorted chunk coordinates, the query BVH, the
     finished double-buffer) is charged to the memory model under the
     ``"qgroups"`` tag; the frontier itself stays under ``"frontier"``.
 
     Component masking extends the reach predicate with "``node``'s
     subtree is not uniform in ``q``'s component": query nodes carry a
-    uniform-component summary (computed by the same reduceat cascade as
-    the group AABBs), so a (group, node) pair whose components provably
+    uniform-component summary (seeded at the query leaves by the same
+    reduceat the AABBs use and combined bottom-up over the query BVH's
+    levels), so a (query node, tree node) pair whose components provably
     coincide is pruned in one comparison, and the per-member leaf test
     applies the exact leaf-vs-query component check the single engine
     applies.
@@ -648,7 +755,11 @@ def _dual_leaf_hits(
         m_sched = int(schedule.shape[0])
         chunk_size = max(m_sched, 1)
     else:
-        schedule = query_schedule(queries, "morton")
+        schedule = (
+            morton_schedule
+            if morton_schedule is not None
+            else query_schedule(queries, "morton")
+        )
         m_sched = m
     qdt = np.int32 if m <= np.iinfo(np.int32).max else np.int64
     if schedule is not None:
@@ -702,27 +813,26 @@ def _dual_leaf_hits(
                         callback(chunk_ids[ok], np.zeros(n_hits, dtype=ndt))
                     continue
 
-                qg = build_query_groups(
-                    chunk_pts, chunk_mask, group_size, DEFAULT_SUPER_FANOUT, qpool
+                qg = build_query_bvh(
+                    chunk_pts, chunk_mask, group_size, eps, qpool
                 )
-                n_super = qg.n_super
+                n_qinner = qg.n_inner
 
                 # Uniform-component summary per query node (-1 = mixed):
-                # the component analogue of the group AABB, built by the
-                # same reduceat cascade (groups tile the chunk; supergroups
-                # tile the groups).
+                # the component analogue of the node AABB.  Seeded at the
+                # leaves (which tile the chunk, so one reduceat covers
+                # them) and combined bottom-up over the BVH's levels.
                 ucomp = None
                 if chunk_comp is not None:
-                    gstarts = qg.mem_lo[n_super:]
-                    gmin = np.minimum.reduceat(chunk_comp, gstarts)
-                    gmax = np.maximum.reduceat(chunk_comp, gstarts)
+                    lstarts = qg.mem_lo[qg.leaf_order]
+                    lmin = np.minimum.reduceat(chunk_comp, lstarts)
+                    lmax = np.maximum.reduceat(chunk_comp, lstarts)
                     ucomp = qpool.take("ucomp", qg.n_nodes)
-                    np.copyto(ucomp[n_super:], np.where(gmin == gmax, gmin, -1))
-                    if n_super:
-                        sstarts = qg.child_lo - n_super
-                        smin = np.minimum.reduceat(gmin, sstarts)
-                        smax = np.maximum.reduceat(gmax, sstarts)
-                        np.copyto(ucomp[:n_super], np.where(smin == smax, smin, -1))
+                    ucomp[qg.leaf_order] = np.where(lmin == lmax, lmin, -1)
+                    for lvl_lo, lvl_hi in reversed(qg.levels):
+                        c0 = ucomp[qg.child0[lvl_lo:lvl_hi]]
+                        c1 = ucomp[qg.child1[lvl_lo:lvl_hi]]
+                        ucomp[lvl_lo:lvl_hi] = np.where(c0 == c1, c0, -1)
 
                 fin_prev = fin_now = cumfin = None
                 if finished_fn is not None:
@@ -731,9 +841,9 @@ def _dual_leaf_hits(
                     fin_now[:] = finished_fn(chunk_ids)
                     cumfin = qpool.take("cumfin", cn + 1)
 
-                # Seed: every top-level query node against the root, with
-                # the uncounted group-box analogue of the single engine's
-                # seed test.
+                # Seed: the query root against the tree root, with the
+                # uncounted box-box analogue of the single engine's seed
+                # test.
                 top = qg.top
                 gap = np.maximum(
                     0.0,
@@ -932,26 +1042,36 @@ def _dual_leaf_hits(
                     cand_lo = clo[fe, fk]
                     cand_hi = chi[fe, fk]
                     cand_rng = crng[fe, fk]
-                    if n_super:
-                        # Refine a supergroup to its groups once its box
-                        # outgrows the tree node's — counters-only
-                        # heuristic, never results.
+                    if n_qinner:
+                        # Split the looser side: while a pair's query node
+                        # is internal and longer-edged than the tree child
+                        # it faces, replace it by its two halves, so the
+                        # box-box test below always compares commensurate
+                        # boxes.  Terminates because every split moves one
+                        # level down the (finite-depth) query BVH.
+                        # Counters-only heuristic — the per-member re-test
+                        # at leaf parents keeps results exact regardless.
                         child_ext = (cand_hi - cand_lo).max(axis=1)
-                        split = (cand_q < n_super) & (qg.ext[cand_q] > child_ext)
-                        if split.any():
+                        while True:
+                            split = (cand_q < n_qinner) & (
+                                qg.ext[cand_q] > child_ext
+                            )
+                            if not split.any():
+                                break
                             stay = ~split
                             s_q = cand_q[split]
-                            s_lo = qg.child_lo[s_q]
-                            s_cnt = qg.child_hi[s_q] - s_lo
-                            sub_q = concatenated_ranges(s_lo, s_cnt)
-                            sub = segment_ids_from_counts(s_cnt)
-                            cand_q = np.concatenate(
-                                [cand_q[stay], sub_q.astype(np.int32)]
+                            sub_q = np.empty(2 * s_q.shape[0], dtype=cand_q.dtype)
+                            sub_q[0::2] = qg.child0[s_q]
+                            sub_q[1::2] = qg.child1[s_q]
+                            rep2 = np.repeat(np.flatnonzero(split), 2)
+                            cand_q = np.concatenate([cand_q[stay], sub_q])
+                            cand_n = np.concatenate([cand_n[stay], cand_n[rep2]])
+                            cand_lo = np.concatenate([cand_lo[stay], cand_lo[rep2]])
+                            cand_hi = np.concatenate([cand_hi[stay], cand_hi[rep2]])
+                            cand_rng = np.concatenate([cand_rng[stay], cand_rng[rep2]])
+                            child_ext = np.concatenate(
+                                [child_ext[stay], child_ext[rep2]]
                             )
-                            cand_n = np.concatenate([cand_n[stay], cand_n[split][sub]])
-                            cand_lo = np.concatenate([cand_lo[stay], cand_lo[split][sub]])
-                            cand_hi = np.concatenate([cand_hi[stay], cand_hi[split][sub]])
-                            cand_rng = np.concatenate([cand_rng[stay], cand_rng[split][sub]])
                     # One box-box test per (query node, tree child): the
                     # exact Minkowski form of "eps-inflated group AABB
                     # intersects node box".
@@ -1006,6 +1126,9 @@ def count_within(
     group_size: int | None = None,
     watchdog: Callable[[], None] | None = None,
     backend=None,
+    morton_schedule: np.ndarray | None = None,
+    cost_model=None,
+    tree_stats=None,
     _chunk_ids: np.ndarray | None = None,
 ) -> np.ndarray:
     """Count leaves within ``eps`` of each query (point-leaf trees).
@@ -1092,6 +1215,9 @@ def count_within(
             traversal=traversal,
             group_size=group_size,
             watchdog=watchdog,
+            morton_schedule=morton_schedule,
+            cost_model=cost_model,
+            tree_stats=tree_stats,
         )
     if leaf_weights is None:
         counts = np.zeros(m, dtype=np.int64)
@@ -1126,6 +1252,9 @@ def count_within(
         group_size=group_size,
         watchdog=watchdog,
         backend=bk,
+        morton_schedule=morton_schedule,
+        cost_model=cost_model,
+        tree_stats=tree_stats,
         _chunk_ids=_chunk_ids,
     )
     return counts

@@ -300,13 +300,18 @@ def _cmd_bench(args) -> int:
     tree_kwargs = {}
     if args.query_order != "input":
         tree_kwargs["query_order"] = args.query_order
-    # "both" sweeps the single engine first, then the dual engine over the
-    # same cells — the records stay distinguishable by their ``traversal``
-    # field, so the history diff can gate on the dual engine's pruning.
+    # "both" sweeps the single engine, then dual, then auto over the same
+    # cells — the records stay distinguishable by their ``traversal``
+    # field, so the history diff can gate on the dual engine's pruning and
+    # the smoke gate can price auto's regret against min(single, dual).
     # ``--backend both`` nests the same way: every (engine, cell) pair runs
     # once per backend into one history, keyed apart by ``backend``, which
     # is what the A/B speedup report pairs back up.
-    modes = ("single", "dual") if args.traversal == "both" else (args.traversal,)
+    modes = (
+        ("single", "dual", "auto")
+        if args.traversal == "both"
+        else (args.traversal,)
+    )
     backends = (
         ("serial", "process") if args.backend == "both" else (args.backend,)
     )
@@ -578,14 +583,20 @@ def build_parser() -> argparse.ArgumentParser:
             "queries in input order or along the Morton curve (identical "
             "labels and work counters either way — an ablation lever)",
         )
-        choices = ("single", "dual", "both") if both else ("single", "dual")
+        choices = (
+            ("single", "dual", "auto", "both")
+            if both
+            else ("single", "dual", "auto")
+        )
         p.add_argument(
             "--traversal", choices=choices, default="single",
             help="BVH traversal engine for the tree algorithms: 'single' "
-            "keeps one frontier row per query, 'dual' prunes Morton-adjacent "
-            "query groups against each node in one box test (identical "
-            "labels and distance counts)"
-            + ("; 'both' runs the sweep once per engine" if both else ""),
+            "keeps one frontier row per query, 'dual' prunes query-BVH "
+            "groups against each node in one box test, 'auto' picks the "
+            "engine per chunk from the fitted cost model (identical "
+            "labels and distance counts in every mode)"
+            + ("; 'both' runs the sweep once per engine, auto included"
+               if both else ""),
         )
 
     def backend_flags(p, both: bool = False):

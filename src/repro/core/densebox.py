@@ -97,6 +97,7 @@ def fdbscan_densebox(
     traversal: str | None = None,
     watchdog=None,
     backend=None,
+    cost_model=None,
 ) -> DBSCANResult:
     """Cluster ``X`` with FDBSCAN-DenseBox.
 
@@ -150,6 +151,21 @@ def fdbscan_densebox(
         backend = getattr(index, "backend", None)
     _bk = backend if backend is not None else getattr(dev, "backend", None)
     info["backend"] = getattr(_bk, "name", _bk) or "serial"
+    # The cached Morton schedule is over the indexed points, so it serves
+    # the main traversal (whose queries are exactly X); the preprocessing
+    # traversal queries the isolated subset and schedules itself.  The
+    # mixed tree's shape differs from the points tree's, so the auto
+    # chooser runs on its generic depth estimate (tree_stats=None).
+    main_morton = None
+    if traversal in ("dual", "auto") or query_order == "morton":
+        main_morton = index.morton_schedule(dev)
+    if traversal == "auto":
+        if cost_model is None:
+            cost_model = getattr(index, "cost_model", None)
+        auto_before = {
+            k: dev.counters.extra.get(k, 0)
+            for k in ("auto_single_chunks", "auto_dual_chunks", "auto_pred_cost_us")
+        }
     t1 = time.perf_counter()
     info["t_build"] = t1 - t0
     info["index"] = index
@@ -229,6 +245,7 @@ def fdbscan_densebox(
                 traversal=traversal,
                 watchdog=watchdog,
                 backend=backend,
+                cost_model=cost_model,
             )
             is_core[deco.isolated_idx] = counts >= minpts
             if not early_exit:
@@ -315,10 +332,25 @@ def fdbscan_densebox(
         traversal=traversal,
         watchdog=watchdog,
         backend=backend,
+        morton_schedule=main_morton,
+        cost_model=cost_model,
     )
     resolver.finalize()
     t3 = time.perf_counter()
     info["t_main"] = t3 - t2
+    if traversal == "auto":
+        extra = dev.counters.extra
+        info["auto"] = {
+            "single_chunks": extra.get("auto_single_chunks", 0)
+            - auto_before["auto_single_chunks"],
+            "dual_chunks": extra.get("auto_dual_chunks", 0)
+            - auto_before["auto_dual_chunks"],
+            "pred_cost_seconds": (
+                extra.get("auto_pred_cost_us", 0)
+                - auto_before["auto_pred_cost_us"]
+            )
+            * 1e-6,
+        }
 
     labels, core_mask, n_clusters = finalize_clusters(uf.parents, is_core, dev.counters)
     info["t_finalize"] = time.perf_counter() - t3

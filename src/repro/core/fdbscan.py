@@ -48,6 +48,7 @@ def fdbscan(
     traversal: str | None = None,
     watchdog=None,
     backend=None,
+    cost_model=None,
 ) -> DBSCANResult:
     """Cluster ``X`` with FDBSCAN.
 
@@ -99,9 +100,11 @@ def fdbscan(
         Output is identical for any buffering.
     traversal:
         Traversal engine for both phases: ``"single"`` (per-query
-        frontier) or ``"dual"`` (query-aggregated group pruning); ``None``
-        defers to the index's stored preference (default ``"single"``).
-        Labels and ``distance_evals`` are bit-identical between engines.
+        frontier), ``"dual"`` (dual-tree query-BVH pruning) or ``"auto"``
+        (per-chunk engine choice from the cost model); ``None`` defers to
+        the index's stored preference (default ``"single"``).  Labels and
+        ``distance_evals`` are bit-identical between engines, so the
+        choice is pure scheduling.
     watchdog:
         Optional zero-argument callable polled once per traversal
         wavefront step in both phases (a deadline's
@@ -112,6 +115,11 @@ def fdbscan(
         :class:`~repro.device.backends.ExecutionBackend`); ``None``
         defers to the index's stored preference, then the device's.
         Labels and work counters are bit-identical across backends.
+    cost_model:
+        Fitted cost model feeding ``traversal="auto"``'s per-chunk engine
+        choice (duck-typed :class:`repro.obs.fit.FittedCostModel`);
+        ``None`` defers to the index's stored model, then built-in rates.
+        Advisory only — never affects results.
 
     Returns
     -------
@@ -142,6 +150,21 @@ def fdbscan(
         backend = getattr(index, "backend", None)
     _bk = backend if backend is not None else getattr(dev, "backend", None)
     info["backend"] = getattr(_bk, "name", _bk) or "serial"
+    # Scheduling inputs shared by both phases: the cached Morton schedule
+    # (the queries *are* the indexed points here) whenever a Morton order
+    # will be used, and the auto chooser's cost model + tree statistics.
+    morton_schedule = None
+    if traversal in ("dual", "auto") or query_order == "morton":
+        morton_schedule = index.morton_schedule(dev)
+    tree_stats = None
+    if traversal == "auto":
+        if cost_model is None:
+            cost_model = getattr(index, "cost_model", None)
+        tree_stats = index.tree_statistics(dev)
+        auto_before = {
+            k: dev.counters.extra.get(k, 0)
+            for k in ("auto_single_chunks", "auto_dual_chunks", "auto_pred_cost_us")
+        }
     t1 = time.perf_counter()
     info["t_build"] = t1 - t0
     info["index"] = index
@@ -163,6 +186,9 @@ def fdbscan(
             traversal=traversal,
             watchdog=watchdog,
             backend=backend,
+            morton_schedule=morton_schedule,
+            cost_model=cost_model,
+            tree_stats=tree_stats,
         )
         is_core = counts >= minpts
         resolution_core = is_core
@@ -189,6 +215,9 @@ def fdbscan(
             traversal=traversal,
             watchdog=watchdog,
             backend=backend,
+            morton_schedule=morton_schedule,
+            cost_model=cost_model,
+            tree_stats=tree_stats,
         )
         is_core = counts >= minpts
         resolution_core = is_core
@@ -226,10 +255,26 @@ def fdbscan(
         traversal=traversal,
         watchdog=watchdog,
         backend=backend,
+        morton_schedule=morton_schedule,
+        cost_model=cost_model,
+        tree_stats=tree_stats,
     )
     resolver.finalize()
     t3 = time.perf_counter()
     info["t_main"] = t3 - t2
+    if traversal == "auto":
+        extra = dev.counters.extra
+        info["auto"] = {
+            "single_chunks": extra.get("auto_single_chunks", 0)
+            - auto_before["auto_single_chunks"],
+            "dual_chunks": extra.get("auto_dual_chunks", 0)
+            - auto_before["auto_dual_chunks"],
+            "pred_cost_seconds": (
+                extra.get("auto_pred_cost_us", 0)
+                - auto_before["auto_pred_cost_us"]
+            )
+            * 1e-6,
+        }
 
     # --- finalisation -------------------------------------------------------
     labels, core_mask, n_clusters = finalize_clusters(uf.parents, is_core, dev.counters)

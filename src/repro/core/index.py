@@ -132,11 +132,16 @@ class DBSCANIndex:
     max_dense_entries:
         Bound on the cached DenseBox decompositions (FIFO eviction).
     traversal:
-        Stored traversal-engine preference (``"single"``/``"dual"``)
-        applied by runs that pass ``traversal=None``; an explicit
-        per-call ``traversal=`` always wins.  A pure scheduling choice —
-        the cached structures are engine-independent, so one index serves
-        both engines.
+        Stored traversal-engine preference (``"single"``/``"dual"``/
+        ``"auto"``) applied by runs that pass ``traversal=None``; an
+        explicit per-call ``traversal=`` always wins.  A pure scheduling
+        choice — the cached structures are engine-independent, so one
+        index serves every engine.
+    cost_model:
+        Stored fitted cost model (duck-typed
+        :class:`repro.obs.fit.FittedCostModel`) feeding the
+        ``traversal="auto"`` per-chunk engine choice for runs that pass
+        ``cost_model=None``; advisory only, never affects results.
     """
 
     def __init__(
@@ -146,6 +151,7 @@ class DBSCANIndex:
         max_binnings: int = DEFAULT_MAX_BINNINGS,
         traversal: str | None = None,
         backend=None,
+        cost_model=None,
     ):
         X = validate_points(X)
         self._X = X
@@ -153,11 +159,13 @@ class DBSCANIndex:
         self.fingerprint = points_fingerprint(X)
         self.max_dense_entries = int(max_dense_entries)
         self.max_binnings = int(max_binnings)
-        if traversal is not None and traversal not in ("single", "dual"):
+        if traversal is not None and traversal not in ("single", "dual", "auto"):
             raise ValueError(
-                f"traversal must be 'single', 'dual' or None; got {traversal!r}"
+                f"traversal must be 'single', 'dual', 'auto' or None; "
+                f"got {traversal!r}"
             )
         self.traversal = traversal
+        self.cost_model = cost_model
         if backend is not None and isinstance(backend, str):
             from repro.device.backends import BACKENDS
 
@@ -179,6 +187,14 @@ class DBSCANIndex:
         self.binning_builds = 0
         #: binnings served from the eps-keyed cache (replayed, not re-run).
         self.binning_hits = 0
+        #: cached Morton query schedule over the indexed points
+        #: (eps-independent, so one entry serves every run) + tree stats.
+        self._morton: tuple | None = None
+        self._tree_stats = None
+        #: live Morton schedules actually computed for this index.
+        self.morton_builds = 0
+        #: schedules served from the cache (replayed, not re-sorted).
+        self.morton_hits = 0
 
     # -- compatibility ---------------------------------------------------------
 
@@ -222,6 +238,43 @@ class DBSCANIndex:
             tree = build_bvh(lo, hi, device=dev)
         self._points = _PointsEntry(tree=tree, cost=cost)
         return tree, False
+
+    def morton_schedule(self, device: Device | None = None) -> np.ndarray | None:
+        """The Morton chunking permutation over the indexed points.
+
+        The dual/auto engines (and ``query_order="morton"``) schedule the
+        *point set itself* as queries in Z-curve order; the permutation
+        depends only on the points — never on ``eps``, ``minpts`` or the
+        engine — so it is computed once per index and replayed thereafter,
+        exactly like the binning cache.  Returns ``None`` for ``n < 2``
+        (the schedule's own convention for "input order is fine").
+        """
+        dev = default_device(device)
+        from repro.bvh.traversal import query_schedule
+
+        if self._morton is not None:
+            schedule, cost = self._morton
+            dev.replay(cost)
+            self.morton_hits += 1
+            return schedule
+        with dev.recording() as cost:
+            schedule = query_schedule(self._X, "morton")
+        self._morton = (schedule, cost)
+        self.morton_builds += 1
+        return schedule
+
+    def tree_statistics(self, device: Device | None = None):
+        """Shape statistics of the points tree (feeds ``traversal="auto"``).
+
+        Computed once per index (the tree never changes) and cached; the
+        first call builds the points tree if needed.
+        """
+        if self._tree_stats is None:
+            from repro.bvh.statistics import tree_statistics
+
+            tree, _reused = self.points_tree(device)
+            self._tree_stats = tree_statistics(tree)
+        return self._tree_stats
 
     def grid_binning(
         self,

@@ -579,6 +579,40 @@ class ProcessBackend(ExecutionBackend):
                 out.append(np.arange(start, end, dtype=np.int64))
         return out
 
+    @staticmethod
+    def _chunk_engines(
+        tree,
+        queries,
+        eps,
+        chunks,
+        traversal,
+        group_size,
+        cost_model,
+        kernel_name,
+        tree_stats,
+        dev,
+    ) -> list[str]:
+        """Resolve ``traversal="auto"`` parent-side: workers only ever see
+        a concrete engine, so the per-chunk choice (and its counters) is
+        made once, deterministically, regardless of worker scheduling."""
+        if traversal != "auto":
+            return [traversal] * len(chunks)
+        from repro.bvh.autotune import choose_engine
+        from repro.bvh.qgroups import DEFAULT_GROUP_SIZE
+
+        gsz = group_size if group_size is not None else DEFAULT_GROUP_SIZE
+        engines = []
+        for ids in chunks:
+            decision = choose_engine(
+                tree, queries[ids], eps, gsz, cost_model, kernel_name, tree_stats
+            )
+            dev.counters.add(f"auto_{decision.engine}_chunks", 1)
+            dev.counters.add(
+                "auto_pred_cost_us", int(decision.pred_seconds * 1e6)
+            )
+            engines.append(decision.engine)
+        return engines
+
     def _dispatch(self, jobs: list[dict]):
         """Run jobs on the pool, yielding ``(seq, out)`` in seq order."""
         self._gen += 1
@@ -670,6 +704,9 @@ class ProcessBackend(ExecutionBackend):
         traversal="single",
         group_size=None,
         watchdog=None,
+        morton_schedule=None,
+        cost_model=None,
+        tree_stats=None,
     ):
         from repro.bvh.traversal import TraversalResult, query_schedule
 
@@ -677,11 +714,27 @@ class ProcessBackend(ExecutionBackend):
         m = queries.shape[0]
         if watchdog is not None:
             watchdog()
-        # The dual engine always schedules in Morton order; the parent
-        # computes the permutation once and ships pre-sliced chunk ids.
-        order = "morton" if traversal == "dual" else query_order
-        schedule = query_schedule(queries, order)
+        # The dual/auto engines always schedule in Morton order; the
+        # parent computes the permutation once (or reuses the caller's
+        # cached one) and ships pre-sliced chunk ids.
+        order = "morton" if traversal in ("dual", "auto") else query_order
+        if order == "morton" and morton_schedule is not None:
+            schedule = morton_schedule
+        else:
+            schedule = query_schedule(queries, order)
         chunks = self._chunks(m, chunk_size, schedule)
+        engines = self._chunk_engines(
+            tree,
+            queries,
+            eps,
+            chunks,
+            traversal,
+            group_size,
+            cost_model,
+            kernel_name,
+            tree_stats,
+            dev,
+        )
         self._ensure_pool()
         tree_ref = self._publish_tree(tree)
         call_arena = ShmArena(self._call_arrays(queries, mask_positions, None))
@@ -695,10 +748,10 @@ class ProcessBackend(ExecutionBackend):
                 "eps": float(eps),
                 "kernel_name": kernel_name,
                 "leaf_test_is_distance": leaf_test_is_distance,
-                "traversal": traversal,
+                "traversal": engine,
                 "group_size": group_size,
             }
-            for ids in chunks
+            for ids, engine in zip(chunks, engines)
         ]
         result = TraversalResult()
         try:
@@ -744,6 +797,9 @@ class ProcessBackend(ExecutionBackend):
         traversal="single",
         group_size=None,
         watchdog=None,
+        morton_schedule=None,
+        cost_model=None,
+        tree_stats=None,
     ):
         from repro.bvh.traversal import query_schedule
 
@@ -751,9 +807,24 @@ class ProcessBackend(ExecutionBackend):
         m = queries.shape[0]
         if watchdog is not None:
             watchdog()
-        order = "morton" if traversal == "dual" else query_order
-        schedule = query_schedule(queries, order)
+        order = "morton" if traversal in ("dual", "auto") else query_order
+        if order == "morton" and morton_schedule is not None:
+            schedule = morton_schedule
+        else:
+            schedule = query_schedule(queries, order)
         chunks = self._chunks(m, chunk_size, schedule)
+        engines = self._chunk_engines(
+            tree,
+            queries,
+            eps,
+            chunks,
+            traversal,
+            group_size,
+            cost_model,
+            "bvh_count",
+            tree_stats,
+            dev,
+        )
         self._ensure_pool()
         tree_ref = self._publish_tree(tree)
         call_arena = ShmArena(
@@ -769,10 +840,10 @@ class ProcessBackend(ExecutionBackend):
                 "eps": float(eps),
                 "kernel_name": "bvh_count",
                 "stop_at": None if stop_at is None else float(stop_at),
-                "traversal": traversal,
+                "traversal": engine,
                 "group_size": group_size,
             }
-            for ids in chunks
+            for ids, engine in zip(chunks, engines)
         ]
         counts = np.zeros(
             m, dtype=np.int64 if leaf_weights is None else np.float64

@@ -193,10 +193,11 @@ def distributed_dbscan(
     ``query_order`` / ``traversal`` are each rank's local traversal
     options (see :func:`repro.bvh.traversal.for_each_leaf_hit`): Morton
     query scheduling sorts every rank's owned+halo queries along the
-    Z-curve, and the dual engine prunes its query groups collectively.
-    Both are pure work-scheduling choices — the labelling is identical —
-    and both apply identically on recovery reruns, so fault-time recompute
-    stays equivalent too.
+    Z-curve, the dual engine prunes its query-BVH groups collectively,
+    and ``"auto"`` lets each rank pick the engine per chunk from the
+    cost model.  All are pure work-scheduling choices — the labelling is
+    identical — and all apply identically on recovery reruns, so
+    fault-time recompute stays equivalent too.
 
     ``retry_policy`` governs the transient-failure retries of rank-local
     compute and of message delivery; with a ``fault_plan`` present its

@@ -178,9 +178,9 @@ def hdbscan(
         reference).  Both yield identical dendrogram heights up to
         tie-permutation.
     traversal:
-        ``"single"``/``"dual"`` wavefront engine for the core-distance and
-        Borůvka traversals; ``None`` defers to the index's stored
-        preference (default ``"single"``).
+        ``"single"``/``"dual"``/``"auto"`` wavefront engine for the
+        core-distance and Borůvka traversals; ``None`` defers to the
+        index's stored preference (default ``"single"``).
     query_order:
         ``"input"`` or ``"morton"`` traversal scheduling.
     index:

@@ -7,6 +7,12 @@ surface already measures:
   ``target_seconds``" — evaluated against a fixed-bucket latency
   histogram (``repro_service_request_seconds``) with linear in-bucket
   interpolation (:meth:`~repro.obs.metrics.Histogram.count_le`);
+- a **latency_quantile** SLO — "the pXX latency stays at or
+  below ``target_seconds``" (e.g. "p95 <= 250ms") — evaluated from the
+  same histogram's :meth:`~repro.obs.metrics.Histogram.quantile`
+  estimate (the number a dashboard's ``histogram_quantile()`` shows),
+  with the burn rate defined as ``observed / target`` so 1.0 again means
+  the objective is exactly met;
 - an **availability** SLO — "``objective`` of requests answer without an
   internal error" — evaluated against the per-status request counter
   (``repro_service_requests_total``).  ``shed`` and ``rejected`` are
@@ -73,9 +79,12 @@ class SLO:
     """One objective (see module docstring for semantics)."""
 
     name: str
-    #: ``"latency"`` or ``"availability"``.
+    #: ``"latency"``, ``"latency_quantile"`` or ``"availability"``.
     kind: str
-    #: Required good fraction in ``[0, 1)`` (e.g. 0.99).
+    #: Required good fraction in ``[0, 1)`` (e.g. 0.99).  For
+    #: ``latency_quantile`` objectives this is the quantile itself
+    #: (0.95 for "p95"), which plays the same role: the fraction of
+    #: requests the target must cover.
     objective: float
     #: Latency SLOs: the per-request wall-seconds target.
     target_seconds: float | None = None
@@ -87,18 +96,20 @@ class SLO:
     window: str = "lifetime"
 
     def __post_init__(self):
-        if self.kind not in ("latency", "availability"):
+        if self.kind not in ("latency", "latency_quantile", "availability"):
             raise ValueError(f"unknown SLO kind {self.kind!r}")
         parse_window(self.window)
         if not 0.0 < self.objective < 1.0:
             raise ValueError(
                 f"SLO objective must be in (0, 1); got {self.objective}"
             )
-        if self.kind == "latency" and not self.target_seconds:
-            raise ValueError("latency SLOs need target_seconds")
+        if self.kind in ("latency", "latency_quantile") and not self.target_seconds:
+            raise ValueError(f"{self.kind} SLOs need target_seconds")
 
 
-#: Default service objectives: p99-style latency and availability.
+#: Default service objectives: fraction-within-target latency,
+#: percentile-latency bounds (p95/p99 read from the histogram's quantile
+#: estimate) and availability.
 DEFAULT_SLOS = (
     SLO(
         "request_latency",
@@ -108,12 +119,39 @@ DEFAULT_SLOS = (
         metric=f"{PREFIX}_service_request_seconds",
     ),
     SLO(
+        "latency_p95",
+        "latency_quantile",
+        objective=0.95,
+        target_seconds=0.25,
+        metric=f"{PREFIX}_service_request_seconds",
+    ),
+    SLO(
+        "latency_p99",
+        "latency_quantile",
+        objective=0.99,
+        target_seconds=1.0,
+        metric=f"{PREFIX}_service_request_seconds",
+    ),
+    SLO(
         "availability",
         "availability",
         objective=0.99,
         metric=f"{PREFIX}_service_requests_total",
     ),
 )
+
+
+def _rows_quantile(values: list[float], q: float) -> float:
+    """Linear-interpolation quantile of raw samples (numpy's default
+    method, hand-rolled so windowed evaluation needs no histogram)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
 def evaluate_slo(slo: SLO, registry: MetricsRegistry, rows=None) -> dict:
@@ -126,6 +164,7 @@ def evaluate_slo(slo: SLO, registry: MetricsRegistry, rows=None) -> dict:
     """
     window_n = parse_window(slo.window)
     good = total = 0.0
+    observed: float | None = None
     if window_n is not None:
         if rows is None:
             raise ValueError(
@@ -135,36 +174,50 @@ def evaluate_slo(slo: SLO, registry: MetricsRegistry, rows=None) -> dict:
         recent = list(rows)[-window_n:]
         total = float(len(recent))
         for row in recent:
-            if slo.kind == "latency":
+            if slo.kind in ("latency", "latency_quantile"):
                 if float(row["wall_seconds"]) <= slo.target_seconds:
                     good += 1.0
             elif row["status"] in GOOD_STATUSES:
                 good += 1.0
+        if slo.kind == "latency_quantile":
+            observed = _rows_quantile(
+                [float(row["wall_seconds"]) for row in recent], slo.objective
+            )
     else:
         metric = slo.metric or (
             f"{PREFIX}_service_request_seconds"
-            if slo.kind == "latency"
+            if slo.kind in ("latency", "latency_quantile")
             else f"{PREFIX}_service_requests_total"
         )
         if metric in registry:
             instrument = registry.get(metric)
-            if slo.kind == "latency":
+            if slo.kind in ("latency", "latency_quantile"):
                 _counts, total = instrument._counts_for(None)
                 total = float(total)
                 good = instrument.count_le(slo.target_seconds)
+                if slo.kind == "latency_quantile":
+                    observed = instrument.quantile(slo.objective)
             else:
                 for key, value in instrument.values.items():
                     total += value
                     if dict(key).get("status") in GOOD_STATUSES:
                         good += value
     bad = max(0.0, total - good)
-    allowed = (1.0 - slo.objective) * total
-    if total <= 0:
-        burn_rate = 0.0
-    elif allowed > 0:
-        burn_rate = bad / allowed
+    if slo.kind == "latency_quantile":
+        # Burn as a fraction of the latency target: the observed pXX over
+        # the allowed pXX.  1.0 = the percentile sits exactly on target.
+        if total <= 0 or observed is None:
+            burn_rate = 0.0
+        else:
+            burn_rate = observed / float(slo.target_seconds)
     else:
-        burn_rate = 0.0 if bad == 0 else float("inf")
+        allowed = (1.0 - slo.objective) * total
+        if total <= 0:
+            burn_rate = 0.0
+        elif allowed > 0:
+            burn_rate = bad / allowed
+        else:
+            burn_rate = 0.0 if bad == 0 else float("inf")
     budget_remaining = 1.0 - burn_rate
     return {
         "name": slo.name,
@@ -176,6 +229,7 @@ def evaluate_slo(slo: SLO, registry: MetricsRegistry, rows=None) -> dict:
         "good": good,
         "bad": bad,
         "good_fraction": (good / total) if total > 0 else 1.0,
+        "observed_seconds": observed,
         "burn_rate": burn_rate,
         "budget_remaining": budget_remaining,
         "ok": burn_rate <= 1.0,
@@ -204,10 +258,16 @@ def record_slo_gauges(registry: MetricsRegistry, statuses) -> None:
     fraction = registry.gauge(
         f"{PREFIX}_slo_good_fraction", "observed good fraction per objective"
     )
+    quantile_seconds = registry.gauge(
+        f"{PREFIX}_slo_quantile_seconds",
+        "observed latency percentile per latency_quantile objective",
+    )
     for status in statuses:
         burn.set(status["burn_rate"], slo=status["name"])
         remaining.set(status["budget_remaining"], slo=status["name"])
         fraction.set(status["good_fraction"], slo=status["name"])
+        if status.get("observed_seconds") is not None:
+            quantile_seconds.set(status["observed_seconds"], slo=status["name"])
 
 
 def format_slo_report(statuses, title: str = "-- slo --") -> str:
@@ -220,9 +280,18 @@ def format_slo_report(statuses, title: str = "-- slo --") -> str:
         window = (
             f" {s['window']}" if s.get("window", "lifetime") != "lifetime" else ""
         )
+        if s["kind"] == "latency_quantile":
+            observed = s.get("observed_seconds") or 0.0
+            body = (
+                f"p{100 * s['objective']:g} {observed * 1e3:.3g}ms "
+                f"(target {s['target_seconds'] * 1e3:g}ms)"
+            )
+            head = f"[p{100 * s['objective']:g}{target}{window}]"
+        else:
+            body = f"good {s['good_fraction']:.4f} (objective {s['objective']:g})"
+            head = f"[{s['kind']}{target}{window}]"
         lines.append(
-            f"  {s['name']:>16} [{s['kind']}{target}{window}] "
-            f"good {s['good_fraction']:.4f} (objective {s['objective']:g})  "
+            f"  {s['name']:>16} {head} {body}  "
             f"burn {s['burn_rate']:.3f}  budget {s['budget_remaining']:+.3f}  "
             f"{'ok' if s['ok'] else 'VIOLATED'}"
         )

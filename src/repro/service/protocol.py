@@ -40,8 +40,8 @@ Fields
     Per-request budget: wall seconds and/or a deterministic traversal
     step budget (whichever expires first).
 ``traversal``
-    ``"single"``/``"dual"`` engine preference; the degradation ladder
-    may override it downward.
+    ``"single"``/``"dual"``/``"auto"`` engine preference; the
+    degradation ladder may override it downward.
 """
 
 from __future__ import annotations
@@ -207,9 +207,9 @@ def parse_request(
 
     if "traversal" in obj:
         traversal = obj["traversal"]
-        if traversal not in ("single", "dual"):
+        if traversal not in ("single", "dual", "auto"):
             raise MalformedRequestError(
-                f"'traversal' must be 'single' or 'dual'; got {traversal!r}"
+                f"'traversal' must be 'single', 'dual' or 'auto'; got {traversal!r}"
             )
         req.traversal = traversal
 

@@ -152,7 +152,7 @@ def run_traffic(
         if op == "cluster":
             req.update(eps=0.08, min_samples=5)
             if rng.random() < 0.3:
-                req["traversal"] = "dual"
+                req["traversal"] = "dual" if rng.random() < 0.5 else "auto"
         elif op == "count":
             req.update(eps=0.08, min_samples=5)
         elif op == "knn":

@@ -359,6 +359,57 @@ class TestSLO:
         statuses = evaluate_slos(MetricsRegistry())
         assert all(s["ok"] and s["burn_rate"] == 0.0 for s in statuses)
 
+    def test_latency_quantile_reads_histogram_quantile(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_service_request_seconds", "t",
+                          buckets=(0.1, 0.25, 1.0))
+        for _ in range(95):
+            h.observe(0.05, op="cluster")
+        for _ in range(5):
+            h.observe(0.9, op="cluster")
+        slo = SLO("latency_p95", "latency_quantile", objective=0.95,
+                  target_seconds=0.25,
+                  metric="repro_service_request_seconds")
+        status = evaluate_slo(slo, reg)
+        assert status["observed_seconds"] == pytest.approx(h.quantile(0.95))
+        assert status["burn_rate"] == pytest.approx(
+            h.quantile(0.95) / 0.25
+        )
+        # tight target: the p95 estimate exceeds it -> violated
+        tight = SLO("latency_p95_tight", "latency_quantile", objective=0.95,
+                    target_seconds=0.05,
+                    metric="repro_service_request_seconds")
+        assert not evaluate_slo(tight, reg)["ok"]
+
+    def test_latency_quantile_windowed_rows(self):
+        rows = [{"status": "ok", "wall_seconds": 0.01} for _ in range(19)]
+        rows.append({"status": "ok", "wall_seconds": 2.0})
+        slo = SLO("p50_window", "latency_quantile", objective=0.5,
+                  target_seconds=0.1, window="last:20")
+        status = evaluate_slo(slo, MetricsRegistry(), rows=rows)
+        assert status["observed_seconds"] == pytest.approx(0.01)
+        assert status["ok"]
+        # a p99-style window sees the slow tail
+        p99 = SLO("p99_window", "latency_quantile", objective=0.99,
+                  target_seconds=0.1, window="last:20")
+        assert not evaluate_slo(p99, MetricsRegistry(), rows=rows)["ok"]
+
+    def test_latency_quantile_validation_and_gauges(self):
+        with pytest.raises(ValueError):
+            SLO("x", "latency_quantile", objective=0.95)  # no target
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_service_request_seconds", "t",
+                          buckets=(0.1, 0.25, 1.0))
+        h.observe(0.05)
+        statuses = evaluate_slos(reg)
+        names = [s["name"] for s in statuses]
+        assert "latency_p95" in names and "latency_p99" in names
+        record_slo_gauges(reg, statuses)
+        text = reg.to_prometheus()
+        assert "repro_slo_quantile_seconds" in text
+        report = format_slo_report(statuses)
+        assert "latency_p95" in report and "p95" in report
+
     def test_gauges_and_report_text(self):
         reg = MetricsRegistry()
         statuses = evaluate_slos(reg)
